@@ -1,0 +1,40 @@
+"""Ablation A (Sec. II-A3): the ball radius selects the minimum hole size.
+
+"The size of holes to be detected is adjustable by varying r ... if one
+is interested in the boundary nodes of large holes only, a larger r can
+be chosen.  As a result, a node on the boundary of a small hole cannot
+find an empty unit ball."
+
+The bench deploys a sphere with one small (~1.2 radio ranges) and one
+large (~2.1 radio ranges) internal hole and sweeps r: at r ~= 1 both hole
+boundaries are detected, at r = 1.6 only the large one, at r = 2.5
+neither.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.experiments import run_ball_radius_ablation
+from repro.evaluation.reporting import format_table
+
+
+def test_ablation_ball_radius(benchmark):
+    points = benchmark.pedantic(run_ball_radius_ablation, rounds=1, iterations=1)
+
+    print_banner("Ablation A -- ball radius vs minimum detectable hole size")
+    print(
+        format_table(
+            ["ball radius", "small hole nodes", "large hole nodes", "groups"],
+            [
+                (f"{p.radius:.3f}", p.n_small_hole_detected, p.n_large_hole_detected, p.n_groups)
+                for p in points
+            ],
+        )
+    )
+
+    base, mid, coarse = points
+    assert base.n_small_hole_detected > 0
+    assert base.n_large_hole_detected > 0
+    # r = 1.6 suppresses the small hole but keeps the large one.
+    assert mid.n_small_hole_detected < 0.5 * base.n_small_hole_detected
+    assert mid.n_large_hole_detected > 0.5 * base.n_large_hole_detected
+    # r = 2.5 suppresses both holes.
+    assert coarse.n_large_hole_detected < 0.5 * base.n_large_hole_detected

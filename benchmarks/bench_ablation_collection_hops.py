@@ -1,0 +1,47 @@
+"""Ablation D: collection radius -- Algorithm 1's literal 1-hop reading
+versus the 2-hop collection the paper's own analysis assumes.
+
+Lemma 1 and Theorem 1 reason about nodes "within 2r" of the tested node,
+but Algorithm 1 as printed collects one-hop neighbors only.  A candidate
+ball reaches up to 2r away, so the 1-hop reading leaves ~2/3 of each
+ball's volume unchecked and floods the interior with false positives at
+realistic densities.  This bench quantifies the gap (see DESIGN.md's
+"Design decisions").
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.experiments import run_collection_hops_ablation
+from repro.evaluation.reporting import format_table
+
+HOPS = (1, 2, 3)
+
+
+def test_ablation_collection_hops(benchmark, bench_sphere_network):
+    network = bench_sphere_network
+
+    def sweep():
+        return run_collection_hops_ablation(network, hops_values=HOPS)
+
+    stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner("Ablation D -- UBF collection radius (hops)")
+    print(
+        format_table(
+            ["hops", "found", "correct", "mistaken", "missing"],
+            [
+                (h, s.n_found, s.n_correct, s.n_mistaken, s.n_missing)
+                for h, s in zip(HOPS, stats)
+            ],
+        )
+    )
+
+    one_hop, two_hop, three_hop = stats
+    # The 1-hop reading floods the interior with mistaken detections.
+    assert one_hop.n_mistaken > 1.5 * two_hop.n_mistaken
+    # 3-hop adds little over 2-hop: balls reach at most 2r ~= 2 hops.
+    assert abs(three_hop.n_mistaken - two_hop.n_mistaken) <= max(
+        10, 0.25 * two_hop.n_mistaken
+    )
+    # All variants still find (nearly) the whole true boundary.
+    for s in stats:
+        assert s.n_missing <= 0.02 * s.n_truth

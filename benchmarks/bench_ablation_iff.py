@@ -1,0 +1,47 @@
+"""Ablation B (Sec. II-B): IFF threshold and TTL sensitivity.
+
+The paper fixes theta = 20 and T = 3 from the icosahedron argument.  The
+bench shows what the knobs trade off: tiny theta admits isolated
+fragments (more mistaken), huge theta starts eating true boundary
+(missing rises).
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.experiments import run_iff_ablation
+from repro.evaluation.reporting import format_table
+
+THETAS = (1, 10, 20, 60, 150)
+TTLS = (2, 3)
+
+
+def test_ablation_iff(benchmark, bench_sphere_network):
+    network = bench_sphere_network
+
+    def grid():
+        return run_iff_ablation(network, thetas=THETAS, ttls=TTLS)
+
+    points = benchmark.pedantic(grid, rounds=1, iterations=1)
+
+    print_banner("Ablation B -- IFF theta/TTL grid")
+    print(
+        format_table(
+            ["ttl", "theta", "found", "correct", "mistaken", "missing"],
+            [
+                (p.ttl, p.theta, p.stats.n_found, p.stats.n_correct,
+                 p.stats.n_mistaken, p.stats.n_missing)
+                for p in points
+            ],
+        )
+    )
+
+    by_key = {(p.ttl, p.theta): p.stats for p in points}
+    # Monotone: larger theta can only shrink the surviving set.
+    for ttl in TTLS:
+        founds = [by_key[(ttl, theta)].n_found for theta in THETAS]
+        assert all(a >= b for a, b in zip(founds, founds[1:]))
+    # The paper's default keeps the true boundary intact.
+    default = by_key[(3, 20)]
+    assert default.n_missing <= 0.02 * default.n_truth
+    # An extreme theta destroys detection (the knob matters).
+    extreme = by_key[(3, 150)]
+    assert extreme.n_found < by_key[(3, 20)].n_found

@@ -1,0 +1,44 @@
+"""Ablation C (Sec. III): landmark spacing k vs mesh coarseness.
+
+"The larger the k, the coarser the mesh surfaces, resulting in more
+nodes left outside."  The bench sweeps k and reports mesh size, the
+fraction of boundary nodes participating in the mesh, and the geometric
+deviation of boundary nodes from the mesh.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.experiments import run_landmark_k_ablation
+from repro.evaluation.reporting import format_table
+
+KS = (3, 4, 5, 6)
+
+
+def test_ablation_landmark_k(benchmark, bench_sphere_network):
+    network = bench_sphere_network
+
+    def sweep():
+        return run_landmark_k_ablation(network, ks=KS)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner("Ablation C -- landmark spacing k vs mesh coarseness")
+    rows = []
+    for p in points:
+        mesh = p.meshes[0] if p.meshes else None
+        rows.append(
+            (
+                p.k,
+                mesh.n_vertices if mesh else 0,
+                mesh.n_faces if mesh else 0,
+                f"{mesh.covered_fraction:.0%}" if mesh else "n/a",
+                f"{mesh.mean_deviation:.2f}" if mesh and mesh.mean_deviation is not None else "n/a",
+            )
+        )
+    print(format_table(["k", "landmarks", "faces", "covered", "mean dev"], rows))
+
+    vertex_counts = [p.meshes[0].n_vertices for p in points if p.meshes]
+    # Coarser spacing -> fewer landmarks, monotonically.
+    assert all(a >= b for a, b in zip(vertex_counts, vertex_counts[1:]))
+    # Fine k covers more boundary nodes than coarse k.
+    covered = [p.meshes[0].covered_fraction for p in points if p.meshes]
+    assert covered[0] > covered[-1]

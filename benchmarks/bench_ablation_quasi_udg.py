@@ -1,0 +1,69 @@
+"""Ablation F: quasi-unit-disk radio model.
+
+Definition 1 assumes only "an arbitrary radio transmission model".  The
+bench repeats detection under quasi-UDG connectivity (links certain below
+alpha, a linear gray zone to 1) and shows the algorithm keeps working:
+gray-zone link pruning lowers degrees, so the effective density drops,
+but the boundary is still recovered.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro import BoundaryDetector, DeploymentConfig, generate_network, scenario_by_name
+from repro.evaluation.metrics import evaluate_detection
+from repro.evaluation.reporting import format_table
+
+ALPHAS = (None, 0.9, 0.75, 0.6)
+
+
+def test_ablation_quasi_udg(benchmark):
+    def sweep():
+        rows = []
+        for alpha in ALPHAS:
+            config = DeploymentConfig(
+                n_surface=450,
+                n_interior=750,
+                target_degree=32,
+                seed=3,
+                quasi_udg_alpha=alpha,
+            )
+            network = generate_network(
+                scenario_by_name("sphere"), config, scenario="sphere"
+            )
+            result = BoundaryDetector().detect(network)
+            rows.append(
+                (
+                    alpha,
+                    float(network.graph.degrees().mean()),
+                    evaluate_detection(network, result),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner("Ablation F -- quasi-UDG radio model")
+    print(
+        format_table(
+            ["alpha", "avg degree", "found", "correct", "mistaken", "missing"],
+            [
+                (
+                    "UDG" if alpha is None else f"{alpha:.2f}",
+                    f"{deg:.1f}",
+                    s.n_found,
+                    s.n_correct,
+                    s.n_mistaken,
+                    s.n_missing,
+                )
+                for alpha, deg, s in rows
+            ],
+        )
+    )
+
+    # Gray-zone pruning lowers degree monotonically with alpha.
+    degrees = [deg for _, deg, _ in rows]
+    assert degrees[0] >= degrees[1] >= degrees[2] >= degrees[3]
+    # Detection survives the radio model change.
+    for alpha, _, stats in rows:
+        assert stats.correct_pct > 0.95, f"alpha={alpha}: {stats.as_row()}"

@@ -1,0 +1,11 @@
+"""Fig. 6: underwater network -- smooth water surface, bumpy seabed.
+
+Paper shape: both the smooth surface and the bumpy bottom are identified
+as (one connected) boundary, and a closed triangular mesh is built.
+"""
+
+from benchmarks.conftest import run_scenario_bench
+
+
+def test_fig06_underwater(benchmark):
+    run_scenario_bench(benchmark, "underwater", "Fig. 6", expected_groups=1)

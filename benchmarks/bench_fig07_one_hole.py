@@ -1,0 +1,15 @@
+"""Fig. 7: 3D space network with one internal hole.
+
+Paper shape: the outer boundary and the hole boundary are both detected
+and separate into two groups, each with its own mesh.
+"""
+
+from benchmarks.conftest import run_scenario_bench
+
+
+def test_fig07_one_hole(benchmark):
+    result = run_scenario_bench(
+        benchmark, "one_hole", "Fig. 7", expected_groups=2
+    )
+    # The hole's boundary group is much smaller than the outer boundary.
+    assert result.group_sizes[1] < result.group_sizes[0]

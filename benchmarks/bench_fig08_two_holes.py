@@ -1,0 +1,14 @@
+"""Fig. 8: 3D space network with two internal holes.
+
+Paper shape: three boundary groups (outer + two holes), all meshed.
+"""
+
+from benchmarks.conftest import run_scenario_bench
+
+
+def test_fig08_two_holes(benchmark):
+    result = run_scenario_bench(
+        benchmark, "two_holes", "Fig. 8", expected_groups=3
+    )
+    assert result.group_sizes[0] > result.group_sizes[1]
+    assert result.group_sizes[0] > result.group_sizes[2]

@@ -1,0 +1,13 @@
+"""Fig. 9: network deployed in a bended pipe.
+
+Paper shape: the pipe wall is identified as one boundary and meshed.
+The thin, highly curved tube is the hardest surface for the
+connectivity-only crossing heuristic, so the closed-edge fraction floor
+is lower here than for the convex scenarios.
+"""
+
+from benchmarks.conftest import run_scenario_bench
+
+
+def test_fig09_bent_pipe(benchmark):
+    run_scenario_bench(benchmark, "bent_pipe", "Fig. 9", expected_groups=1)

@@ -1,0 +1,15 @@
+"""Fig. 10: network deployed in a sphere.
+
+Paper shape: boundary nodes accurately identified, mesh well constructed.
+The sphere is the cleanest case: the mesh should be a closed 2-manifold
+with Euler characteristic 2.
+"""
+
+from benchmarks.conftest import run_scenario_bench
+
+
+def test_fig10_sphere(benchmark):
+    result = run_scenario_bench(benchmark, "sphere", "Fig. 10", expected_groups=1)
+    mesh = result.meshes[0]
+    assert mesh.is_two_manifold
+    assert mesh.euler_characteristic == 2

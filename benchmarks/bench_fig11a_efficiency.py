@@ -1,0 +1,27 @@
+"""Fig. 11(a): algorithm efficiency -- found/correct/mistaken/missing as
+percentages of the true boundary, aggregated across scenarios.
+
+Paper shape: near-100% found and correct at low error; mistaken and
+missing grow with error, with found falling.
+"""
+
+from benchmarks.conftest import FIG11_SCENARIOS, print_banner
+from repro.evaluation.reporting import render_error_sweep_percent
+
+
+def test_fig11a_efficiency(benchmark, fig11_sweep_points):
+    # The sweep is computed once (session fixture); time one render pass.
+    rendered = benchmark.pedantic(
+        render_error_sweep_percent, args=(fig11_sweep_points,), rounds=3
+    )
+
+    print_banner("Fig. 11(a) -- algorithm efficiency (aggregate, percent)")
+    print(f"scenarios: {', '.join(FIG11_SCENARIOS)}")
+    print(rendered)
+
+    points = fig11_sweep_points
+    assert points[0].stats.correct_pct > 0.95
+    assert points[0].stats.missing_pct < 0.05
+    # Degradation: correct falls, missing rises toward high error.
+    assert points[-1].stats.correct_pct < points[0].stats.correct_pct
+    assert points[-1].stats.missing_pct > points[0].stats.missing_pct

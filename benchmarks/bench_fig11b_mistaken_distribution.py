@@ -1,0 +1,30 @@
+"""Fig. 11(b): aggregate hop distribution of mistaken boundary nodes.
+
+Paper shape: the distance from a mistaken node to a correct boundary node
+"is always less than 3 hops, with a majority of them in one (over 60%)
+and two hops (over 30%)".
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.metrics import distribution_percentages
+from repro.evaluation.reporting import render_mistaken_distribution
+
+
+def test_fig11b_mistaken_distribution(benchmark, fig11_sweep_points):
+    rendered = benchmark.pedantic(
+        render_mistaken_distribution, args=(fig11_sweep_points,), rounds=3
+    )
+
+    print_banner("Fig. 11(b) -- mistaken boundary node hop distribution")
+    print(rendered)
+
+    # At every level with mistaken nodes, nearly all are within 3 hops and
+    # 1-hop dominates.
+    for point in fig11_sweep_points:
+        total = sum(point.mistaken_hops.values())
+        if total < 20:
+            continue
+        pct = distribution_percentages(point.mistaken_hops)
+        within_three = sum(pct.get(b, 0.0) for b in (0, 1, 2, 3))
+        assert within_three > 0.9, f"level {point.level}: {pct}"
+        assert pct.get(1, 0.0) > 0.4, f"level {point.level}: {pct}"

@@ -1,0 +1,34 @@
+"""Fig. 11(c): aggregate hop distribution of missing boundary nodes.
+
+Paper shape: "almost 100% of the missing boundary nodes are within
+one-hop neighborhood of correctly identified boundary nodes" -- they are
+scattered, not clustered, so landmark election still works.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.metrics import distribution_percentages
+from repro.evaluation.reporting import render_missing_distribution
+
+
+def test_fig11c_missing_distribution(benchmark, fig11_sweep_points):
+    rendered = benchmark.pedantic(
+        render_missing_distribution, args=(fig11_sweep_points,), rounds=3
+    )
+
+    print_banner("Fig. 11(c) -- missing boundary node hop distribution")
+    print(rendered)
+
+    # The ~100%-within-one-hop claim holds in the regime where detection
+    # itself works (the paper: "almost perfectly ... less than 30%").
+    # Beyond that our noise model erodes the correct set wholesale and
+    # the statistic loses meaning; see EXPERIMENTS.md.
+    for point in fig11_sweep_points:
+        if point.level > 0.25:
+            continue
+        total = sum(point.missing_hops.values())
+        if total < 20:
+            continue
+        pct = distribution_percentages(point.missing_hops)
+        assert pct.get(0, 0.0) + pct.get(1, 0.0) > 0.75, (
+            f"level {point.level}: {pct}"
+        )

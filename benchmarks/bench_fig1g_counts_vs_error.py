@@ -1,0 +1,40 @@
+"""Fig. 1(g): number of boundary nodes found/correct/mistaken/missing
+versus distance measurement error.
+
+Paper shape: found ~= correct and mistaken ~= missing ~= 0 below ~30%
+error; beyond that missing rises steadily and found falls.
+
+The timed kernel is one full noisy-pipeline detection (localization +
+UBF + IFF) at the 20% error point; the sweep table itself comes from the
+session-shared sweep.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro import BoundaryDetector, DetectorConfig, UniformAbsoluteError
+from repro.evaluation.reporting import render_error_sweep_counts
+
+
+def test_fig1g_counts_vs_error(
+    benchmark, bench_one_hole_network, fig1_sweep_points
+):
+    network = bench_one_hole_network
+    detector = BoundaryDetector(
+        DetectorConfig(error_model=UniformAbsoluteError(0.2))
+    )
+
+    def detect_once():
+        return detector.detect(network, rng=np.random.default_rng(1))
+
+    benchmark.pedantic(detect_once, rounds=1, iterations=1)
+
+    print_banner(
+        "Fig. 1(g) -- boundary node counts vs distance measurement error"
+    )
+    print(f"network: {network.summary()}")
+    print(render_error_sweep_counts(fig1_sweep_points))
+
+    points = fig1_sweep_points
+    assert points[0].stats.correct_pct > 0.95
+    assert points[-1].stats.correct_pct < points[0].stats.correct_pct

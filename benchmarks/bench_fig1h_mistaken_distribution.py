@@ -1,0 +1,44 @@
+"""Fig. 1(h): hop distribution of mistaken boundary nodes vs error.
+
+Paper shape: mistaken nodes always within ~3 hops of a correctly
+identified boundary node, the majority at 1 hop (>60%), most of the rest
+at 2 hops.
+
+The timed kernel is the hop-distribution computation (a multi-source BFS
+over the full graph) at one error point.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro import BoundaryDetector, DetectorConfig, UniformAbsoluteError
+from repro.evaluation.metrics import (
+    distribution_percentages,
+    mistaken_hop_distribution,
+)
+from repro.evaluation.reporting import render_mistaken_distribution
+
+
+def test_fig1h_mistaken_distribution(
+    benchmark, bench_one_hole_network, fig1_sweep_points
+):
+    network = bench_one_hole_network
+    result = BoundaryDetector(
+        DetectorConfig(error_model=UniformAbsoluteError(0.3))
+    ).detect(network, rng=np.random.default_rng(2))
+
+    buckets = benchmark.pedantic(
+        mistaken_hop_distribution,
+        args=(network, result),
+        rounds=3,
+        iterations=1,
+    )
+
+    print_banner("Fig. 1(h) -- distribution of mistaken boundary nodes")
+    print(render_mistaken_distribution(fig1_sweep_points))
+
+    # Shape assertion at moderate error: mistaken nodes hug the boundary.
+    moderate = fig1_sweep_points[2]  # 20% error
+    pct = distribution_percentages(moderate.mistaken_hops)
+    assert pct.get(0, 0.0) + pct.get(1, 0.0) + pct.get(2, 0.0) > 0.8
+    assert sum(buckets.values()) > 0

@@ -1,0 +1,51 @@
+"""Fig. 1(i): hop distribution of missing boundary nodes vs error.
+
+Paper shape: ~100% of missed boundary nodes have a correctly identified
+boundary node within one hop (they are scattered, not clustered), so the
+landmark election and mesh construction survive them.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro import BoundaryDetector, DetectorConfig, UniformAbsoluteError
+from repro.evaluation.metrics import (
+    distribution_percentages,
+    missing_hop_distribution,
+)
+from repro.evaluation.reporting import render_missing_distribution
+
+
+def test_fig1i_missing_distribution(
+    benchmark, bench_one_hole_network, fig1_sweep_points
+):
+    network = bench_one_hole_network
+    result = BoundaryDetector(
+        DetectorConfig(error_model=UniformAbsoluteError(0.3))
+    ).detect(network, rng=np.random.default_rng(2))
+
+    buckets = benchmark.pedantic(
+        missing_hop_distribution,
+        args=(network, result),
+        rounds=3,
+        iterations=1,
+    )
+
+    print_banner("Fig. 1(i) -- distribution of missing boundary nodes")
+    print(render_missing_distribution(fig1_sweep_points))
+
+    # Shape assertions in the regime where detection still works (the
+    # paper: "almost perfectly ... less than 30%"): the missing nodes are
+    # overwhelmingly within one hop of a correct boundary node.  Beyond
+    # ~30% our additive noise model degrades faster than the paper's
+    # (unspecified) one; see EXPERIMENTS.md.
+    for idx in (1, 2):  # 10% and 20% error
+        point = fig1_sweep_points[idx]
+        total = sum(point.missing_hops.values())
+        if total < 20:
+            continue
+        pct = distribution_percentages(point.missing_hops)
+        assert pct.get(0, 0.0) + pct.get(1, 0.0) > 0.8, (
+            f"level {point.level}: {pct}"
+        )
+    assert isinstance(buckets, dict)

@@ -1,0 +1,34 @@
+"""Figs. 1(j)-(l): the triangular mesh under 20/30/40% distance error.
+
+Paper claim: "the triangular mesh is not seriously deformed under
+distance measurement errors" -- the meshes at 20-40% error look like the
+error-free one.  Quantified here as: mesh still built, high two-faced
+edge fraction, and mean deviation from the true boundary staying within a
+radio range of the error-free mesh's deviation.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.experiments import run_mesh_error_sweep
+from repro.evaluation.reporting import render_mesh_error_sweep
+
+ERROR_LEVELS = (0.0, 0.2, 0.3, 0.4)
+
+
+def test_fig1jkl_mesh_under_error(benchmark, bench_one_hole_network):
+    network = bench_one_hole_network
+
+    def sweep():
+        return run_mesh_error_sweep(network, levels=ERROR_LEVELS, seed=5)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner("Figs. 1(j)-(l) -- triangular mesh under measurement error")
+    print(render_mesh_error_sweep(points))
+
+    baseline = points[0].meshes[0]
+    for point in points:
+        assert point.meshes, f"no mesh at {point.level:.0%} error"
+        main_mesh = point.meshes[0]
+        assert main_mesh.two_faced_edge_fraction > 0.6
+        if main_mesh.mean_deviation is not None and baseline.mean_deviation is not None:
+            assert main_mesh.mean_deviation < baseline.mean_deviation + 1.0

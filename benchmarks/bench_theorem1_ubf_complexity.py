@@ -1,0 +1,37 @@
+"""Theorem 1: per-node UBF cost versus nodal density.
+
+The theorem bounds a node's work at Theta(rho^2) candidate balls (pairs
+of neighbors) with Theta(rho) emptiness checks each.  The bench sweeps
+the target degree and reports the mean exhaustive candidate count; the
+growth should be roughly quadratic in the mean degree.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.evaluation.experiments import run_ubf_complexity
+from repro.evaluation.reporting import render_complexity
+
+TARGET_DEGREES = (10.0, 15.0, 20.0, 25.0, 30.0)
+
+
+def test_theorem1_ubf_complexity(benchmark):
+    def sweep():
+        return run_ubf_complexity(
+            target_degrees=TARGET_DEGREES, n_surface=300, n_interior=600
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner("Theorem 1 -- UBF candidate balls vs nodal density")
+    print(render_complexity(points))
+
+    degrees = np.array([p.mean_degree for p in points])
+    balls = np.array([p.mean_balls_tested for p in points])
+    # Fit log(balls) ~ alpha * log(degree): Theta(rho^2) predicts alpha ~ 2.
+    alpha = np.polyfit(np.log(degrees), np.log(balls), 1)[0]
+    print(f"fitted exponent: balls ~ degree^{alpha:.2f} (theory: 2)")
+    assert 1.5 < alpha < 2.6
+
+    # Monotone growth in density.
+    assert (np.diff(balls) > 0).all()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pyproject.toml` is the single source of configuration; this file only
+enables legacy installs (`python setup.py develop`) on machines where
+PEP 517 editable builds are unavailable (e.g. offline boxes missing
+`wheel`).
+"""
+from setuptools import setup
+
+setup()

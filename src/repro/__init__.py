@@ -1,0 +1,144 @@
+"""repro: boundary detection in 3D wireless networks.
+
+A from-scratch reproduction of *"Localized Algorithm for Precise Boundary
+Detection in 3D Wireless Networks"* (Zhou, Xia, Jin, Wu -- ICDCS 2010).
+
+The package identifies the boundary nodes of a 3D wireless network with the
+paper's two-phase localized algorithm -- Unit Ball Fitting (UBF) followed by
+Isolated Fragment Filtering (IFF) -- and constructs a locally planarized
+2-manifold triangular mesh for every inner and outer boundary surface.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        BoundaryDetector, DeploymentConfig, SurfaceBuilder,
+        generate_network, sphere_scenario,
+    )
+
+    network = generate_network(
+        sphere_scenario(),
+        DeploymentConfig(n_surface=500, n_interior=1200, seed=42),
+        scenario="sphere",
+    )
+    result = BoundaryDetector().detect(network)
+    meshes = SurfaceBuilder().build(network.graph, result.groups)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every reproduced figure.
+"""
+
+from repro.core import (
+    BoundaryDetectionResult,
+    BoundaryDetector,
+    DetectorConfig,
+    IFFConfig,
+    UBFConfig,
+    detect_boundary,
+    group_boundary_nodes,
+    run_iff,
+    run_ubf,
+)
+from repro.network import (
+    DeploymentConfig,
+    DistanceErrorModel,
+    GaussianError,
+    MeasuredDistances,
+    Network,
+    NetworkGraph,
+    NetworkStats,
+    NoError,
+    UniformAbsoluteError,
+    UniformRelativeError,
+    compute_network_stats,
+    generate_network,
+    measure_distances,
+)
+from repro.shapes import (
+    SCENARIOS,
+    AxisAlignedBox,
+    BentPipe,
+    Cylinder,
+    Difference,
+    Shape3D,
+    Sphere,
+    Torus,
+    Union,
+    UnderwaterTerrain,
+    bent_pipe_scenario,
+    one_hole_scenario,
+    scenario_by_name,
+    sphere_scenario,
+    two_hole_scenario,
+    underwater_scenario,
+)
+from repro.applications import (
+    GeoRouter,
+    HoleReport,
+    RouteResult,
+    SurfaceRouter,
+    analyze_hole,
+)
+from repro.events import EventMonitor, SphericalEvent, apply_event
+from repro.surface import SurfaceBuilder, SurfaceConfig, TriangularMesh
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BoundaryDetector",
+    "BoundaryDetectionResult",
+    "DetectorConfig",
+    "UBFConfig",
+    "IFFConfig",
+    "detect_boundary",
+    "run_ubf",
+    "run_iff",
+    "group_boundary_nodes",
+    # network
+    "Network",
+    "NetworkGraph",
+    "NetworkStats",
+    "DeploymentConfig",
+    "generate_network",
+    "compute_network_stats",
+    "DistanceErrorModel",
+    "NoError",
+    "UniformAbsoluteError",
+    "UniformRelativeError",
+    "GaussianError",
+    "MeasuredDistances",
+    "measure_distances",
+    # shapes
+    "Shape3D",
+    "Sphere",
+    "AxisAlignedBox",
+    "Cylinder",
+    "Torus",
+    "BentPipe",
+    "UnderwaterTerrain",
+    "Difference",
+    "Union",
+    "SCENARIOS",
+    "scenario_by_name",
+    "sphere_scenario",
+    "one_hole_scenario",
+    "two_hole_scenario",
+    "bent_pipe_scenario",
+    "underwater_scenario",
+    # surface
+    "SurfaceBuilder",
+    "SurfaceConfig",
+    "TriangularMesh",
+    # applications
+    "SurfaceRouter",
+    "RouteResult",
+    "GeoRouter",
+    "analyze_hole",
+    "HoleReport",
+    # events
+    "EventMonitor",
+    "SphericalEvent",
+    "apply_event",
+]

@@ -1,0 +1,37 @@
+"""Applications built on detected boundaries and meshes.
+
+The paper's stated purpose for the locally planarized 2-manifold surfaces
+is "to enable available graph theory tools to be applied on 3D surfaces,
+such as embedding, localization, partition, and greedy routing among many
+others" (Sec. I-B).  This package delivers two such tools:
+
+* :mod:`repro.applications.surface_routing` -- greedy geographic routing
+  *on the boundary surface*: landmark-level greedy forwarding over the
+  mesh with guaranteed-progress fallback, plus node-level path expansion
+  through the recorded virtual-edge paths.
+* :mod:`repro.applications.hole_analysis` -- quantitative descriptions of
+  detected holes (extent, centroid, volume estimate) from their boundary
+  groups, the "delineate the event region" use case of Sec. I.
+"""
+
+from repro.applications.geo_routing import GeoRouter, GeoRouteResult, delivery_rate
+from repro.applications.hole_analysis import HoleReport, analyze_hole
+from repro.applications.partition import (
+    SurfacePartition,
+    balanced_partition,
+    cell_partition,
+)
+from repro.applications.surface_routing import RouteResult, SurfaceRouter
+
+__all__ = [
+    "SurfaceRouter",
+    "RouteResult",
+    "GeoRouter",
+    "GeoRouteResult",
+    "delivery_rate",
+    "analyze_hole",
+    "HoleReport",
+    "SurfacePartition",
+    "cell_partition",
+    "balanced_partition",
+]

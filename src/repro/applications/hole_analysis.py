@@ -1,0 +1,101 @@
+"""Quantitative descriptions of detected holes.
+
+The paper's motivating scenario is delineating an event region (a fire, a
+chemical plume) from the void it leaves in the network.  Given a detected
+hole's boundary group, this module estimates where the hole is and how big
+it is -- the actionable numbers a monitoring application needs.
+
+All estimates use only the boundary nodes' positions: the hole interior is
+by definition empty of nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.graph import NetworkGraph
+
+
+@dataclass(frozen=True)
+class HoleReport:
+    """Geometric summary of one detected hole.
+
+    Attributes
+    ----------
+    n_boundary_nodes:
+        Size of the hole's boundary group.
+    centroid:
+        Mean position of the boundary nodes (a consistent estimator of the
+        hole center for roughly convex holes).
+    mean_radius, max_radius:
+        Distances of the boundary nodes from the centroid; for a spherical
+        void the mean radius estimates the hole radius.
+    volume_estimate:
+        Convex-proxy volume: the ball of radius ``mean_radius``.  Reported
+        as None when the boundary has fewer than 4 nodes.
+    extent:
+        Axis-aligned bounding box (lo, hi) of the boundary nodes.
+    """
+
+    n_boundary_nodes: int
+    centroid: np.ndarray
+    mean_radius: float
+    max_radius: float
+    volume_estimate: Optional[float]
+    extent: tuple
+
+    def as_row(self) -> str:
+        """Formatted one-line summary."""
+        vol = f"{self.volume_estimate:.2f}" if self.volume_estimate else "n/a"
+        return (
+            f"hole: {self.n_boundary_nodes} boundary nodes, "
+            f"center=({self.centroid[0]:.2f}, {self.centroid[1]:.2f}, "
+            f"{self.centroid[2]:.2f}), "
+            f"radius(mean/max)={self.mean_radius:.2f}/{self.max_radius:.2f}, "
+            f"volume~{vol}"
+        )
+
+
+def analyze_hole(graph: NetworkGraph, group: Sequence[int]) -> HoleReport:
+    """Summarize a hole from its detected boundary group.
+
+    Parameters
+    ----------
+    graph:
+        The network graph (positions in radio-range units).
+    group:
+        Boundary node IDs of one hole (a non-outer group from
+        :func:`repro.core.grouping.group_boundary_nodes`).
+    """
+    members = sorted(int(g) for g in group)
+    if not members:
+        raise ValueError("cannot analyze an empty boundary group")
+    positions = graph.positions[np.asarray(members, dtype=int)]
+    centroid = positions.mean(axis=0)
+    radii = np.linalg.norm(positions - centroid, axis=1)
+    mean_radius = float(radii.mean())
+    volume = (
+        4.0 / 3.0 * np.pi * mean_radius ** 3 if len(members) >= 4 else None
+    )
+    return HoleReport(
+        n_boundary_nodes=len(members),
+        centroid=centroid,
+        mean_radius=mean_radius,
+        max_radius=float(radii.max()),
+        volume_estimate=volume,
+        extent=(positions.min(axis=0), positions.max(axis=0)),
+    )
+
+
+def rank_holes(graph: NetworkGraph, groups: Sequence[Sequence[int]]) -> List[HoleReport]:
+    """Analyze all non-outer groups, largest hole first.
+
+    ``groups`` is the full group list from detection; the first (largest)
+    group is assumed to be the outer boundary and skipped.
+    """
+    reports = [analyze_hole(graph, g) for g in groups[1:]]
+    reports.sort(key=lambda r: -(r.volume_estimate or 0.0))
+    return reports

@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-boundary generate  --scenario sphere --out net.json
+    repro-boundary detect    --network net.json --error 0.2 --out result.json
+    repro-boundary surface   --network net.json --result result.json --out-prefix mesh
+    repro-boundary scenario  --scenario one_hole
+    repro-boundary sweep     --scenario sphere --levels 0,0.2,0.4
+
+``generate`` writes a network JSON; ``detect`` runs the UBF+IFF pipeline
+on it; ``surface`` builds and exports the triangular boundary meshes;
+``scenario`` runs one of the Figs. 6-10 scenarios end to end and prints the
+summary; ``sweep`` prints the Fig. 1(g)-style error-sweep table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import DetectorConfig, IFFConfig, UBFConfig
+from repro.core.pipeline import BoundaryDetector
+from repro.evaluation.experiments import run_error_sweep, run_scenario
+from repro.evaluation.metrics import evaluate_detection
+from repro.evaluation.reporting import (
+    render_error_sweep_counts,
+    render_mistaken_distribution,
+    render_missing_distribution,
+    render_scenario_result,
+)
+from repro.io.meshio import export_mesh_obj
+from repro.io.serialization import (
+    load_detection_result,
+    load_network,
+    save_detection_result,
+    save_network,
+)
+from repro.network.generator import DeploymentConfig, generate_network
+from repro.network.measurement import NoError, UniformAbsoluteError
+from repro.network.stats import compute_network_stats
+from repro.shapes.library import SCENARIOS, scenario_by_name
+from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
+
+
+def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="sphere")
+    parser.add_argument("--surface-nodes", type=int, default=600)
+    parser.add_argument("--interior-nodes", type=int, default=1200)
+    parser.add_argument("--degree", type=float, default=25.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _deployment_from_args(args) -> DeploymentConfig:
+    return DeploymentConfig(
+        n_surface=args.surface_nodes,
+        n_interior=args.interior_nodes,
+        target_degree=args.degree,
+        seed=args.seed,
+    )
+
+
+def _detector_from_args(args) -> DetectorConfig:
+    model = NoError() if args.error == 0 else UniformAbsoluteError(args.error)
+    return DetectorConfig(
+        ubf=UBFConfig(epsilon=args.epsilon),
+        iff=IFFConfig(theta=args.theta, ttl=args.ttl),
+        error_model=model,
+    )
+
+
+def cmd_generate(args) -> int:
+    """Generate a network and write it to JSON."""
+    network = generate_network(
+        scenario_by_name(args.scenario),
+        _deployment_from_args(args),
+        scenario=args.scenario,
+    )
+    save_network(network, args.out)
+    print(network.summary())
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_detect(args) -> int:
+    """Run boundary detection on a saved network."""
+    network = load_network(args.network)
+    detector = BoundaryDetector(_detector_from_args(args))
+    result = detector.detect(network, rng=np.random.default_rng(args.seed))
+    stats = evaluate_detection(network, result)
+    print(stats.as_row())
+    print(f"groups: {[len(g) for g in result.groups]}")
+    if args.out:
+        save_detection_result(result, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_surface(args) -> int:
+    """Build boundary meshes from a saved detection result."""
+    network = load_network(args.network)
+    result = load_detection_result(args.result)
+    builder = SurfaceBuilder(SurfaceConfig(k=args.k))
+    meshes = builder.build(network.graph, result.groups)
+    for i, mesh in enumerate(meshes):
+        print(mesh.summary())
+        if args.out_prefix:
+            path = f"{args.out_prefix}_{i}.obj"
+            export_mesh_obj(mesh, network.graph, path)
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    """Run one evaluation scenario end to end."""
+    if args.svg:
+        # Re-run the pieces explicitly so the artifacts are available.
+        network = generate_network(
+            scenario_by_name(args.scenario),
+            _deployment_from_args(args),
+            scenario=args.scenario,
+        )
+        detector = BoundaryDetector(_detector_from_args(args))
+        detection = detector.detect(network, rng=np.random.default_rng(args.seed))
+        meshes = SurfaceBuilder(SurfaceConfig(k=args.k)).build(
+            network.graph, detection.groups
+        )
+        from repro.io.svg import render_detection_svg
+
+        render_detection_svg(
+            network,
+            detection.boundary,
+            args.svg,
+            mesh=meshes[0] if meshes else None,
+        )
+        print(f"wrote {args.svg}")
+    result = run_scenario(
+        args.scenario,
+        _deployment_from_args(args),
+        detector_config=_detector_from_args(args),
+        surface_config=SurfaceConfig(k=args.k),
+    )
+    print(render_scenario_result(result))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Report the holes of a saved detection result."""
+    from repro.applications.hole_analysis import rank_holes
+
+    network = load_network(args.network)
+    result = load_detection_result(args.result)
+    if len(result.groups) <= 1:
+        print("no holes: the detection found a single (outer) boundary group")
+        return 0
+    for report in rank_holes(network.graph, result.groups):
+        print(report.as_row())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run the Fig. 1(g-i) error sweep and print the three tables."""
+    network = generate_network(
+        scenario_by_name(args.scenario),
+        _deployment_from_args(args),
+        scenario=args.scenario,
+    )
+    print(network.summary())
+    levels = [float(x) for x in args.levels.split(",")]
+    points = run_error_sweep(network, levels, seed=args.seed)
+    print("\n[Fig. 1(g)] boundary node counts vs distance measurement error")
+    print(render_error_sweep_counts(points))
+    print("\n[Fig. 1(h)] mistaken boundary node hop distribution")
+    print(render_mistaken_distribution(points))
+    print("\n[Fig. 1(i)] missing boundary node hop distribution")
+    print(render_missing_distribution(points))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-boundary",
+        description="Boundary detection in 3D wireless networks (ICDCS 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a network JSON")
+    _add_deployment_args(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("detect", help="detect boundary nodes")
+    p.add_argument("--network", required=True)
+    p.add_argument("--error", type=float, default=0.0)
+    p.add_argument("--epsilon", type=float, default=1e-3)
+    p.add_argument("--theta", type=int, default=20)
+    p.add_argument("--ttl", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("surface", help="build boundary meshes")
+    p.add_argument("--network", required=True)
+    p.add_argument("--result", required=True)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--out-prefix", default=None)
+    p.set_defaults(func=cmd_surface)
+
+    p = sub.add_parser("scenario", help="run one evaluation scenario")
+    _add_deployment_args(p)
+    p.add_argument("--error", type=float, default=0.0)
+    p.add_argument("--epsilon", type=float, default=1e-3)
+    p.add_argument("--theta", type=int, default=20)
+    p.add_argument("--ttl", type=int, default=3)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--svg", default=None, help="also render the result to SVG")
+    p.set_defaults(func=cmd_scenario)
+
+    p = sub.add_parser("sweep", help="run the error sweep tables")
+    _add_deployment_args(p)
+    p.add_argument("--levels", default="0,0.1,0.2,0.3,0.4,0.5")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("analyze", help="report detected holes")
+    p.add_argument("--network", required=True)
+    p.add_argument("--result", required=True)
+    p.set_defaults(func=cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Configuration dataclasses for the boundary-detection pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.measurement import DistanceErrorModel, NoError
+
+
+@dataclass(frozen=True)
+class UBFConfig:
+    """Unit Ball Fitting parameters (Sec. II-A).
+
+    Attributes
+    ----------
+    epsilon:
+        The "arbitrarily small constant" of Definition 4: candidate balls
+        have radius ``r = 1 + epsilon`` with the radio range normalized
+        to 1.  Larger values raise the minimum hole size the algorithm
+        reacts to (Sec. II-A3's tunability knob); ``ball_radius`` overrides
+        the derived radius directly when set.
+    ball_radius:
+        Explicit ball radius; when None, ``1 + epsilon`` is used.
+    collection_hops:
+        Radius (in hops) of the neighborhood each node collects and embeds
+        before testing balls.  Candidate balls reach ``2r`` from the node
+        and Lemma 1/Theorem 1 reason about all nodes within that distance,
+        so the default is 2; setting 1 reproduces the most literal reading
+        of Algorithm 1 and is kept for the ablation bench (it floods the
+        interior with false positives at realistic densities).
+    """
+
+    epsilon: float = 1e-3
+    ball_radius: Optional[float] = None
+    collection_hops: int = 2
+
+    def __post_init__(self):
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if self.ball_radius is not None and self.ball_radius <= 0:
+            raise ValueError("ball_radius must be positive")
+        if self.collection_hops < 1:
+            raise ValueError("collection_hops must be at least 1")
+
+    @property
+    def radius(self) -> float:
+        """Effective ball radius ``r``."""
+        return self.ball_radius if self.ball_radius is not None else 1.0 + self.epsilon
+
+
+@dataclass(frozen=True)
+class IFFConfig:
+    """Isolated Fragment Filtering parameters (Sec. II-B).
+
+    The defaults come from the paper's icosahedron argument: the smallest
+    hole has at least 20 boundary nodes with pairwise hop distance at most
+    3, hence ``theta = 20`` and ``ttl = 3``.
+    """
+
+    theta: int = 20
+    ttl: int = 3
+    enabled: bool = True
+
+    def __post_init__(self):
+        if self.theta < 1:
+            raise ValueError("theta must be at least 1")
+        if self.ttl < 1:
+            raise ValueError("ttl must be at least 1")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Full pipeline configuration.
+
+    Attributes
+    ----------
+    ubf, iff:
+        Stage parameters.
+    error_model:
+        Ranging error model used when the caller does not supply measured
+        distances; :class:`repro.network.measurement.NoError` by default.
+    localization:
+        ``"mds"`` -- establish local MDS frames from measured distances
+        (the paper's default path);
+        ``"trilateration"`` -- incremental multilateration frames (the
+        alternative localization family, see
+        :mod:`repro.network.trilateration`);
+        ``"true"`` -- nodes know their coordinates, step (I) skipped;
+        ``"auto"`` -- ``"true"`` under :class:`NoError`, else ``"mds"``.
+    """
+
+    ubf: UBFConfig = field(default_factory=UBFConfig)
+    iff: IFFConfig = field(default_factory=IFFConfig)
+    error_model: DistanceErrorModel = field(default_factory=NoError)
+    localization: str = "auto"
+
+    def __post_init__(self):
+        if self.localization not in ("mds", "true", "auto", "trilateration"):
+            raise ValueError(
+                "localization must be 'mds', 'trilateration', 'true', or 'auto'"
+            )
+
+    def resolved_localization(self) -> str:
+        """The concrete localization mode ('mds' or 'true')."""
+        if self.localization != "auto":
+            return self.localization
+        return "true" if isinstance(self.error_model, NoError) else "mds"

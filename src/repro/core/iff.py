@@ -1,0 +1,68 @@
+"""Isolated Fragment Filtering (IFF) -- Phase 2 of boundary detection.
+
+UBF occasionally mislabels interior nodes (noisy coordinates, random
+low-density pockets), producing small isolated fragments.  Real boundaries
+form large well-connected closed surfaces, so each candidate floods a
+packet with TTL ``T`` that only other candidates forward; a candidate that
+hears fewer than ``theta`` flooding packets demotes itself.
+
+The reference implementation below computes the *result* of that protocol
+directly: a node receives exactly one flood per candidate within ``T`` hops
+of it in the candidate-induced subgraph, so counting those candidates
+(self included) reproduces the protocol outcome.  The message-level version
+lives in :mod:`repro.runtime.protocols.flooding` and is pinned equivalent
+by the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.core.config import IFFConfig
+from repro.network.graph import NetworkGraph
+
+
+def iff_fragment_sizes(
+    graph: NetworkGraph,
+    candidates: Set[int],
+    ttl: int,
+) -> Dict[int, int]:
+    """Per-candidate count of candidates within ``ttl`` hops (self included).
+
+    The BFS runs on the subgraph induced by ``candidates`` only: flooding
+    packets "will be forwarded by other boundary nodes but not non-boundary
+    nodes".
+    """
+    sizes: Dict[int, int] = {}
+    for node in candidates:
+        reached = graph.bfs_hops([node], within=candidates, max_hops=ttl)
+        sizes[node] = len(reached)
+    return sizes
+
+
+def run_iff(
+    graph: NetworkGraph,
+    candidates: Iterable[int],
+    config: IFFConfig = IFFConfig(),
+) -> Set[int]:
+    """Filter UBF candidates, keeping nodes in fragments of size >= theta.
+
+    Parameters
+    ----------
+    graph:
+        Full network connectivity (used only within the candidate set).
+    candidates:
+        UBF-positive node IDs.
+    config:
+        ``theta`` (minimum flood count) and ``ttl`` (flood TTL).  With
+        ``enabled=False`` the candidate set passes through unchanged.
+
+    Returns
+    -------
+    set of node IDs surviving the filter.
+    """
+    candidate_set = set(int(c) for c in candidates)
+    if not config.enabled:
+        return candidate_set
+    sizes = iff_fragment_sizes(graph, candidate_set, config.ttl)
+    return {node for node, size in sizes.items() if size >= config.theta}

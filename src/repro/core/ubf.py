@@ -1,0 +1,146 @@
+"""Unit Ball Fitting (UBF) -- Algorithm 1 of the paper.
+
+Each node, using only its one-hop neighborhood in its own local coordinate
+frame, enumerates the candidate balls of radius ``r = 1 + eps`` through
+itself and every pair of neighbors (Eq. 1 yields zero, one or two centers
+per pair) and declares itself a boundary node as soon as an *empty* ball is
+found -- one with no neighborhood node strictly inside.  Lemma 1 proves the
+pair enumeration is exhaustive; Theorem 1 bounds the per-node work at
+``Theta(rho^2)`` balls times ``Theta(rho)`` point checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import UBFConfig
+from repro.geometry.ballfit import BallFitResult, empty_ball_exists
+from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
+from repro.network.localization import (
+    LocalFrame,
+    establish_local_frame,
+    true_local_frame,
+)
+from repro.network.measurement import MeasuredDistances
+
+
+@dataclass
+class UBFNodeOutcome:
+    """Per-node UBF outcome with the observables Theorem 1 talks about.
+
+    Attributes
+    ----------
+    node:
+        Node ID.
+    is_candidate:
+        True when the node found an empty candidate ball (Phase-1 positive).
+    balls_tested:
+        Candidate balls examined before the search stopped.
+    neighborhood_size:
+        ``|N(node)| - 1``, the node's degree when the test ran.
+    """
+
+    node: int
+    is_candidate: bool
+    balls_tested: int
+    neighborhood_size: int
+
+
+def ubf_classify_frame(frame: LocalFrame, radius: float, *, find_first: bool = True) -> BallFitResult:
+    """Run the UBF emptiness search inside one node's local frame.
+
+    This is the node-level primitive: the frame contains everything the
+    node knows (its own embedded position, its one-hop neighbors as pair
+    candidates, and its full collection as the emptiness-check set), so the
+    call is localized by construction.
+    """
+    return empty_ball_exists(
+        frame.origin_coordinates,
+        frame.neighbor_coordinates,
+        radius,
+        check_points=frame.collection_coordinates,
+        find_first=find_first,
+    )
+
+
+def run_ubf(
+    network: Network,
+    config: UBFConfig = UBFConfig(),
+    *,
+    measured: Optional[MeasuredDistances] = None,
+    localization: str = "true",
+    find_first: bool = True,
+) -> List[UBFNodeOutcome]:
+    """Phase 1 over the whole network.
+
+    Parameters
+    ----------
+    network:
+        The deployed network.
+    config:
+        Ball radius parameters.
+    measured:
+        One-hop distance measurements; required when ``localization`` is
+        ``"mds"`` or ``"trilateration"``.
+    localization:
+        ``"true"`` evaluates UBF on ground-truth coordinates (nodes know
+        their positions); ``"mds"`` builds each node's frame from the
+        measured distances first -- the paper's full pipeline;
+        ``"trilateration"`` uses incremental multilateration instead of
+        MDS (the alternative localization family the paper cites).
+    find_first:
+        Stop each node's search at its first empty ball (Algorithm 1's
+        break).  Benches pass False to count the full candidate set.
+
+    Returns
+    -------
+    list of UBFNodeOutcome, indexed by node ID.
+    """
+    if localization not in ("true", "mds", "trilateration"):
+        raise ValueError("localization must be 'true', 'mds', or 'trilateration'")
+    if localization in ("mds", "trilateration") and measured is None:
+        raise ValueError(f"localization={localization!r} requires measured distances")
+
+    graph = network.graph
+    radius = config.radius
+    hops = config.collection_hops
+    outcomes: List[UBFNodeOutcome] = []
+    for node in range(graph.n_nodes):
+        if localization == "mds":
+            frame = establish_local_frame(graph, measured, node, hops=hops)
+        elif localization == "trilateration":
+            from repro.network.trilateration import trilateration_local_frame
+
+            frame = trilateration_local_frame(graph, measured, node, hops=hops)
+        else:
+            frame = true_local_frame(graph, node, hops=hops)
+        fit = ubf_classify_frame(frame, radius, find_first=find_first)
+        outcomes.append(
+            UBFNodeOutcome(
+                node=node,
+                is_candidate=fit.is_boundary,
+                balls_tested=fit.balls_tested,
+                neighborhood_size=len(frame.members) - 1,
+            )
+        )
+    return outcomes
+
+
+def candidates_from_outcomes(outcomes: List[UBFNodeOutcome]) -> set:
+    """Set of UBF-positive node IDs."""
+    return {o.node for o in outcomes if o.is_candidate}
+
+
+def balls_tested_profile(outcomes: List[UBFNodeOutcome]) -> Dict[str, float]:
+    """Aggregate ball-testing statistics (Theorem 1 observables)."""
+    tested = np.array([o.balls_tested for o in outcomes], dtype=float)
+    degrees = np.array([o.neighborhood_size for o in outcomes], dtype=float)
+    return {
+        "mean_balls_tested": float(tested.mean()) if tested.size else 0.0,
+        "max_balls_tested": float(tested.max()) if tested.size else 0.0,
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+    }

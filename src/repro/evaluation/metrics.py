@@ -1,0 +1,149 @@
+"""Boundary-detection accuracy metrics.
+
+Implements the exact quantities plotted in the paper's evaluation:
+
+* Fig. 1(g) / Fig. 11(a): the number (or fraction) of boundary nodes
+  *found*, and their split into *correct* (on the ground-truth boundary),
+  *mistaken* (detected but not ground truth), and *missing* (ground truth
+  but not detected).
+* Fig. 1(h) / Fig. 11(b): the distribution of the hop distance from each
+  mistaken node to the nearest correctly identified boundary node.
+* Fig. 1(i) / Fig. 11(c): the same distribution for missing nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.core.pipeline import BoundaryDetectionResult
+from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Found/correct/mistaken/missing counts for one detection run.
+
+    Percentages are normalized by the ground-truth boundary size, matching
+    the y-axis of Fig. 11(a).
+    """
+
+    n_truth: int
+    n_found: int
+    n_correct: int
+    n_mistaken: int
+    n_missing: int
+
+    @property
+    def found_pct(self) -> float:
+        """Found nodes as a fraction of the true boundary size."""
+        return self.n_found / self.n_truth if self.n_truth else 0.0
+
+    @property
+    def correct_pct(self) -> float:
+        """Correctly identified fraction of the true boundary."""
+        return self.n_correct / self.n_truth if self.n_truth else 0.0
+
+    @property
+    def mistaken_pct(self) -> float:
+        """Mistaken detections as a fraction of the true boundary size."""
+        return self.n_mistaken / self.n_truth if self.n_truth else 0.0
+
+    @property
+    def missing_pct(self) -> float:
+        """Missed fraction of the true boundary."""
+        return self.n_missing / self.n_truth if self.n_truth else 0.0
+
+    def as_row(self) -> str:
+        """Formatted one-line summary."""
+        return (
+            f"truth={self.n_truth} found={self.n_found} correct={self.n_correct} "
+            f"mistaken={self.n_mistaken} missing={self.n_missing}"
+        )
+
+
+def evaluate_detection(
+    network: Network, result: BoundaryDetectionResult
+) -> DetectionStats:
+    """Compare a detection result against the network's ground truth."""
+    truth = network.truth_boundary_set
+    found = result.boundary
+    correct = found & truth
+    return DetectionStats(
+        n_truth=len(truth),
+        n_found=len(found),
+        n_correct=len(correct),
+        n_mistaken=len(found - truth),
+        n_missing=len(truth - found),
+    )
+
+
+def hop_distribution(
+    graph: NetworkGraph,
+    from_nodes: Iterable[int],
+    to_nodes: Iterable[int],
+    *,
+    max_bucket: int = 3,
+) -> Dict[int, int]:
+    """Histogram of hop distances from each source to the nearest target.
+
+    Runs one multi-source BFS from ``to_nodes`` over the *full* graph (the
+    paper measures "the shortest distance (in hops) from a mistaken
+    boundary node to a correctly identified boundary node") and buckets the
+    distance of every node in ``from_nodes``.
+
+    Returns
+    -------
+    dict
+        ``{1: count, 2: count, ..., max_bucket: count}`` plus key
+        ``max_bucket + 1`` aggregating anything farther (or unreachable).
+        Sources that are themselves targets count in bucket 0.
+    """
+    to_set: Set[int] = set(int(t) for t in to_nodes)
+    from_list = [int(f) for f in from_nodes]
+    buckets: Dict[int, int] = {b: 0 for b in range(0, max_bucket + 2)}
+    if not from_list:
+        return buckets
+    hops = graph.bfs_hops(to_set) if to_set else {}
+    for node in from_list:
+        dist = hops.get(node)
+        if dist is None or dist > max_bucket:
+            buckets[max_bucket + 1] += 1
+        else:
+            buckets[dist] += 1
+    return buckets
+
+
+def mistaken_hop_distribution(
+    network: Network,
+    result: BoundaryDetectionResult,
+    *,
+    max_bucket: int = 3,
+) -> Dict[int, int]:
+    """Fig. 1(h)/11(b): hops from mistaken nodes to correct boundary nodes."""
+    truth = network.truth_boundary_set
+    correct = result.boundary & truth
+    mistaken = result.boundary - truth
+    return hop_distribution(network.graph, mistaken, correct, max_bucket=max_bucket)
+
+
+def missing_hop_distribution(
+    network: Network,
+    result: BoundaryDetectionResult,
+    *,
+    max_bucket: int = 3,
+) -> Dict[int, int]:
+    """Fig. 1(i)/11(c): hops from missing nodes to correct boundary nodes."""
+    truth = network.truth_boundary_set
+    correct = result.boundary & truth
+    missing = truth - result.boundary
+    return hop_distribution(network.graph, missing, correct, max_bucket=max_bucket)
+
+
+def distribution_percentages(buckets: Dict[int, int]) -> Dict[int, float]:
+    """Normalize a hop histogram to fractions (empty histogram -> zeros)."""
+    total = sum(buckets.values())
+    if total == 0:
+        return {k: 0.0 for k in buckets}
+    return {k: v / total for k, v in buckets.items()}

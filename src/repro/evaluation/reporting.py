@@ -1,0 +1,140 @@
+"""ASCII-table rendering in the shape of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.evaluation.experiments import (
+    ComplexityPoint,
+    ErrorSweepPoint,
+    MeshErrorPoint,
+    ScenarioResult,
+)
+from repro.evaluation.metrics import distribution_percentages
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain fixed-width table (no external dependencies)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_error_sweep_counts(points: List[ErrorSweepPoint]) -> str:
+    """Fig. 1(g): found/correct/mistaken/missing counts per error level."""
+    rows = [
+        (
+            f"{p.level:.0%}",
+            p.stats.n_found,
+            p.stats.n_correct,
+            p.stats.n_mistaken,
+            p.stats.n_missing,
+        )
+        for p in points
+    ]
+    return format_table(
+        ["error", "found", "correct", "mistaken", "missing"], rows
+    )
+
+
+def render_error_sweep_percent(points: List[ErrorSweepPoint]) -> str:
+    """Fig. 11(a): the same series normalized by the true boundary size."""
+    rows = [
+        (
+            f"{p.level:.0%}",
+            f"{p.stats.found_pct:.1%}",
+            f"{p.stats.correct_pct:.1%}",
+            f"{p.stats.mistaken_pct:.1%}",
+            f"{p.stats.missing_pct:.1%}",
+        )
+        for p in points
+    ]
+    return format_table(
+        ["error", "found", "correct", "mistaken", "missing"], rows
+    )
+
+
+def _render_hop_table(points: List[ErrorSweepPoint], attr: str) -> str:
+    rows = []
+    for p in points:
+        buckets: Dict[int, int] = getattr(p, attr)
+        pct = distribution_percentages(buckets)
+        rows.append(
+            (
+                f"{p.level:.0%}",
+                f"{pct.get(1, 0.0):.1%}",
+                f"{pct.get(2, 0.0):.1%}",
+                f"{pct.get(3, 0.0):.1%}",
+                f"{pct.get(4, 0.0):.1%}",
+                sum(buckets.values()),
+            )
+        )
+    return format_table(["error", "1 hop", "2 hop", "3 hop", ">3 hop", "n"], rows)
+
+
+def render_mistaken_distribution(points: List[ErrorSweepPoint]) -> str:
+    """Fig. 1(h)/11(b): mistaken-node hop distribution per error level."""
+    return _render_hop_table(points, "mistaken_hops")
+
+
+def render_missing_distribution(points: List[ErrorSweepPoint]) -> str:
+    """Fig. 1(i)/11(c): missing-node hop distribution per error level."""
+    return _render_hop_table(points, "missing_hops")
+
+
+def render_scenario_result(result: ScenarioResult) -> str:
+    """Figs. 6-10: one scenario's detection and mesh summary."""
+    lines = [
+        f"scenario: {result.scenario}",
+        f"network:  {result.network_stats.as_row()}",
+        f"detect:   {result.detection.as_row()}",
+        f"groups:   {result.group_sizes}",
+    ]
+    for i, mesh in enumerate(result.meshes):
+        lines.append(f"mesh[{i}]:  {mesh.as_row()}")
+    return "\n".join(lines)
+
+
+def render_mesh_error_sweep(points: List[MeshErrorPoint]) -> str:
+    """Figs. 1(j)-(l): mesh quality per error level."""
+    rows = []
+    for p in points:
+        for i, mesh in enumerate(p.meshes):
+            rows.append(
+                (
+                    f"{p.level:.0%}",
+                    i,
+                    mesh.n_vertices,
+                    mesh.n_edges,
+                    mesh.n_faces,
+                    mesh.euler_characteristic,
+                    f"{mesh.two_faced_edge_fraction:.0%}",
+                    f"{mesh.mean_deviation:.2f}" if mesh.mean_deviation is not None else "n/a",
+                )
+            )
+    return format_table(
+        ["error", "mesh", "V", "E", "F", "chi", "2-faced", "mean dev"], rows
+    )
+
+
+def render_complexity(points: List[ComplexityPoint]) -> str:
+    """Theorem 1: balls tested versus density (expect ~quadratic growth)."""
+    rows = [
+        (
+            f"{p.target_degree:.0f}",
+            f"{p.mean_degree:.1f}",
+            f"{p.mean_balls_tested:.0f}",
+            f"{p.max_balls_tested:.0f}",
+        )
+        for p in points
+    ]
+    return format_table(
+        ["target deg", "mean deg", "mean balls", "max balls"], rows
+    )

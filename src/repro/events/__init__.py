@@ -1,0 +1,26 @@
+"""Event monitoring: detecting voids left by destroyed nodes.
+
+The paper opens with the event-boundary motivation: "upon a fire, the
+sensors located in the fire are likely destroyed (and thus resulting a
+void area of failed nodes)" (Sec. I-A).  This package turns that story
+into library code:
+
+* :mod:`repro.events.models` -- event regions that destroy the nodes
+  inside them, producing a survivor network plus the ID bookkeeping;
+* :mod:`repro.events.monitor` -- before/after boundary detection and the
+  comparison that surfaces *new* boundary groups as event boundaries,
+  with precision/coverage metrics against the true event frontier.
+"""
+
+from repro.events.models import EventOutcome, ShapeEvent, SphericalEvent, apply_event
+from repro.events.monitor import EventDetectionReport, EventMonitor, frontier_truth
+
+__all__ = [
+    "SphericalEvent",
+    "ShapeEvent",
+    "EventOutcome",
+    "apply_event",
+    "EventMonitor",
+    "EventDetectionReport",
+    "frontier_truth",
+]

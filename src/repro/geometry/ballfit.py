@@ -1,0 +1,251 @@
+"""Unit-ball fitting: spheres of fixed radius through three points.
+
+This module implements the geometric core of the paper's Unit Ball Fitting
+(UBF) algorithm (Sec. II-A).  Given a node *i* and two of its neighbors *j*
+and *k*, Eq. (1) of the paper asks for the centers ``(x, y, z)`` of balls of
+radius ``r`` whose surface passes through all three nodes.  Depending on the
+triangle ``i j k`` the system has zero, one, or two solutions:
+
+* if the circumradius of the triangle exceeds ``r`` there is no such ball;
+* if it equals ``r`` the unique center is the triangle's circumcenter;
+* otherwise the two centers sit symmetrically on the line through the
+  circumcenter perpendicular to the triangle's plane, at offset
+  ``h = sqrt(r^2 - R_circ^2)``.
+
+A candidate ball is *empty* when no other node of the one-hop neighborhood
+lies strictly inside it; by Lemma 1 an empty candidate ball certifies that
+the node can construct an empty unit ball touching itself, i.e. that it is a
+boundary node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import DEGENERACY_TOL, as_point, as_points
+
+#: Relative slack used when testing whether a node is strictly inside a ball.
+#: The three defining nodes sit numerically *on* the sphere; the slack keeps
+#: them (and any other exactly-on-sphere node) from counting as inside.
+INSIDE_TOL = 1e-7
+
+
+def balls_through_three_points(p1, p2, p3, radius: float) -> List[np.ndarray]:
+    """Centers of all balls of ``radius`` whose surface contains three points.
+
+    Parameters
+    ----------
+    p1, p2, p3:
+        The three points (3-vectors).
+    radius:
+        Ball radius ``r``; the paper uses ``r = 1 + eps`` with the radio
+        range normalized to 1.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Zero, one, or two center points.  Collinear (degenerate) triples
+        yield an empty list: a line has infinite circumradius, so no ball of
+        finite radius passes through it in a well-defined way, matching
+        Definition 3's exclusion of degenerate line segments.
+    """
+    p1 = as_point(p1)
+    a = as_point(p2) - p1
+    b = as_point(p3) - p1
+    n = np.cross(a, b)
+    n2 = float(np.dot(n, n))
+    if n2 < DEGENERACY_TOL:
+        return []
+    center0 = p1 + (np.dot(a, a) * np.cross(b, n) + np.dot(b, b) * np.cross(n, a)) / (
+        2.0 * n2
+    )
+    circum_sq = float(np.dot(center0 - p1, center0 - p1))
+    h_sq = radius * radius - circum_sq
+    if h_sq < -INSIDE_TOL * radius * radius:
+        return []
+    if h_sq <= (INSIDE_TOL * radius) ** 2:
+        return [center0]
+    offset = np.sqrt(h_sq) * (n / np.sqrt(n2))
+    return [center0 + offset, center0 - offset]
+
+
+def balls_through_point_pairs(
+    origin, others: Sequence, radius: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized candidate-ball centers for UBF at one node.
+
+    Computes, for every unordered pair ``(j, k)`` of points in ``others``,
+    the centers of the balls of radius ``radius`` through
+    ``(origin, others[j], others[k])``.
+
+    Parameters
+    ----------
+    origin:
+        The testing node's own position.
+    others:
+        Positions of its one-hop neighbors, shape ``(m, 3)``.
+    radius:
+        Ball radius.
+
+    Returns
+    -------
+    (centers, pair_indices)
+        ``centers`` is a ``(K, 3)`` array of all valid ball centers and
+        ``pair_indices`` a ``(K, 2)`` integer array giving, for each center,
+        the indices into ``others`` of the two neighbors that define it.
+        Both are empty when fewer than two neighbors are supplied.
+    """
+    origin = as_point(origin)
+    pts = as_points(others) if len(others) else np.empty((0, 3))
+    m = pts.shape[0]
+    if m < 2:
+        return np.empty((0, 3)), np.empty((0, 2), dtype=int)
+
+    j_idx, k_idx = np.triu_indices(m, k=1)
+    a = pts[j_idx] - origin  # (P, 3)
+    b = pts[k_idx] - origin  # (P, 3)
+    n = np.cross(a, b)
+    n2 = np.einsum("ij,ij->i", n, n)
+    valid = n2 >= DEGENERACY_TOL
+    if not np.any(valid):
+        return np.empty((0, 3)), np.empty((0, 2), dtype=int)
+
+    a, b, n, n2 = a[valid], b[valid], n[valid], n2[valid]
+    j_idx, k_idx = j_idx[valid], k_idx[valid]
+
+    aa = np.einsum("ij,ij->i", a, a)[:, None]
+    bb = np.einsum("ij,ij->i", b, b)[:, None]
+    center0 = origin + (aa * np.cross(b, n) + bb * np.cross(n, a)) / (2.0 * n2[:, None])
+
+    circum_sq = np.einsum("ij,ij->i", center0 - origin, center0 - origin)
+    h_sq = radius * radius - circum_sq
+    fits = h_sq > -INSIDE_TOL * radius * radius
+    if not np.any(fits):
+        return np.empty((0, 3)), np.empty((0, 2), dtype=int)
+
+    center0, n, n2, h_sq = center0[fits], n[fits], n2[fits], h_sq[fits]
+    j_idx, k_idx = j_idx[fits], k_idx[fits]
+
+    h = np.sqrt(np.clip(h_sq, 0.0, None))
+    unit_n = n / np.sqrt(n2)[:, None]
+    offset = h[:, None] * unit_n
+    centers = np.vstack([center0 + offset, center0 - offset])
+    pairs = np.vstack(
+        [np.column_stack([j_idx, k_idx]), np.column_stack([j_idx, k_idx])]
+    )
+
+    # Tangent balls (h == 0) produce the same center twice; drop duplicates.
+    tangent = h <= INSIDE_TOL * radius
+    if np.any(tangent):
+        keep = np.ones(centers.shape[0], dtype=bool)
+        keep[center0.shape[0] :][tangent] = False
+        centers, pairs = centers[keep], pairs[keep]
+    return centers, pairs
+
+
+@dataclass
+class BallFitResult:
+    """Outcome of a full UBF emptiness search at one node.
+
+    Attributes
+    ----------
+    is_boundary:
+        True when at least one empty candidate ball exists.
+    empty_center:
+        Center of the first empty ball found, or None.
+    witness_pair:
+        Indices (into the neighbor array) of the two neighbors that define
+        the empty ball, or None.
+    balls_tested:
+        Number of candidate balls examined before the search stopped; a
+        direct observable for the Theta(rho^2) bound of Theorem 1.
+    """
+
+    is_boundary: bool
+    empty_center: Optional[np.ndarray] = None
+    witness_pair: Optional[Tuple[int, int]] = None
+    balls_tested: int = 0
+
+
+def empty_ball_exists(
+    origin,
+    neighbors,
+    radius: float,
+    *,
+    check_points=None,
+    find_first: bool = True,
+) -> BallFitResult:
+    """Search the candidate balls at ``origin`` for an empty one.
+
+    This is steps (II) and (III) of Algorithm 1 in the paper: enumerate the
+    balls through ``origin`` and every neighbor pair, then check each against
+    the known surrounding points.  A ball is empty when no point (other than
+    the three numerically on its surface) lies strictly inside.
+
+    Parameters
+    ----------
+    origin:
+        Position of the testing node.
+    neighbors:
+        ``(m, 3)`` positions of its one-hop neighbors -- the pair candidates
+        through which balls are constructed.
+    radius:
+        Ball radius ``r = 1 + eps``.
+    check_points:
+        Positions the emptiness test runs against.  Defaults to
+        ``neighbors``; the full pipeline passes the node's 2-hop collection
+        here, since a candidate ball reaches up to ``2r`` from the node and
+        Lemma 1/Theorem 1 reason about all nodes within that radius.
+    find_first:
+        When True (default), stop at the first empty ball, as a real node
+        would (Algorithm 1 breaks on success).  When False, scan every
+        candidate and report the total count tested, which benches use to
+        measure Theorem 1's complexity.
+
+    Returns
+    -------
+    BallFitResult
+
+    Notes
+    -----
+    Nodes with fewer than two neighbors cannot run the pair test at all.
+    Definition 3 (well-connected networks) rules such nodes out; if one is
+    encountered anyway we conservatively declare it a boundary node, since a
+    node that sparsely connected is certainly adjacent to empty space.
+    """
+    origin = as_point(origin)
+    pts = as_points(neighbors) if len(neighbors) else np.empty((0, 3))
+    if pts.shape[0] < 2:
+        return BallFitResult(is_boundary=True, balls_tested=0)
+    if check_points is None:
+        check = pts
+    else:
+        check = as_points(check_points) if len(check_points) else np.empty((0, 3))
+
+    centers, pairs = balls_through_point_pairs(origin, pts, radius)
+    if centers.shape[0] == 0:
+        # No candidate ball fits through any neighbor pair: every triangle's
+        # circumradius exceeds r.  Such a node sits against empty space.
+        return BallFitResult(is_boundary=True, balls_tested=0)
+
+    all_points = np.vstack([origin[None, :], check])
+    diff = centers[:, None, :] - all_points[None, :, :]
+    dist_sq = np.einsum("ijk,ijk->ij", diff, diff)
+    threshold = (radius * (1.0 - INSIDE_TOL)) ** 2
+    inside_any = (dist_sq < threshold).any(axis=1)
+
+    empty_idx = np.flatnonzero(~inside_any)
+    if empty_idx.size == 0:
+        return BallFitResult(is_boundary=False, balls_tested=centers.shape[0])
+
+    first = int(empty_idx[0])
+    tested = first + 1 if find_first else centers.shape[0]
+    return BallFitResult(
+        is_boundary=True,
+        empty_center=centers[first].copy(),
+        witness_pair=(int(pairs[first, 0]), int(pairs[first, 1])),
+        balls_tested=tested,
+    )

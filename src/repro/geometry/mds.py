@@ -1,0 +1,218 @@
+"""Multidimensional scaling for local coordinate establishment.
+
+Step (I) of Algorithm 1: every node collects the (noisy) pairwise distances
+within its one-hop neighborhood and embeds them into a private 3D coordinate
+frame.  The paper adopts improved MDS-based localization (Shang & Ruml); the
+same family is implemented here:
+
+1. missing pairwise distances (neighbor pairs that are out of radio range of
+   each other) are completed with shortest-path distances over the measured
+   local graph (:func:`complete_distance_matrix`), and
+2. the completed matrix is embedded with classical (Torgerson) MDS
+   (:func:`classical_mds`).
+
+The resulting frame is arbitrary up to rotation/translation/reflection,
+which UBF is invariant to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Distance assigned to node pairs unreachable inside the local subgraph.
+#: Two one-hop neighbors of the same node can be at most two radio ranges
+#: apart, so 2.0 (in radio-range units) is the geometrically safe ceiling.
+UNREACHABLE_LOCAL_DISTANCE = 2.0
+
+
+def complete_distance_matrix(
+    partial: np.ndarray,
+    *,
+    missing_value: float = np.inf,
+    unreachable: float = UNREACHABLE_LOCAL_DISTANCE,
+) -> np.ndarray:
+    """Fill unknown entries of a partial distance matrix via shortest paths.
+
+    Parameters
+    ----------
+    partial:
+        Square symmetric matrix; ``partial[i, j]`` is the measured distance
+        between local nodes ``i`` and ``j``, or ``missing_value`` when the
+        pair is out of range of each other.  The diagonal must be zero.
+    missing_value:
+        Sentinel marking unmeasured pairs (default ``inf``).
+    unreachable:
+        Distance substituted for pairs still unreachable after shortest-path
+        completion (disconnected local subgraphs).
+
+    Returns
+    -------
+    numpy.ndarray
+        Completed symmetric matrix with no infinities.
+
+    Notes
+    -----
+    The completion is plain Floyd-Warshall.  Neighborhoods have at most a few
+    dozen nodes, so the ``O(m^3)`` cost is negligible and the implementation
+    can stay a readable three-liner over numpy broadcasting.
+    """
+    dist = np.array(partial, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError("partial distance matrix must be square")
+    if np.isfinite(missing_value):
+        dist[dist == missing_value] = np.inf
+    np.fill_diagonal(dist, 0.0)
+    m = dist.shape[0]
+    for k in range(m):
+        via_k = dist[:, k, None] + dist[None, k, :]
+        dist = np.minimum(dist, via_k)
+    dist[~np.isfinite(dist)] = unreachable
+    return dist
+
+
+def classical_mds(distances: np.ndarray, n_components: int = 3) -> np.ndarray:
+    """Classical (Torgerson) MDS embedding of a distance matrix.
+
+    Double-centers the squared distance matrix and takes the top
+    ``n_components`` eigenpairs.  Negative eigenvalues (which arise when the
+    input is not exactly Euclidean, e.g. after shortest-path completion or
+    under measurement noise) are clipped to zero.
+
+    Parameters
+    ----------
+    distances:
+        Square symmetric matrix of (approximate) Euclidean distances.
+    n_components:
+        Embedding dimension; 3 for this library.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, n_components)`` coordinates, centered at the origin.
+    """
+    dist = np.asarray(distances, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError("distance matrix must be square")
+    m = dist.shape[0]
+    if m == 0:
+        return np.empty((0, n_components))
+    if not np.all(np.isfinite(dist)):
+        raise ValueError("distance matrix must be finite; complete it first")
+
+    sq = dist ** 2
+    centering = np.eye(m) - np.full((m, m), 1.0 / m)
+    gram = -0.5 * centering @ sq @ centering
+    # eigh returns ascending order; take the largest n_components.
+    eigvals, eigvecs = np.linalg.eigh((gram + gram.T) / 2.0)
+    order = np.argsort(eigvals)[::-1][:n_components]
+    top_vals = np.clip(eigvals[order], 0.0, None)
+    coords = eigvecs[:, order] * np.sqrt(top_vals)[None, :]
+    if coords.shape[1] < n_components:
+        pad = np.zeros((m, n_components - coords.shape[1]))
+        coords = np.hstack([coords, pad])
+    return coords
+
+
+def smacof_refine(
+    coords: np.ndarray,
+    distances: np.ndarray,
+    weights: np.ndarray,
+    *,
+    iterations: int = 30,
+    tol: float = 1e-6,
+) -> np.ndarray:
+    """Weighted stress majorization (SMACOF) refinement of an embedding.
+
+    Improves ``coords`` so that pairwise embedded distances match
+    ``distances`` where ``weights`` is positive.  This is the "improved" in
+    improved-MDS localization [31]: the classical-MDS solution (computed on
+    a shortest-path-completed matrix, which *overestimates* non-adjacent
+    distances) is refined against the actually *measured* distances only.
+
+    Parameters
+    ----------
+    coords:
+        ``(m, d)`` initial embedding.
+    distances:
+        ``(m, m)`` target distances; entries with zero weight are ignored.
+    weights:
+        ``(m, m)`` symmetric non-negative weights with a zero diagonal.
+    iterations:
+        Maximum majorization steps.
+    tol:
+        Relative stress-improvement threshold for early stopping.
+
+    Returns
+    -------
+    numpy.ndarray
+        Refined ``(m, d)`` coordinates (a new array).
+    """
+    x = np.array(coords, dtype=float)
+    m = x.shape[0]
+    w = np.asarray(weights, dtype=float)
+    d_target = np.asarray(distances, dtype=float)
+    if m <= 1 or not np.any(w > 0):
+        return x
+
+    # Moore-Penrose inverse of the weight Laplacian, computed once.
+    v = -w.copy()
+    np.fill_diagonal(v, w.sum(axis=1))
+    v_pinv = np.linalg.pinv(v + np.full((m, m), 1.0 / m)) - np.full((m, m), 1.0 / m)
+
+    def embedded_distances(y: np.ndarray) -> np.ndarray:
+        diff = y[:, None, :] - y[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+    def stress(y: np.ndarray) -> float:
+        d = embedded_distances(y)
+        return float(np.sum(w * (d - d_target) ** 2) / 2.0)
+
+    last = stress(x)
+    for _ in range(iterations):
+        d = embedded_distances(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(d > 1e-12, d_target / d, 0.0)
+        b = -w * ratio
+        np.fill_diagonal(b, 0.0)
+        np.fill_diagonal(b, -b.sum(axis=1))
+        x = v_pinv @ (b @ x)
+        current = stress(x)
+        if last - current <= tol * max(last, 1e-12):
+            break
+        last = current
+    return x
+
+
+def local_mds_embedding(
+    partial_distances: np.ndarray,
+    *,
+    n_components: int = 3,
+    missing_value: float = np.inf,
+    refine: bool = True,
+    refine_iterations: int = 30,
+) -> np.ndarray:
+    """Local coordinate system from partial pairwise distances.
+
+    Composition of :func:`complete_distance_matrix`, :func:`classical_mds`,
+    and (by default) :func:`smacof_refine` against the measured entries
+    only; this is what step (I) of Algorithm 1 runs at every node.  With
+    perfect measurements the refinement recovers the local geometry almost
+    exactly even though shortest-path completion inflated the classical-MDS
+    initialization.
+    """
+    partial = np.asarray(partial_distances, dtype=float)
+    completed = complete_distance_matrix(partial, missing_value=missing_value)
+    coords = classical_mds(completed, n_components=n_components)
+    if refine:
+        measured_mask = np.isfinite(partial) if np.isinf(missing_value) else (
+            partial != missing_value
+        )
+        weights = measured_mask.astype(float)
+        np.fill_diagonal(weights, 0.0)
+        coords = smacof_refine(
+            coords, np.where(measured_mask, partial, 0.0), weights,
+            iterations=refine_iterations,
+        )
+    return coords

@@ -1,0 +1,99 @@
+"""Uniform grid index for fixed-radius neighbor queries in 3D.
+
+Building a unit-ball graph naively costs ``O(n^2)`` distance checks.  The
+generator instead bins points into a uniform grid with cell size equal to the
+query radius, so each query inspects only the 27 surrounding cells.  For the
+roughly uniform deployments this library simulates, construction and the full
+all-pairs neighbor sweep are both ``O(n)`` expected.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import as_point, as_points
+
+_Cell = Tuple[int, int, int]
+
+
+class UniformGridIndex:
+    """Spatial hash grid over a fixed set of 3D points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` array of point positions.  The index keeps a copy.
+    cell_size:
+        Edge length of the cubic grid cells.  Queries with radius larger
+        than ``cell_size`` fall back to scanning proportionally more cells
+        and stay correct, just slower.
+    """
+
+    def __init__(self, points, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._points = as_points(points).copy()
+        self._cell_size = float(cell_size)
+        self._cells: Dict[_Cell, List[int]] = defaultdict(list)
+        for idx, point in enumerate(self._points):
+            self._cells[self._cell_of(point)].append(idx)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def _cell_of(self, point: np.ndarray) -> _Cell:
+        scaled = np.floor(point / self._cell_size).astype(int)
+        return (int(scaled[0]), int(scaled[1]), int(scaled[2]))
+
+    def _cells_in_range(self, point: np.ndarray, radius: float) -> Iterator[_Cell]:
+        reach = int(np.ceil(radius / self._cell_size))
+        cx, cy, cz = self._cell_of(point)
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                for dz in range(-reach, reach + 1):
+                    cell = (cx + dx, cy + dy, cz + dz)
+                    if cell in self._cells:
+                        yield cell
+
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of ``point`` (inclusive)."""
+        point = as_point(point)
+        candidates: List[int] = []
+        for cell in self._cells_in_range(point, radius):
+            candidates.extend(self._cells[cell])
+        if not candidates:
+            return np.empty(0, dtype=int)
+        cand = np.asarray(candidates, dtype=int)
+        diff = self._points[cand] - point
+        dist_sq = np.einsum("ij,ij->i", diff, diff)
+        return cand[dist_sq <= radius * radius]
+
+    def neighbor_pairs(self, radius: float) -> List[Tuple[int, int]]:
+        """All index pairs ``(i, j)`` with ``i < j`` within ``radius``.
+
+        A point is never paired with itself; coincident points are paired.
+        """
+        pairs: List[Tuple[int, int]] = []
+        for i, point in enumerate(self._points):
+            for j in self.query_radius(point, radius):
+                if j > i:
+                    pairs.append((i, int(j)))
+        return pairs
+
+    def neighbor_lists(self, radius: float) -> List[np.ndarray]:
+        """Per-point arrays of neighbor indices within ``radius`` (self excluded)."""
+        result: List[np.ndarray] = []
+        for i, point in enumerate(self._points):
+            found = self.query_radius(point, radius)
+            result.append(found[found != i])
+        return result

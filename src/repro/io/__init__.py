@@ -1,0 +1,28 @@
+"""Serialization: networks to JSON/NPZ, meshes to OFF/OBJ/PLY, points to XYZ.
+
+Mesh exports embed landmarks at their true positions so results can be
+inspected in any standard 3D viewer (MeshLab, Blender), mirroring the
+renderings of Figs. 1 and 6-10.
+"""
+
+from repro.io.meshio import export_mesh_obj, export_mesh_off, export_mesh_ply, export_points_xyz
+from repro.io.serialization import (
+    load_detection_result,
+    load_network,
+    save_detection_result,
+    save_network,
+)
+from repro.io.svg import SvgScene, render_detection_svg
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_detection_result",
+    "load_detection_result",
+    "export_mesh_off",
+    "export_mesh_obj",
+    "export_mesh_ply",
+    "export_points_xyz",
+    "SvgScene",
+    "render_detection_svg",
+]

@@ -1,0 +1,270 @@
+"""Unit-ball-graph representation and localized graph queries.
+
+:class:`NetworkGraph` stores node positions and the adjacency induced by a
+fixed radio transmission range.  It provides exactly the query surface the
+paper's algorithms need: one-hop neighborhoods, restricted BFS (hop counts
+and deterministic shortest paths inside a node subset, e.g. the boundary
+subgraph), and connected components of induced subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+from repro.geometry.spatial_index import UniformGridIndex
+
+
+class NetworkGraph:
+    """Immutable undirected graph over positioned nodes.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 3)`` node positions.
+    radio_range:
+        Maximum transmission range; two nodes are neighbors iff their
+        Euclidean distance is at most this value.  The paper normalizes it
+        to 1 (Definition 1) and so does the generator, but the class accepts
+        any positive value.
+    adjacency:
+        Optional pre-computed adjacency (list of neighbor-index sequences).
+        When omitted it is built with a uniform grid index in ``O(n)``
+        expected time.
+    """
+
+    def __init__(self, positions, radio_range: float = 1.0, adjacency=None):
+        self._positions = as_points(positions).copy()
+        if radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        self._radio_range = float(radio_range)
+        n = self._positions.shape[0]
+        if adjacency is None:
+            if n:
+                index = UniformGridIndex(self._positions, cell_size=self._radio_range)
+                neighbor_lists = index.neighbor_lists(self._radio_range)
+            else:
+                neighbor_lists = []
+            self._adjacency = [np.sort(nbrs).astype(int) for nbrs in neighbor_lists]
+        else:
+            if len(adjacency) != n:
+                raise ValueError("adjacency length must match number of nodes")
+            self._adjacency = [
+                np.sort(np.asarray(list(nbrs), dtype=int)) for nbrs in adjacency
+            ]
+        self._neighbor_sets: List[Set[int]] = [set(map(int, a)) for a in self._adjacency]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._positions.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._positions.shape[0]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Node positions as a read-only ``(n, 3)`` view."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def radio_range(self) -> float:
+        """The transmission range defining adjacency."""
+        return self._radio_range
+
+    def position(self, node: int) -> np.ndarray:
+        """Position of one node."""
+        return self._positions[node].copy()
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted array of the node's one-hop neighbors."""
+        return self._adjacency[node]
+
+    def degree(self, node: int) -> int:
+        """Number of one-hop neighbors."""
+        return int(self._adjacency[node].size)
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees."""
+        return np.array([a.size for a in self._adjacency], dtype=int)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are one-hop neighbors."""
+        return v in self._neighbor_sets[u]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All edges as ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adjacency):
+            for v in nbrs:
+                if v > u:
+                    yield (u, int(v))
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(sum(a.size for a in self._adjacency)) // 2
+
+    def distance(self, u: int, v: int) -> float:
+        """True Euclidean distance between two nodes."""
+        return float(np.linalg.norm(self._positions[u] - self._positions[v]))
+
+    # ------------------------------------------------------------------
+    # BFS machinery (full graph or induced subgraph)
+    # ------------------------------------------------------------------
+
+    def bfs_hops(
+        self,
+        sources: Iterable[int],
+        *,
+        within: Optional[Set[int]] = None,
+        max_hops: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Hop distance from the nearest source to every reachable node.
+
+        Parameters
+        ----------
+        sources:
+            Starting nodes (hop 0).
+        within:
+            When given, BFS runs on the subgraph induced by this node set;
+            sources outside it are ignored.
+        max_hops:
+            Stop expanding beyond this hop count.
+
+        Returns
+        -------
+        dict
+            ``node -> hops`` for every node reached.
+        """
+        hops: Dict[int, int] = {}
+        queue: deque = deque()
+        for s in sorted(set(int(s) for s in sources)):
+            if within is not None and s not in within:
+                continue
+            hops[s] = 0
+            queue.append(s)
+        while queue:
+            u = queue.popleft()
+            if max_hops is not None and hops[u] >= max_hops:
+                continue
+            for v in self._adjacency[u]:
+                v = int(v)
+                if v in hops:
+                    continue
+                if within is not None and v not in within:
+                    continue
+                hops[v] = hops[u] + 1
+                queue.append(v)
+        return hops
+
+    def shortest_path(
+        self,
+        source: int,
+        target: int,
+        *,
+        within: Optional[Set[int]] = None,
+    ) -> Optional[List[int]]:
+        """Deterministic shortest hop path from ``source`` to ``target``.
+
+        Ties are broken by preferring the lowest-ID parent at every BFS
+        layer, so repeated runs -- and the distributed implementation in
+        :mod:`repro.runtime` -- produce the identical path.  Returns None
+        when ``target`` is unreachable (inside ``within`` if given).
+        """
+        if within is not None and (source not in within or target not in within):
+            return None
+        if source == target:
+            return [source]
+        parent: Dict[int, int] = {source: -1}
+        queue: deque = deque([source])
+        while queue:
+            u = queue.popleft()
+            # Neighbors are pre-sorted, so the first discoverer of any node
+            # is its lowest-ID parent at the shallowest BFS depth.
+            for v in self._adjacency[u]:
+                v = int(v)
+                if v in parent:
+                    continue
+                if within is not None and v not in within:
+                    continue
+                parent[v] = u
+                if v == target:
+                    path = [v]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                queue.append(v)
+        return None
+
+    def connected_components(
+        self, *, within: Optional[Set[int]] = None
+    ) -> List[List[int]]:
+        """Connected components (each sorted) of the graph or a node subset.
+
+        Components are returned sorted by their smallest member, matching
+        the deterministic min-ID grouping of the distributed protocol.
+        """
+        if within is None:
+            nodes: Sequence[int] = range(self.n_nodes)
+            member = None
+        else:
+            nodes = sorted(within)
+            member = within
+        seen: Set[int] = set()
+        components: List[List[int]] = []
+        for start in nodes:
+            if start in seen:
+                continue
+            comp = [start]
+            seen.add(start)
+            queue: deque = deque([start])
+            while queue:
+                u = queue.popleft()
+                for v in self._adjacency[u]:
+                    v = int(v)
+                    if v in seen:
+                        continue
+                    if member is not None and v not in member:
+                        continue
+                    seen.add(v)
+                    comp.append(v)
+                    queue.append(v)
+            components.append(sorted(comp))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the whole graph is a single connected component."""
+        if self.n_nodes == 0:
+            return True
+        reached = self.bfs_hops([0])
+        return len(reached) == self.n_nodes
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def induced_adjacency(self, nodes: Set[int]) -> Dict[int, List[int]]:
+        """Adjacency dict of the subgraph induced by ``nodes``."""
+        return {
+            u: [int(v) for v in self._adjacency[u] if int(v) in nodes]
+            for u in sorted(nodes)
+        }
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` (positions in the ``pos`` attr)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i in range(self.n_nodes):
+            g.add_node(i, pos=tuple(self._positions[i]))
+        g.add_edges_from(self.edges())
+        return g

@@ -1,0 +1,160 @@
+"""Distance measurement with synthetic ranging errors.
+
+The paper introduces "a wide range of random errors, from 0 to 100% of the
+radio transmission radius, in the distance measurement" (Sec. IV-A); with
+the range normalized to 1, an error level ``e`` perturbs each measured
+distance by a uniform draw from ``[-e, e]``.  That uniform-absolute model is
+the default here; uniform-relative and Gaussian variants are provided for
+sensitivity studies.
+
+Measurements are generated **once per edge**: both endpoints observe the
+same measured value, as a real two-way ranging exchange would agree on, and
+repeated queries return the same value (determinism requirement).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.network.graph import NetworkGraph
+
+#: Floor applied to measured distances; ranging cannot report a
+#: non-positive distance between distinct nodes.
+MIN_MEASURED_DISTANCE = 1e-6
+
+
+class DistanceErrorModel(ABC):
+    """Strategy that perturbs a vector of true distances."""
+
+    @abstractmethod
+    def perturb(self, true_distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return measured distances for ``true_distances``."""
+
+    def describe(self) -> str:
+        """Human-readable tag used in reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class NoError(DistanceErrorModel):
+    """Perfect ranging; measured distance equals true distance."""
+
+    def perturb(self, true_distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(true_distances, dtype=float).copy()
+
+    def describe(self) -> str:
+        return "no-error"
+
+
+@dataclass(frozen=True)
+class UniformAbsoluteError(DistanceErrorModel):
+    """Additive uniform error in ``[-level, level]`` radio-range units.
+
+    This is the paper's sweep axis: ``level = 0.3`` corresponds to the "30%
+    distance measurement error" point of Figs. 1 and 11.
+    """
+
+    level: float
+
+    def __post_init__(self):
+        if self.level < 0:
+            raise ValueError("error level must be non-negative")
+
+    def perturb(self, true_distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        true = np.asarray(true_distances, dtype=float)
+        noise = rng.uniform(-self.level, self.level, size=true.shape)
+        return np.maximum(true + noise, MIN_MEASURED_DISTANCE)
+
+    def describe(self) -> str:
+        return f"uniform-absolute({self.level:.0%})"
+
+
+@dataclass(frozen=True)
+class UniformRelativeError(DistanceErrorModel):
+    """Multiplicative uniform error: ``d' = d * (1 + U(-level, level))``."""
+
+    level: float
+
+    def __post_init__(self):
+        if self.level < 0:
+            raise ValueError("error level must be non-negative")
+
+    def perturb(self, true_distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        true = np.asarray(true_distances, dtype=float)
+        factor = 1.0 + rng.uniform(-self.level, self.level, size=true.shape)
+        return np.maximum(true * factor, MIN_MEASURED_DISTANCE)
+
+    def describe(self) -> str:
+        return f"uniform-relative({self.level:.0%})"
+
+
+@dataclass(frozen=True)
+class GaussianError(DistanceErrorModel):
+    """Additive zero-mean Gaussian error with standard deviation ``sigma``."""
+
+    sigma: float
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def perturb(self, true_distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        true = np.asarray(true_distances, dtype=float)
+        noise = rng.normal(0.0, self.sigma, size=true.shape) if self.sigma else 0.0
+        return np.maximum(true + noise, MIN_MEASURED_DISTANCE)
+
+    def describe(self) -> str:
+        return f"gaussian(sigma={self.sigma:.3f})"
+
+
+class MeasuredDistances:
+    """Symmetric store of per-edge measured distances.
+
+    Indexable by node pair in either order; missing pairs (non-edges) raise
+    ``KeyError`` -- nodes can only range against their one-hop neighbors.
+    """
+
+    def __init__(self, values: Dict[Tuple[int, int], float]):
+        self._values = values
+
+    @staticmethod
+    def _key(u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    def get(self, u: int, v: int) -> float:
+        """Measured distance between neighbors ``u`` and ``v``."""
+        return self._values[self._key(u, v)]
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        u, v = pair
+        return self._key(u, v) in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def items(self):
+        """Iterate ``((u, v), distance)`` with ``u < v``."""
+        return self._values.items()
+
+
+def measure_distances(
+    graph: NetworkGraph,
+    model: DistanceErrorModel,
+    rng: np.random.Generator,
+) -> MeasuredDistances:
+    """Measure every edge of ``graph`` once under ``model``.
+
+    Returns a :class:`MeasuredDistances` usable by the localization step.
+    """
+    edges = list(graph.edges())
+    if not edges:
+        return MeasuredDistances({})
+    true = np.array([graph.distance(u, v) for u, v in edges])
+    measured = model.perturb(true, rng)
+    return MeasuredDistances(
+        {edge: float(value) for edge, value in zip(edges, measured)}
+    )

@@ -1,0 +1,103 @@
+"""Radio link models.
+
+Definition 1 of the paper assumes only "an arbitrary radio transmission
+model with a maximum radio transmission range of 1".  The generator
+defaults to the unit-disk model (link iff distance <= 1), and also ships
+the standard quasi-unit-disk model (quasi-UDG): links are certain up to
+``alpha``, impossible beyond 1, and exist with a distance-interpolated
+probability in between -- the usual abstraction for real radios' gray
+zone.  Link decisions are symmetric (one draw per pair) and deterministic
+given the RNG seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geometry.spatial_index import UniformGridIndex
+
+
+class LinkModel(ABC):
+    """Decides which candidate node pairs form links."""
+
+    #: Maximum distance (in radio-range units) at which a link can exist.
+    max_range: float = 1.0
+
+    @abstractmethod
+    def link_mask(
+        self, distances: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Boolean mask of which pair distances become links."""
+
+    def describe(self) -> str:
+        """Human-readable tag for reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class UnitDiskModel(LinkModel):
+    """Deterministic unit-disk connectivity: link iff distance <= 1."""
+
+    def link_mask(self, distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(distances) <= 1.0
+
+    def describe(self) -> str:
+        return "unit-disk"
+
+
+@dataclass(frozen=True)
+class QuasiUnitDiskModel(LinkModel):
+    """Quasi-UDG: certain links below ``alpha``, linear gray zone to 1.
+
+    Parameters
+    ----------
+    alpha:
+        Inner radius in ``(0, 1]``; pairs closer than this always link.
+        ``alpha = 1`` degenerates to the unit-disk model.
+    """
+
+    alpha: float = 0.75
+
+    def __post_init__(self):
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def link_mask(self, distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        d = np.asarray(distances, dtype=float)
+        if self.alpha >= 1.0:
+            return d <= 1.0
+        probability = np.clip((1.0 - d) / (1.0 - self.alpha), 0.0, 1.0)
+        probability[d <= self.alpha] = 1.0
+        return rng.uniform(size=d.shape) < probability
+
+    def describe(self) -> str:
+        return f"quasi-udg(alpha={self.alpha})"
+
+
+def build_adjacency(
+    positions: np.ndarray,
+    model: LinkModel,
+    rng: np.random.Generator,
+) -> List[List[int]]:
+    """Adjacency lists under a link model (one symmetric draw per pair)."""
+    n = positions.shape[0]
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    if n == 0:
+        return adjacency
+    index = UniformGridIndex(positions, cell_size=model.max_range)
+    pairs: List[Tuple[int, int]] = index.neighbor_pairs(model.max_range)
+    if not pairs:
+        return adjacency
+    dists = np.array(
+        [float(np.linalg.norm(positions[u] - positions[v])) for u, v in pairs]
+    )
+    mask = model.link_mask(dists, rng)
+    for (u, v), linked in zip(pairs, mask):
+        if linked:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    return adjacency

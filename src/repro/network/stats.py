@@ -1,0 +1,54 @@
+"""Descriptive statistics of generated networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.generator import Network
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Summary statistics of a deployed network.
+
+    Mirrors the figures the paper quotes for its simulated networks
+    (e.g. "4210 nodes with an average nodal degree of 18.8").
+    """
+
+    n_nodes: int
+    n_edges: int
+    n_truth_boundary: int
+    avg_degree: float
+    min_degree: int
+    max_degree: int
+    connected: bool
+    avg_edge_length: float
+
+    def as_row(self) -> str:
+        """Single formatted report line."""
+        return (
+            f"nodes={self.n_nodes} edges={self.n_edges} "
+            f"boundary={self.n_truth_boundary} "
+            f"degree(avg/min/max)={self.avg_degree:.1f}/{self.min_degree}/"
+            f"{self.max_degree} connected={self.connected} "
+            f"edge_len={self.avg_edge_length:.3f}"
+        )
+
+
+def compute_network_stats(network: Network) -> NetworkStats:
+    """Compute :class:`NetworkStats` for a network."""
+    graph = network.graph
+    degrees = graph.degrees()
+    edge_lengths = [graph.distance(u, v) for u, v in graph.edges()]
+    return NetworkStats(
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        n_truth_boundary=int(network.truth_boundary.sum()),
+        avg_degree=float(degrees.mean()) if degrees.size else 0.0,
+        min_degree=int(degrees.min()) if degrees.size else 0,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        connected=graph.is_connected(),
+        avg_edge_length=float(np.mean(edge_lengths)) if edge_lengths else 0.0,
+    )

@@ -1,0 +1,193 @@
+"""Trilateration-based local coordinates: the classic alternative to MDS.
+
+The paper notes "multiple schemes [27]-[31] are available to create a
+local coordinates system" and adopts improved MDS [31].  This module
+implements the other classic family -- incremental trilateration (in the
+spirit of [27]): seed a coordinate frame from three/four mutually ranging
+nodes, then place every further node by least-squares multilateration
+from at least four already-placed ranging partners.
+
+Compared with MDS, trilateration is cheaper per node but propagates
+placement errors incrementally, so it degrades faster under ranging noise
+-- `benchmarks/bench_ablation_localization.py` quantifies the difference
+on the full detection pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.network.graph import NetworkGraph
+from repro.network.localization import LocalFrame, _frame_members
+from repro.network.measurement import MeasuredDistances
+
+#: Minimum anchors required to multilaterate a 3D position.
+MIN_ANCHORS = 4
+
+
+def _measured(graph: NetworkGraph, measured: MeasuredDistances, u: int, v: int) -> Optional[float]:
+    """Measured distance if the pair can range, else None."""
+    if graph.has_edge(u, v):
+        return measured.get(u, v)
+    return None
+
+
+def _multilaterate(anchors: np.ndarray, ranges: np.ndarray) -> Optional[np.ndarray]:
+    """Least-squares position from anchor points and measured ranges.
+
+    Linearizes by subtracting the first sphere equation from the rest;
+    needs at least four non-degenerate anchors.  Returns None when the
+    linear system is rank-deficient (near-coplanar anchors).
+    """
+    if anchors.shape[0] < MIN_ANCHORS:
+        return None
+    p0 = anchors[0]
+    r0 = ranges[0]
+    a = 2.0 * (anchors[1:] - p0)
+    b = (
+        np.einsum("ij,ij->i", anchors[1:], anchors[1:])
+        - float(np.dot(p0, p0))
+        - ranges[1:] ** 2
+        + r0 ** 2
+    )
+    solution, residuals, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+    if rank < 3:
+        return None
+    return solution
+
+
+def _seed_frame(
+    graph: NetworkGraph,
+    measured: MeasuredDistances,
+    node: int,
+    members: List[int],
+) -> Optional[Dict[int, np.ndarray]]:
+    """Place the first four nodes: origin, x-axis, xy-plane, +z halfspace."""
+    placed: Dict[int, np.ndarray] = {node: np.zeros(3)}
+
+    # Second node: the node's *farthest* measured neighbor, on the x-axis.
+    # A long baseline keeps the seed stable under ranging noise; choosing
+    # the nearest neighbor would latch onto the most-corrupted (clamped)
+    # measurement and blow up the frame.
+    candidates = [
+        (m, _measured(graph, measured, node, m))
+        for m in members
+        if m != node
+    ]
+    candidates = [(m, d) for m, d in candidates if d is not None]
+    if not candidates:
+        return None
+    j, d_ij = max(candidates, key=lambda t: (t[1], -t[0]))
+    if d_ij < 1e-6:
+        return None
+    placed[j] = np.array([d_ij, 0.0, 0.0])
+
+    # Third node: ranges to both placed nodes, non-collinear.
+    third = None
+    for m in members:
+        if m in placed:
+            continue
+        d_im = _measured(graph, measured, node, m)
+        d_jm = _measured(graph, measured, j, m)
+        if d_im is None or d_jm is None:
+            continue
+        x = (d_im ** 2 - d_jm ** 2 + d_ij ** 2) / (2.0 * d_ij)
+        y_sq = d_im ** 2 - x ** 2
+        if y_sq <= 1e-9:
+            continue
+        placed[m] = np.array([x, np.sqrt(y_sq), 0.0])
+        third = m
+        break
+    if third is None:
+        return None
+
+    # Fourth node: ranges to all three, placed in the +z halfspace.
+    for m in members:
+        if m in placed:
+            continue
+        dists = [
+            _measured(graph, measured, anchor, m) for anchor in (node, j, third)
+        ]
+        if any(d is None for d in dists):
+            continue
+        d_i, d_j, d_k = dists
+        x = (d_i ** 2 - d_j ** 2 + d_ij ** 2) / (2.0 * d_ij)
+        pk = placed[third]
+        if abs(pk[1]) < 1e-12:
+            continue
+        y = (d_i ** 2 - d_k ** 2 + float(np.dot(pk, pk)) - 2.0 * x * pk[0]) / (
+            2.0 * pk[1]
+        )
+        z_sq = d_i ** 2 - x ** 2 - y ** 2
+        if z_sq <= 1e-9:
+            continue
+        placed[m] = np.array([x, y, np.sqrt(z_sq)])
+        return placed
+    return None
+
+
+def trilateration_local_frame(
+    graph: NetworkGraph,
+    measured: MeasuredDistances,
+    node: int,
+    *,
+    hops: int = 2,
+    max_sweeps: int = 8,
+) -> LocalFrame:
+    """Local frame by incremental multilateration.
+
+    Nodes of the collection that cannot be placed (too few ranging
+    partners among the already-placed set) are dropped from the frame --
+    UBF then simply knows less, mirroring a real deployment where an
+    unlocalizable neighbor contributes nothing.
+
+    Falls back to the degenerate single-point frame when even the seed
+    tetrahedron cannot be formed (isolated or near-collinear
+    neighborhoods).
+    """
+    members, n_one_hop = _frame_members(graph, node, hops)
+    one_hop = set(members[1 : 1 + n_one_hop])
+
+    placed = _seed_frame(graph, measured, node, members)
+    if placed is None:
+        coords = np.zeros((1, 3))
+        return LocalFrame(node=node, members=[node], coordinates=coords, n_one_hop=0)
+
+    remaining = [m for m in members if m not in placed]
+    for _ in range(max_sweeps):
+        progress = False
+        still_remaining = []
+        for m in remaining:
+            anchor_ids = [
+                a for a in placed if _measured(graph, measured, a, m) is not None
+            ]
+            if len(anchor_ids) >= MIN_ANCHORS:
+                anchors = np.array([placed[a] for a in anchor_ids])
+                ranges = np.array(
+                    [_measured(graph, measured, a, m) for a in anchor_ids]
+                )
+                position = _multilaterate(anchors, ranges)
+                if position is not None:
+                    placed[m] = position
+                    progress = True
+                    continue
+            still_remaining.append(m)
+        remaining = still_remaining
+        if not progress or not remaining:
+            break
+
+    ordered = [node]
+    ordered.extend(m for m in members if m in placed and m != node and m in one_hop)
+    placed_one_hop = len(ordered) - 1
+    ordered.extend(
+        m for m in members if m in placed and m != node and m not in one_hop
+    )
+    coords = np.array([placed[m] for m in ordered])
+    return LocalFrame(
+        node=node,
+        members=ordered,
+        coordinates=coords,
+        n_one_hop=placed_one_hop,
+    )

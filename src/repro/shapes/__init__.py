@@ -1,0 +1,49 @@
+"""3D region models used to deploy simulated wireless networks.
+
+The paper builds its simulation scenarios with TetGen-generated 3D models
+(Sec. IV-A).  TetGen is only used there to obtain a 3D region in which to
+sample ground-truth boundary nodes (uniformly on the surface) and interior
+nodes (uniformly in the volume).  This package provides the same capability
+from scratch: every shape knows how to
+
+* decide membership (``contains``),
+* sample its boundary surface uniformly by area (``sample_surface``), and
+* sample its interior uniformly by volume (``sample_interior``).
+
+The five evaluation scenarios of Figs. 6-10 are available pre-configured in
+:mod:`repro.shapes.library`.
+"""
+
+from repro.shapes.base import Shape3D
+from repro.shapes.csg import Difference, Union
+from repro.shapes.library import (
+    SCENARIOS,
+    bent_pipe_scenario,
+    one_hole_scenario,
+    scenario_by_name,
+    sphere_scenario,
+    two_hole_scenario,
+    underwater_scenario,
+)
+from repro.shapes.pipe import BentPipe
+from repro.shapes.solids import AxisAlignedBox, Cylinder, Sphere, Torus
+from repro.shapes.terrain import UnderwaterTerrain
+
+__all__ = [
+    "Shape3D",
+    "Difference",
+    "Union",
+    "Sphere",
+    "AxisAlignedBox",
+    "Cylinder",
+    "Torus",
+    "BentPipe",
+    "UnderwaterTerrain",
+    "SCENARIOS",
+    "scenario_by_name",
+    "underwater_scenario",
+    "one_hole_scenario",
+    "two_hole_scenario",
+    "bent_pipe_scenario",
+    "sphere_scenario",
+]

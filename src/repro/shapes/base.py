@@ -1,0 +1,93 @@
+"""Abstract interface for 3D region models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+
+
+class Shape3D(ABC):
+    """A closed, bounded region of 3D space.
+
+    Subclasses must implement membership, uniform surface sampling, an (at
+    least approximate) surface area, and an axis-aligned bounding box.
+    Interior sampling and volume estimation are provided generically via
+    rejection sampling against the bounding box.
+    """
+
+    @abstractmethod
+    def contains(self, points) -> np.ndarray:
+        """Boolean mask of which ``points`` lie inside the region.
+
+        Points exactly on the boundary may be classified either way;
+        deployments never place interior nodes exactly on the surface.
+        """
+
+    @abstractmethod
+    def sample_surface(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``(n, 3)`` points distributed uniformly by area on the boundary."""
+
+    @property
+    @abstractmethod
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` corners of an axis-aligned box enclosing the region."""
+
+    @property
+    @abstractmethod
+    def surface_area(self) -> float:
+        """Total boundary area (analytic where possible, else approximate)."""
+
+    # ------------------------------------------------------------------
+    # Generic helpers
+    # ------------------------------------------------------------------
+
+    def contains_point(self, point) -> bool:
+        """Membership test for a single point."""
+        return bool(self.contains(np.asarray(point, dtype=float)[None, :])[0])
+
+    def sample_interior(
+        self, n: int, rng: np.random.Generator, *, max_batches: int = 1000
+    ) -> np.ndarray:
+        """``(n, 3)`` points uniform in the region's volume.
+
+        Uses rejection sampling against the bounding box.  Raises
+        ``RuntimeError`` if the acceptance rate is so low that ``n`` points
+        cannot be collected within ``max_batches`` proposal batches, which
+        indicates a degenerate (near-zero-volume) shape.
+        """
+        if n <= 0:
+            return np.empty((0, 3))
+        lo, hi = self.bounding_box
+        accepted = []
+        total = 0
+        batch = max(4 * n, 256)
+        for _ in range(max_batches):
+            proposals = rng.uniform(lo, hi, size=(batch, 3))
+            mask = self.contains(proposals)
+            accepted.append(proposals[mask])
+            total += int(mask.sum())
+            if total >= n:
+                break
+        else:
+            raise RuntimeError(
+                f"interior sampling did not converge: {total}/{n} points "
+                f"accepted after {max_batches} batches"
+            )
+        return np.vstack(accepted)[:n]
+
+    def volume_estimate(self, rng: np.random.Generator, samples: int = 200_000) -> float:
+        """Monte-Carlo estimate of the region's volume."""
+        lo, hi = self.bounding_box
+        proposals = rng.uniform(lo, hi, size=(samples, 3))
+        fraction = float(self.contains(proposals).mean())
+        box_volume = float(np.prod(hi - lo))
+        return fraction * box_volume
+
+    @staticmethod
+    def _as_points(points) -> np.ndarray:
+        """Normalize input to an ``(n, 3)`` array (shared by subclasses)."""
+        return as_points(points)

@@ -1,0 +1,94 @@
+"""Pre-configured shapes for the paper's five evaluation scenarios.
+
+Shape dimensions here are in abstract model units; the network generator
+rescales positions so that the chosen radio transmission range becomes 1
+(Definition 1 of the paper), so only the shapes' proportions matter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.shapes.base import Shape3D
+from repro.shapes.csg import Difference
+from repro.shapes.pipe import BentPipe
+from repro.shapes.solids import Sphere
+from repro.shapes.terrain import UnderwaterTerrain
+
+
+def underwater_scenario() -> Shape3D:
+    """Fig. 6: ocean volume with a smooth surface and a bumpy bottom."""
+    return UnderwaterTerrain(
+        size=(2.0, 2.0),
+        depth=0.8,
+        bump_count=4,
+        bump_height=0.35,
+        wave_amplitude=0.03,
+        seed=7,
+    )
+
+
+def one_hole_scenario() -> Shape3D:
+    """Fig. 7: 3D space network with one internal hole."""
+    outer = Sphere(center=(0.0, 0.0, 0.0), radius=1.0)
+    hole = Sphere(center=(0.12, 0.0, 0.0), radius=0.38)
+    return Difference(outer, [hole])
+
+
+def two_hole_scenario() -> Shape3D:
+    """Fig. 8: 3D space network with two internal holes."""
+    outer = Sphere(center=(0.0, 0.0, 0.0), radius=1.0)
+    # Hole size vs spacing is a three-way balance: each hole must exceed
+    # the unit ball (Definition 7) at deployment densities, while staying
+    # >1 radio range away from the other hole and from the outer surface
+    # so the three boundaries do not merge into one connected group.
+    holes = [
+        Sphere(center=(-0.42, 0.0, 0.0), radius=0.27),
+        Sphere(center=(0.42, 0.1, 0.05), radius=0.27),
+    ]
+    return Difference(outer, holes)
+
+
+def bent_pipe_scenario() -> Shape3D:
+    """Fig. 9: network deployed in a bended pipe."""
+    return BentPipe(bend_radius=1.0, tube_radius=0.32, sweep=3.14159)
+
+
+def sphere_scenario() -> Shape3D:
+    """Fig. 10: network deployed in a sphere."""
+    return Sphere(center=(0.0, 0.0, 0.0), radius=1.0)
+
+
+#: Scenario registry: name -> (factory, paper figure).
+SCENARIOS: Dict[str, Callable[[], Shape3D]] = {
+    "underwater": underwater_scenario,
+    "one_hole": one_hole_scenario,
+    "two_holes": two_hole_scenario,
+    "bent_pipe": bent_pipe_scenario,
+    "sphere": sphere_scenario,
+}
+
+#: Which paper figure each scenario reproduces.
+SCENARIO_FIGURES: Dict[str, str] = {
+    "underwater": "Fig. 6",
+    "one_hole": "Fig. 7",
+    "two_holes": "Fig. 8",
+    "bent_pipe": "Fig. 9",
+    "sphere": "Fig. 10",
+}
+
+
+def scenario_by_name(name: str) -> Shape3D:
+    """Instantiate a scenario shape by registry name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names, if ``name`` is not registered.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+    return factory()

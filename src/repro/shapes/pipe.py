@@ -1,0 +1,176 @@
+"""A bent pipe: the Fig. 9 evaluation scenario.
+
+The pipe is modeled as a *capsule around a circular arc*: all points within
+``tube_radius`` of an arc of radius ``bend_radius`` in the xy-plane, swept
+through ``sweep`` radians.  The clamped-arc distance function automatically
+rounds the two ends into hemispherical caps, so the region is closed and its
+boundary surface has three exactly-parametrizable components (tube wall plus
+two hemispheres), each sampled uniformly by area.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.shapes.base import Shape3D
+from repro.shapes.sampling import multinomial_split, sample_unit_sphere
+
+
+class BentPipe(Shape3D):
+    """Capsule around a circular arc.
+
+    Parameters
+    ----------
+    center:
+        Center of the bend circle.
+    bend_radius:
+        Radius of the arc the pipe is swept along (centerline radius).
+    tube_radius:
+        Radius of the pipe's circular cross-section; must be smaller than
+        ``bend_radius`` so the pipe does not self-intersect.
+    sweep:
+        Arc angle in radians, in ``(0, 2*pi)``; the default ``pi`` gives the
+        half-circle "bended pipe" of Fig. 9.
+    """
+
+    def __init__(
+        self,
+        center=(0.0, 0.0, 0.0),
+        bend_radius: float = 1.0,
+        tube_radius: float = 0.3,
+        sweep: float = np.pi,
+    ):
+        if not 0.0 < sweep < 2.0 * np.pi:
+            raise ValueError("sweep must be in (0, 2*pi)")
+        if not 0.0 < tube_radius < bend_radius:
+            raise ValueError("need 0 < tube_radius < bend_radius")
+        self.center = np.asarray(center, dtype=float)
+        self.bend_radius = float(bend_radius)
+        self.tube_radius = float(tube_radius)
+        self.sweep = float(sweep)
+
+    def __repr__(self) -> str:
+        return (
+            f"BentPipe(center={self.center.tolist()}, bend_radius={self.bend_radius}, "
+            f"tube_radius={self.tube_radius}, sweep={self.sweep:.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Centerline helpers
+    # ------------------------------------------------------------------
+
+    def _arc_point(self, phi) -> np.ndarray:
+        """Point(s) on the centerline arc at angle(s) ``phi``."""
+        phi = np.asarray(phi, dtype=float)
+        return self.center + self.bend_radius * np.stack(
+            [np.cos(phi), np.sin(phi), np.zeros_like(phi)], axis=-1
+        )
+
+    def _clamped_arc_angle(self, pts: np.ndarray) -> np.ndarray:
+        """Centerline angle of the nearest arc point for each input point."""
+        rel = pts - self.center
+        phi = np.arctan2(rel[:, 1], rel[:, 0])
+        # Map into [0, 2*pi) then clamp into the swept range; angles in the
+        # "gap" snap to whichever end of the arc is angularly closer.
+        phi = np.mod(phi, 2.0 * np.pi)
+        over = phi > self.sweep
+        if np.any(over):
+            gap_mid = self.sweep + (2.0 * np.pi - self.sweep) / 2.0
+            phi = np.where(over & (phi < gap_mid), self.sweep, phi)
+            phi = np.where(over & (phi >= gap_mid), 0.0, phi)
+        return phi
+
+    def contains(self, points) -> np.ndarray:
+        pts = self._as_points(points)
+        phi = self._clamped_arc_angle(pts)
+        nearest = self._arc_point(phi)
+        diff = pts - nearest
+        return np.einsum("ij,ij->i", diff, diff) <= self.tube_radius ** 2
+
+    # ------------------------------------------------------------------
+    # Surface sampling
+    # ------------------------------------------------------------------
+
+    def _sample_tube(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform-by-area sample of the swept tube wall.
+
+        The area element is proportional to ``bend_radius + tube_radius *
+        cos(psi)`` in the tube angle ``psi`` (measured from the outward
+        radial direction), so ``psi`` is drawn by rejection against that
+        weight; the sweep angle ``phi`` is uniform because the centerline is
+        a circular arc.
+        """
+        if n <= 0:
+            return np.empty((0, 3))
+        phi = rng.uniform(0.0, self.sweep, size=n)
+        psi = np.empty(n)
+        filled = 0
+        while filled < n:
+            need = n - filled
+            cand = rng.uniform(0.0, 2.0 * np.pi, size=2 * need + 16)
+            weight = (self.bend_radius + self.tube_radius * np.cos(cand)) / (
+                self.bend_radius + self.tube_radius
+            )
+            keep = cand[rng.uniform(size=cand.size) < weight]
+            take = min(need, keep.size)
+            psi[filled : filled + take] = keep[:take]
+            filled += take
+        radial = np.column_stack([np.cos(phi), np.sin(phi), np.zeros(n)])
+        vertical = np.array([0.0, 0.0, 1.0])
+        pts = (
+            self._arc_point(phi)
+            + self.tube_radius * np.cos(psi)[:, None] * radial
+            + self.tube_radius * np.sin(psi)[:, None] * vertical
+        )
+        return pts
+
+    def _sample_cap(self, n: int, rng: np.random.Generator, at_start: bool) -> np.ndarray:
+        """Uniform sample of one hemispherical end cap."""
+        if n <= 0:
+            return np.empty((0, 3))
+        phi_end = 0.0 if at_start else self.sweep
+        end = self._arc_point(phi_end)
+        # Outward tangent of the arc at the end (pointing away from the pipe).
+        tangent = np.array([-np.sin(phi_end), np.cos(phi_end), 0.0])
+        outward = -tangent if at_start else tangent
+        directions = sample_unit_sphere(n, rng)
+        dots = directions @ outward
+        directions[dots < 0.0] *= -1.0
+        return end + self.tube_radius * directions
+
+    def sample_surface(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        tube_area = self.sweep * self.bend_radius * 2.0 * np.pi * self.tube_radius
+        cap_area = 2.0 * np.pi * self.tube_radius ** 2
+        counts = multinomial_split(n, [tube_area, cap_area, cap_area], rng)
+        pieces = [
+            self._sample_tube(counts[0], rng),
+            self._sample_cap(counts[1], rng, at_start=True),
+            self._sample_cap(counts[2], rng, at_start=False),
+        ]
+        return np.vstack([p for p in pieces if p.size])
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        reach = self.bend_radius + self.tube_radius
+        lo = self.center + np.array([-reach, -reach, -self.tube_radius])
+        hi = self.center + np.array([reach, reach, self.tube_radius])
+        return lo, hi
+
+    @property
+    def surface_area(self) -> float:
+        tube = self.sweep * self.bend_radius * 2.0 * np.pi * self.tube_radius
+        caps = 4.0 * np.pi * self.tube_radius ** 2
+        return tube + caps
+
+    @property
+    def volume(self) -> float:
+        """Exact volume (Pappus for the tube, one full sphere for both caps)."""
+        tube = self.sweep * self.bend_radius * np.pi * self.tube_radius ** 2
+        caps = 4.0 / 3.0 * np.pi * self.tube_radius ** 3
+        return tube + caps

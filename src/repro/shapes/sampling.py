@@ -1,0 +1,67 @@
+"""Low-level uniform samplers shared by the shape implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_unit_sphere(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``(n, 3)`` points uniform on the unit sphere (Gaussian projection)."""
+    if n <= 0:
+        return np.empty((0, 3))
+    vecs = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+    # Degenerate all-zero draws are astronomically unlikely; regenerate them
+    # rather than dividing by zero.
+    bad = norms[:, 0] < 1e-12
+    while np.any(bad):
+        vecs[bad] = rng.normal(size=(int(bad.sum()), 3))
+        norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+        bad = norms[:, 0] < 1e-12
+    return vecs / norms
+
+
+def sample_unit_disk(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``(n, 2)`` points uniform in the unit disk (sqrt-radius trick)."""
+    if n <= 0:
+        return np.empty((0, 2))
+    radius = np.sqrt(rng.uniform(0.0, 1.0, size=n))
+    angle = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    return np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+
+
+def sample_circle(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``(n, 2)`` points uniform on the unit circle."""
+    if n <= 0:
+        return np.empty((0, 2))
+    angle = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    return np.column_stack([np.cos(angle), np.sin(angle)])
+
+
+def multinomial_split(n: int, weights, rng: np.random.Generator) -> np.ndarray:
+    """Randomly split ``n`` draws across components proportionally to ``weights``.
+
+    Used to allocate surface samples across the faces/components of a
+    composite boundary so the overall sample stays uniform by area.
+    """
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0) or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    return rng.multinomial(n, w / w.sum())
+
+
+def orthonormal_frame(direction: np.ndarray) -> tuple:
+    """Two unit vectors completing ``direction`` to an orthonormal frame.
+
+    ``direction`` need not be normalized.  The construction is deterministic
+    and continuous except at the poles of the chosen reference axis.
+    """
+    d = np.asarray(direction, dtype=float)
+    d = d / np.linalg.norm(d)
+    reference = np.array([0.0, 0.0, 1.0])
+    if abs(float(np.dot(d, reference))) > 0.9:
+        reference = np.array([1.0, 0.0, 0.0])
+    u = np.cross(d, reference)
+    u = u / np.linalg.norm(u)
+    v = np.cross(d, u)
+    return u, v

@@ -1,0 +1,256 @@
+"""Underwater terrain region: the Fig. 6 evaluation scenario.
+
+Models an ocean volume between a smooth water surface on top and a bumpy
+seabed below, over a rectangular footprint, closed off by four vertical side
+walls.  The seabed is a sum of Gaussian bumps generated deterministically
+from a seed; the water surface is a gentle sinusoidal swell (or perfectly
+flat when ``wave_amplitude`` is zero).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+
+from repro.shapes.base import Shape3D
+from repro.shapes.sampling import multinomial_split
+
+#: Central-difference step for numeric surface gradients, in region units.
+_GRAD_STEP = 1e-4
+
+
+class UnderwaterTerrain(Shape3D):
+    """Ocean volume between a bumpy bottom and a near-flat top surface.
+
+    Parameters
+    ----------
+    size:
+        ``(length_x, length_y)`` footprint of the region; it spans
+        ``[0, length_x] x [0, length_y]`` in the xy-plane.
+    depth:
+        Mean water depth (distance from the z=0 surface to the flat part of
+        the seabed).
+    bump_count:
+        Number of Gaussian seamounts on the bottom.
+    bump_height:
+        Maximum bump amplitude; capped below ``depth`` so the region never
+        pinches shut.
+    wave_amplitude:
+        Amplitude of the sinusoidal swell on the top surface.
+    seed:
+        Seed for the deterministic bump layout.
+    """
+
+    def __init__(
+        self,
+        size=(2.0, 2.0),
+        depth: float = 0.8,
+        bump_count: int = 4,
+        bump_height: float = 0.3,
+        wave_amplitude: float = 0.03,
+        seed: int = 7,
+    ):
+        self.size = (float(size[0]), float(size[1]))
+        if min(self.size) <= 0:
+            raise ValueError("footprint dimensions must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if not 0 <= bump_height < depth:
+            raise ValueError("bump_height must be in [0, depth)")
+        self.depth = float(depth)
+        self.wave_amplitude = float(wave_amplitude)
+        rng = np.random.default_rng(seed)
+        self._bump_centers = rng.uniform(
+            [0.15 * self.size[0], 0.15 * self.size[1]],
+            [0.85 * self.size[0], 0.85 * self.size[1]],
+            size=(bump_count, 2),
+        )
+        self._bump_heights = rng.uniform(0.4, 1.0, size=bump_count) * bump_height
+        self._bump_widths = rng.uniform(0.08, 0.2, size=bump_count) * min(self.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"UnderwaterTerrain(size={self.size}, depth={self.depth}, "
+            f"bumps={len(self._bump_heights)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Height fields
+    # ------------------------------------------------------------------
+
+    def bottom_height(self, x, y) -> np.ndarray:
+        """Seabed elevation ``b(x, y)`` (negative, rises at bumps)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        z = np.full(np.broadcast(x, y).shape, -self.depth)
+        for (cx, cy), height, width in zip(
+            self._bump_centers, self._bump_heights, self._bump_widths
+        ):
+            z = z + height * np.exp(
+                -((x - cx) ** 2 + (y - cy) ** 2) / (2.0 * width ** 2)
+            )
+        return z
+
+    def top_height(self, x, y) -> np.ndarray:
+        """Water-surface elevation ``s(x, y)`` (a gentle swell around z=0)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        lx, ly = self.size
+        swell = np.sin(2.0 * np.pi * x / lx) * np.sin(2.0 * np.pi * y / ly)
+        return self.wave_amplitude * swell
+
+    def contains(self, points) -> np.ndarray:
+        pts = self._as_points(points)
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        in_footprint = (
+            (x >= 0.0) & (x <= self.size[0]) & (y >= 0.0) & (y <= self.size[1])
+        )
+        result = np.zeros(pts.shape[0], dtype=bool)
+        if np.any(in_footprint):
+            xs, ys, zs = x[in_footprint], y[in_footprint], z[in_footprint]
+            result[in_footprint] = (zs >= self.bottom_height(xs, ys)) & (
+                zs <= self.top_height(xs, ys)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Area estimates (cached; used for proportional surface allocation)
+    # ------------------------------------------------------------------
+
+    def _sheet_slope_weight(self, x, y, which: str) -> np.ndarray:
+        """Area-density weight ``sqrt(1 + |grad f|^2)`` of a height sheet."""
+        field = self.bottom_height if which == "bottom" else self.top_height
+        h = _GRAD_STEP
+        dfdx = (field(x + h, y) - field(x - h, y)) / (2.0 * h)
+        dfdy = (field(x, y + h) - field(x, y - h)) / (2.0 * h)
+        return np.sqrt(1.0 + dfdx ** 2 + dfdy ** 2)
+
+    @cached_property
+    def _area_table(self) -> dict:
+        """Numerically estimated areas of the six boundary components."""
+        lx, ly = self.size
+        grid = 96
+        gx = np.linspace(0.0, lx, grid)
+        gy = np.linspace(0.0, ly, grid)
+        mx, my = np.meshgrid(gx, gy)
+        footprint = lx * ly
+        areas = {
+            "top": float(self._sheet_slope_weight(mx, my, "top").mean()) * footprint,
+            "bottom": float(self._sheet_slope_weight(mx, my, "bottom").mean())
+            * footprint,
+        }
+        walls = {
+            "wall_x0": (gy, lambda t: (np.zeros_like(t), t)),
+            "wall_x1": (gy, lambda t: (np.full_like(t, lx), t)),
+            "wall_y0": (gx, lambda t: (t, np.zeros_like(t))),
+            "wall_y1": (gx, lambda t: (t, np.full_like(t, ly))),
+        }
+        for name, (ts, to_xy) in walls.items():
+            wx, wy = to_xy(ts)
+            heights = self.top_height(wx, wy) - self.bottom_height(wx, wy)
+            areas[name] = float(heights.mean()) * float(ts[-1] - ts[0])
+        return areas
+
+    @property
+    def surface_area(self) -> float:
+        return sum(self._area_table.values())
+
+    # ------------------------------------------------------------------
+    # Surface sampling
+    # ------------------------------------------------------------------
+
+    def _sample_sheet(
+        self, n: int, rng: np.random.Generator, which: str
+    ) -> np.ndarray:
+        """Uniform-by-area sample of the top or bottom height sheet.
+
+        Samples (x, y) uniformly on the footprint and rejects against the
+        slope weight so sloped areas receive proportionally more points.
+        """
+        if n <= 0:
+            return np.empty((0, 3))
+        lx, ly = self.size
+        field = self.bottom_height if which == "bottom" else self.top_height
+        # Safe upper bound on the slope weight from a coarse grid scan.
+        gx = np.linspace(0.0, lx, 64)
+        gy = np.linspace(0.0, ly, 64)
+        mx, my = np.meshgrid(gx, gy)
+        w_max = float(self._sheet_slope_weight(mx, my, which).max()) * 1.1
+        out = np.empty((n, 3))
+        filled = 0
+        while filled < n:
+            need = n - filled
+            cx = rng.uniform(0.0, lx, size=2 * need + 16)
+            cy = rng.uniform(0.0, ly, size=cx.size)
+            weight = self._sheet_slope_weight(cx, cy, which) / w_max
+            keep = rng.uniform(size=cx.size) < weight
+            kx, ky = cx[keep], cy[keep]
+            take = min(need, kx.size)
+            out[filled : filled + take, 0] = kx[:take]
+            out[filled : filled + take, 1] = ky[:take]
+            out[filled : filled + take, 2] = field(kx[:take], ky[:take])
+            filled += take
+        return out
+
+    def _sample_wall(self, n: int, rng: np.random.Generator, name: str) -> np.ndarray:
+        """Uniform-by-area sample of one vertical side wall.
+
+        Rejection on the local water-column height keeps the sample uniform
+        over the (curved-top, curved-bottom) wall area.
+        """
+        if n <= 0:
+            return np.empty((0, 3))
+        lx, ly = self.size
+        along_x = name in ("wall_y0", "wall_y1")
+        length = lx if along_x else ly
+        fixed = {
+            "wall_x0": 0.0,
+            "wall_x1": lx,
+            "wall_y0": 0.0,
+            "wall_y1": ly,
+        }[name]
+        # Upper bound on the wall height.
+        ts = np.linspace(0.0, length, 64)
+        wx, wy = (ts, np.full_like(ts, fixed)) if along_x else (np.full_like(ts, fixed), ts)
+        h_max = float((self.top_height(wx, wy) - self.bottom_height(wx, wy)).max()) * 1.1
+        out = np.empty((n, 3))
+        filled = 0
+        while filled < n:
+            need = n - filled
+            t = rng.uniform(0.0, length, size=2 * need + 16)
+            cx, cy = (t, np.full_like(t, fixed)) if along_x else (np.full_like(t, fixed), t)
+            bottom = self.bottom_height(cx, cy)
+            top = self.top_height(cx, cy)
+            keep = rng.uniform(size=t.size) < (top - bottom) / h_max
+            kx, ky = cx[keep], cy[keep]
+            kb, kt = bottom[keep], top[keep]
+            take = min(need, kx.size)
+            out[filled : filled + take, 0] = kx[:take]
+            out[filled : filled + take, 1] = ky[:take]
+            out[filled : filled + take, 2] = rng.uniform(kb[:take], kt[:take])
+            filled += take
+        return out
+
+    def sample_surface(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        table = self._area_table
+        names = list(table.keys())
+        counts = multinomial_split(n, [table[k] for k in names], rng)
+        pieces = []
+        for name, count in zip(names, counts):
+            if count == 0:
+                continue
+            if name in ("top", "bottom"):
+                pieces.append(self._sample_sheet(count, rng, name))
+            else:
+                pieces.append(self._sample_wall(count, rng, name))
+        if not pieces:
+            return np.empty((0, 3))
+        return np.vstack(pieces)
+
+    @property
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        lo = np.array([0.0, 0.0, -self.depth - _GRAD_STEP])
+        hi = np.array([self.size[0], self.size[1], self.wave_amplitude + _GRAD_STEP])
+        return lo, hi

@@ -1,0 +1,222 @@
+"""The five-step surface construction pipeline (Sec. III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.network.graph import NetworkGraph
+from repro.surface.cdg import build_cdg
+from repro.surface.cdm import build_cdm
+from repro.surface.edgeflip import edge_flip
+from repro.surface.holepatch import patch_holes
+from repro.surface.landmarks import assign_voronoi_cells, elect_landmarks
+from repro.surface.mesh import TriangularMesh
+from repro.surface.triangulation import complete_triangulation
+
+
+@dataclass(frozen=True)
+class SurfaceConfig:
+    """Surface-construction parameters.
+
+    Attributes
+    ----------
+    k:
+        Landmark separation in hops; "usually set between 3 to 5" in the
+        paper.  Larger values give coarser meshes and leave more boundary
+        nodes outside the mesh surface.  The default of 4 yields closed
+        2-manifolds on the deployment densities this library ships; k=3
+        needs denser boundary sampling to close every face.
+    candidate_radius:
+        Maximum landmark hop distance tried during triangulation
+        completion; None means ``2 * k``.
+    min_landmarks:
+        Groups electing fewer landmarks than this are skipped -- below four
+        landmarks no closed triangular surface exists.
+    apply_edge_flip:
+        Whether to run Step V (disable only for ablations).
+    apply_hole_patching:
+        Whether to close residual open rings (see
+        :mod:`repro.surface.holepatch`); disable only for ablations.
+    finalize_rounds:
+        Edge-flip / hole-patch alternations; each pass can expose work for
+        the other, and two rounds close every case seen in practice.
+    adaptive_k:
+        When a group elects fewer than ``min_landmarks`` landmarks at
+        spacing ``k`` (typical for small hole boundaries), retry with
+        ``k-1, k-2, .., 2`` before giving up.  Matches the paper's remark
+        that ``k`` is chosen "according to the needs of specific
+        applications": a small hole needs a finer mesh.
+    quality_retry:
+        When the mesh at spacing ``k`` is not fully closed (some edge not
+        on exactly two faces), also build at ``k+1`` and ``k+2`` and keep
+        the best mesh.  Coarser landmarks often close surfaces that a fine
+        spacing leaves ragged, at the cost of mesh resolution.
+    """
+
+    k: int = 4
+    candidate_radius: Optional[int] = None
+    min_landmarks: int = 4
+    apply_edge_flip: bool = True
+    apply_hole_patching: bool = True
+    finalize_rounds: int = 6
+    adaptive_k: bool = True
+    quality_retry: bool = True
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.min_landmarks < 4:
+            raise ValueError("min_landmarks must be at least 4")
+        if self.candidate_radius is not None and self.candidate_radius < 1:
+            raise ValueError("candidate_radius must be positive")
+        if self.finalize_rounds < 1:
+            raise ValueError("finalize_rounds must be at least 1")
+
+    @property
+    def effective_candidate_radius(self) -> int:
+        """Candidate radius actually used (defaults to ``2 * k``)."""
+        return self.candidate_radius if self.candidate_radius is not None else 2 * self.k
+
+
+@dataclass
+class SurfaceBuildRecord:
+    """Mesh plus the intermediate artifacts of its construction.
+
+    Keeping the intermediates allows the benches to report exactly what the
+    paper's Figs. 1(c)-1(f) show: landmarks, CDG (with crossing edges),
+    CDM, and the final triangular mesh.
+    """
+
+    mesh: TriangularMesh
+    landmarks: List[int]
+    cells: Dict[int, int]
+    cdg_edges: set
+    cdm_edges: set
+    cdm_rejected: set
+
+
+class SurfaceBuilder:
+    """Builds one triangular mesh per boundary group."""
+
+    def __init__(self, config: SurfaceConfig = SurfaceConfig()):
+        self.config = config
+
+    @staticmethod
+    def _two_faced_fraction(record: "SurfaceBuildRecord") -> float:
+        counts = record.mesh.edge_face_counts()
+        if not counts:
+            return 0.0
+        return sum(1 for c in counts.values() if c == 2) / len(counts)
+
+    def build_one(
+        self, graph: NetworkGraph, group: Iterable[int]
+    ) -> Optional[SurfaceBuildRecord]:
+        """Run Steps I-V (plus hole patching) on a single boundary group.
+
+        Returns None when the group is too small to carry a closed surface
+        (fewer than ``min_landmarks`` landmarks elected).  With
+        ``quality_retry`` enabled, coarser spacings are also attempted when
+        the first mesh does not close, and the best mesh wins.
+        """
+        best = self._build_at_k(graph, group, self.config.k)
+        if not self.config.quality_retry:
+            return best
+        best_score = self._two_faced_fraction(best) if best else 0.0
+        k = self.config.k
+        while best_score < 1.0 and k < self.config.k + 2:
+            k += 1
+            candidate = self._build_at_k(graph, group, k)
+            if candidate is None:
+                continue
+            score = self._two_faced_fraction(candidate)
+            if score > best_score or best is None:
+                best, best_score = candidate, score
+        return best
+
+    def _build_at_k(
+        self, graph: NetworkGraph, group: Iterable[int], k: int
+    ) -> Optional[SurfaceBuildRecord]:
+        """One full construction attempt at landmark spacing ``k``."""
+        group = sorted(int(g) for g in group)
+        landmarks = elect_landmarks(graph, group, k)
+        while (
+            self.config.adaptive_k
+            and len(landmarks) < self.config.min_landmarks
+            and k > 2
+        ):
+            k -= 1
+            landmarks = elect_landmarks(graph, group, k)
+        if len(landmarks) < self.config.min_landmarks:
+            return None
+        cells = assign_voronoi_cells(graph, group, landmarks)
+        cdg_edges = build_cdg(graph, group, cells)
+        cdm = build_cdm(graph, group, cells, cdg_edges)
+        candidate_radius = (
+            self.config.candidate_radius
+            if self.config.candidate_radius is not None
+            else 2 * k
+        )
+        edges, paths = complete_triangulation(
+            graph,
+            group,
+            landmarks,
+            cdm,
+            candidate_radius=candidate_radius,
+        )
+
+        mesh = TriangularMesh(vertices=landmarks, group=list(group))
+        for u, v in sorted(edges):
+            mesh.add_edge(u, v, path=paths.get((u, v)))
+
+        for _ in range(self.config.finalize_rounds):
+            dirty = False
+            if self.config.apply_edge_flip and mesh.edges_with_face_count(3):
+                edge_flip(mesh, graph)
+                dirty = True
+            if self.config.apply_hole_patching and any(
+                c <= 1 for c in mesh.edge_face_counts().values()
+            ):
+                patch_holes(mesh, graph)
+                dirty = True
+            if not dirty:
+                break
+        return SurfaceBuildRecord(
+            mesh=mesh,
+            landmarks=landmarks,
+            cells=cells,
+            cdg_edges=cdg_edges,
+            cdm_edges=set(cdm.edges),
+            cdm_rejected=set(cdm.rejected),
+        )
+
+    def build(
+        self, graph: NetworkGraph, groups: Iterable[Iterable[int]]
+    ) -> List[TriangularMesh]:
+        """Build meshes for all groups large enough to carry one."""
+        meshes: List[TriangularMesh] = []
+        for group in groups:
+            record = self.build_one(graph, group)
+            if record is not None:
+                meshes.append(record.mesh)
+        return meshes
+
+    def build_records(
+        self, graph: NetworkGraph, groups: Iterable[Iterable[int]]
+    ) -> List[SurfaceBuildRecord]:
+        """Like :meth:`build` but keeps the per-step intermediates."""
+        records: List[SurfaceBuildRecord] = []
+        for group in groups:
+            record = self.build_one(graph, group)
+            if record is not None:
+                records.append(record)
+        return records
+
+
+def build_boundary_surfaces(
+    graph: NetworkGraph,
+    groups: Iterable[Iterable[int]],
+    config: SurfaceConfig = SurfaceConfig(),
+) -> List[TriangularMesh]:
+    """Functional one-shot form of :class:`SurfaceBuilder`."""
+    return SurfaceBuilder(config).build(graph, groups)

@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic networks reused across the suite.
+
+Session-scoped fixtures keep the expensive artifacts (network generation,
+full detection) computed once; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoundaryDetector,
+    DeploymentConfig,
+    generate_network,
+    one_hole_scenario,
+    sphere_scenario,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def sphere_network():
+    """A small connected sphere-scenario network (Fig. 10 style)."""
+    return generate_network(
+        sphere_scenario(),
+        DeploymentConfig(
+            n_surface=400, n_interior=800, target_degree=26, seed=5
+        ),
+        scenario="sphere",
+    )
+
+
+@pytest.fixture(scope="session")
+def one_hole_network():
+    """A small network with one internal hole (Fig. 7 style)."""
+    return generate_network(
+        one_hole_scenario(),
+        DeploymentConfig(
+            n_surface=500, n_interior=800, target_degree=28, seed=6
+        ),
+        scenario="one_hole",
+    )
+
+
+@pytest.fixture(scope="session")
+def sphere_detection(sphere_network):
+    """Boundary detection (true coordinates) on the sphere network."""
+    return BoundaryDetector().detect(sphere_network)
+
+
+@pytest.fixture(scope="session")
+def one_hole_detection(one_hole_network):
+    """Boundary detection (true coordinates) on the one-hole network."""
+    return BoundaryDetector().detect(one_hole_network)

@@ -1,0 +1,59 @@
+"""Statistical regression pins: detection quality bands across seeds.
+
+These tests run detection on several small fresh deployments and assert
+the quality bands EXPERIMENTS.md reports.  They guard against silent
+regressions that a single-seed test could miss (or pass by luck).
+"""
+
+import numpy as np
+import pytest
+
+from repro import BoundaryDetector, DeploymentConfig, generate_network, sphere_scenario
+from repro.evaluation.metrics import evaluate_detection
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module")
+def seeded_runs():
+    runs = []
+    for seed in SEEDS:
+        network = generate_network(
+            sphere_scenario(),
+            DeploymentConfig(
+                n_surface=250, n_interior=450, target_degree=28, seed=seed
+            ),
+            scenario="sphere",
+        )
+        result = BoundaryDetector().detect(network)
+        runs.append((network, result, evaluate_detection(network, result)))
+    return runs
+
+
+class TestQualityBands:
+    def test_correct_band_across_seeds(self, seeded_runs):
+        for _, _, stats in seeded_runs:
+            assert stats.correct_pct > 0.97, stats.as_row()
+
+    def test_missing_band_across_seeds(self, seeded_runs):
+        for _, _, stats in seeded_runs:
+            assert stats.missing_pct < 0.03, stats.as_row()
+
+    def test_mistaken_band_across_seeds(self, seeded_runs):
+        """The discretization band: bounded, and never dominant."""
+        for _, _, stats in seeded_runs:
+            assert stats.mistaken_pct < 0.5, stats.as_row()
+
+    def test_single_outer_group_across_seeds(self, seeded_runs):
+        for _, result, _ in seeded_runs:
+            assert len(result.groups) == 1
+
+    def test_mistaken_always_hug_boundary(self, seeded_runs):
+        from repro.evaluation.metrics import mistaken_hop_distribution
+
+        for network, result, _ in seeded_runs:
+            buckets = mistaken_hop_distribution(network, result)
+            total = sum(buckets.values())
+            if total:
+                near = buckets[0] + buckets[1] + buckets[2]
+                assert near / total > 0.9

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executed in-process with reduced deployment sizes would be
+intrusive, so they run as subprocesses with their shipped parameters; each
+one is laptop-sized by construction.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "underwater_survey.py",
+    "hole_monitoring.py",
+    "pipe_inspection.py",
+    "surface_tools_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(EXAMPLES_DIR / script)]
+    if script == "underwater_survey.py":
+        args.append(str(tmp_path / "mesh.obj"))
+    completed = subprocess.run(
+        args,
+        capture_output=True,
+        text=True,
+        timeout=1200,
+        cwd=tmp_path,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

@@ -1,0 +1,116 @@
+"""Integration tests for the experiment drivers."""
+
+import pytest
+
+from repro import DeploymentConfig, generate_network, sphere_scenario
+from repro.evaluation.experiments import (
+    run_ball_radius_ablation,
+    run_collection_hops_ablation,
+    run_error_sweep,
+    run_iff_ablation,
+    run_landmark_k_ablation,
+    run_mesh_error_sweep,
+    run_scenario,
+    run_ubf_complexity,
+)
+from repro.evaluation.reporting import (
+    render_complexity,
+    render_error_sweep_counts,
+    render_error_sweep_percent,
+    render_mesh_error_sweep,
+    render_mistaken_distribution,
+    render_missing_distribution,
+    render_scenario_result,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    return generate_network(
+        sphere_scenario(),
+        DeploymentConfig(n_surface=250, n_interior=450, target_degree=26, seed=8),
+        scenario="sphere",
+    )
+
+
+class TestErrorSweep:
+    @pytest.fixture(scope="class")
+    def points(self, tiny_network):
+        return run_error_sweep(tiny_network, levels=(0.0, 0.3), seed=1)
+
+    def test_levels_recorded(self, points):
+        assert [p.level for p in points] == [0.0, 0.3]
+
+    def test_zero_error_near_perfect(self, points):
+        assert points[0].stats.correct_pct > 0.95
+
+    def test_error_degrades_detection(self, points):
+        assert points[1].stats.correct_pct <= points[0].stats.correct_pct
+
+    def test_rendering(self, points):
+        assert "30%" in render_error_sweep_counts(points)
+        assert "%" in render_error_sweep_percent(points)
+        render_mistaken_distribution(points)
+        render_missing_distribution(points)
+
+
+class TestScenarioDriver:
+    def test_runs_and_renders(self):
+        result = run_scenario(
+            "sphere",
+            DeploymentConfig(
+                n_surface=250, n_interior=450, target_degree=26, seed=8
+            ),
+        )
+        assert result.detection.correct_pct > 0.9
+        assert result.meshes
+        text = render_scenario_result(result)
+        assert "sphere" in text
+
+
+class TestMeshErrorSweep:
+    def test_mesh_survives_moderate_error(self, tiny_network):
+        points = run_mesh_error_sweep(tiny_network, levels=(0.0, 0.2), seed=2)
+        assert len(points) == 2
+        for p in points:
+            assert p.meshes, f"no mesh at level {p.level}"
+            assert p.meshes[0].two_faced_edge_fraction > 0.75
+        render_mesh_error_sweep(points)
+
+
+class TestComplexityDriver:
+    def test_balls_grow_with_density(self):
+        points = run_ubf_complexity(
+            target_degrees=(10.0, 25.0), n_surface=150, n_interior=300
+        )
+        assert points[1].mean_balls_tested > points[0].mean_balls_tested
+        render_complexity(points)
+
+
+class TestAblations:
+    def test_ball_radius_suppresses_small_hole(self):
+        points = run_ball_radius_ablation(
+            radii=(1.001, 2.0),
+            deployment=DeploymentConfig(
+                n_surface=500, n_interior=700, target_degree=30, seed=5
+            ),
+        )
+        small_r, large_r = points
+        # At the default radius the small hole is detected; at r=2 it is
+        # suppressed (or at least sharply reduced).
+        assert small_r.n_small_hole_detected > 0
+        assert large_r.n_small_hole_detected < 0.5 * small_r.n_small_hole_detected
+
+    def test_iff_grid_monotone_in_theta(self, tiny_network):
+        points = run_iff_ablation(tiny_network, thetas=(1, 40), ttls=(3,))
+        assert points[0].stats.n_found >= points[1].stats.n_found
+
+    def test_landmark_k_changes_vertex_count(self, tiny_network):
+        points = run_landmark_k_ablation(tiny_network, ks=(3, 5))
+        v3 = points[0].meshes[0].n_vertices if points[0].meshes else 0
+        v5 = points[1].meshes[0].n_vertices if points[1].meshes else 0
+        assert v3 > v5
+
+    def test_collection_hops_ablation(self, tiny_network):
+        stats = run_collection_hops_ablation(tiny_network, hops_values=(1, 2))
+        assert stats[0].n_mistaken > stats[1].n_mistaken

@@ -1,0 +1,43 @@
+"""Every virtual edge's recorded path is a real boundary walk."""
+
+import pytest
+
+from repro.surface.pipeline import SurfaceBuilder
+
+
+@pytest.fixture(scope="module")
+def built(sphere_network, sphere_detection):
+    records = SurfaceBuilder().build_records(
+        sphere_network.graph, sphere_detection.groups
+    )
+    return sphere_network.graph, records[0]
+
+
+class TestVirtualEdgePaths:
+    def test_paths_are_graph_walks(self, built):
+        graph, record = built
+        for path in record.mesh.paths.values():
+            for u, v in zip(path, path[1:]):
+                assert graph.has_edge(u, v), (u, v)
+
+    def test_paths_stay_on_boundary(self, built):
+        graph, record = built
+        members = set(record.mesh.group)
+        for path in record.mesh.paths.values():
+            assert set(path) <= members
+
+    def test_paths_are_shortest_in_boundary_subgraph(self, built):
+        graph, record = built
+        members = set(record.mesh.group)
+        for (u, v), path in record.mesh.paths.items():
+            shortest = graph.shortest_path(u, v, within=members)
+            assert shortest is not None
+            assert len(path) == len(shortest)
+
+    def test_landmark_cells_cover_group(self, built):
+        _, record = built
+        assert set(record.cells) == set(record.mesh.group)
+
+    def test_every_cell_owner_is_landmark(self, built):
+        _, record = built
+        assert set(record.cells.values()) <= set(record.landmarks)

@@ -1,0 +1,111 @@
+"""Integration tests: the full detection pipeline on real deployments."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoundaryDetector,
+    DetectorConfig,
+    IFFConfig,
+    UBFConfig,
+    UniformAbsoluteError,
+)
+from repro.evaluation.metrics import (
+    evaluate_detection,
+    missing_hop_distribution,
+    mistaken_hop_distribution,
+)
+
+
+class TestPerfectRangingDetection:
+    def test_sphere_near_perfect(self, sphere_network, sphere_detection):
+        stats = evaluate_detection(sphere_network, sphere_detection)
+        # Paper: near-perfect at zero error.
+        assert stats.correct_pct > 0.98
+        assert stats.missing_pct < 0.02
+        # Discretization residue: mistaken nodes hug the surface but stay
+        # a modest fraction.
+        assert stats.mistaken_pct < 0.35
+
+    def test_sphere_single_group(self, sphere_detection):
+        assert len(sphere_detection.groups) == 1
+
+    def test_one_hole_two_groups_with_hole_boundary(
+        self, one_hole_network, one_hole_detection
+    ):
+        stats = evaluate_detection(one_hole_network, one_hole_detection)
+        assert stats.correct_pct > 0.98
+        assert len(one_hole_detection.groups) == 2
+
+    def test_detection_deterministic(self, sphere_network):
+        a = BoundaryDetector().detect(sphere_network)
+        b = BoundaryDetector().detect(sphere_network)
+        assert a.boundary == b.boundary
+        assert a.groups == b.groups
+
+    def test_iff_only_removes_candidates(self, sphere_detection):
+        assert sphere_detection.boundary <= sphere_detection.candidates
+
+
+class TestNoisyDetection:
+    @pytest.fixture(scope="class")
+    def noisy_result(self, sphere_network):
+        config = DetectorConfig(error_model=UniformAbsoluteError(0.2))
+        return BoundaryDetector(config).detect(
+            sphere_network, rng=np.random.default_rng(3)
+        )
+
+    def test_moderate_error_still_useful(self, sphere_network, noisy_result):
+        stats = evaluate_detection(sphere_network, noisy_result)
+        assert stats.correct_pct > 0.7
+        assert stats.localization if hasattr(stats, "localization") else True
+
+    def test_mistaken_nodes_near_boundary(self, sphere_network, noisy_result):
+        """Paper Fig. 1(h): mistaken nodes within ~3 hops of correct ones."""
+        buckets = mistaken_hop_distribution(sphere_network, noisy_result)
+        total = sum(buckets.values())
+        if total:
+            within_three = buckets[1] + buckets[2] + buckets[3]
+            assert within_three / total > 0.9
+
+    def test_missing_nodes_near_correct(self, sphere_network, noisy_result):
+        """Paper Fig. 1(i): missing nodes ~all within 1 hop of correct."""
+        buckets = missing_hop_distribution(sphere_network, noisy_result)
+        total = sum(buckets.values())
+        if total:
+            assert buckets[1] / total > 0.8
+
+    def test_localization_mode_recorded(self, noisy_result):
+        assert noisy_result.localization_used == "mds"
+
+
+class TestConfigurationEffects:
+    def test_one_hop_collection_floods_interior(self, sphere_network):
+        """The 1-hop ablation: far more mistaken nodes than 2-hop."""
+        one_hop = BoundaryDetector(
+            DetectorConfig(ubf=UBFConfig(collection_hops=1))
+        ).detect(sphere_network)
+        two_hop = BoundaryDetector(
+            DetectorConfig(ubf=UBFConfig(collection_hops=2))
+        ).detect(sphere_network)
+        truth = sphere_network.truth_boundary_set
+        mistaken_1 = len(one_hop.boundary - truth)
+        mistaken_2 = len(two_hop.boundary - truth)
+        assert mistaken_1 > 1.5 * mistaken_2
+
+    def test_iff_disabled_keeps_candidates(self, sphere_network):
+        config = DetectorConfig(iff=IFFConfig(enabled=False))
+        result = BoundaryDetector(config).detect(sphere_network)
+        assert result.boundary == result.candidates
+
+    def test_huge_ball_radius_suppresses_detection(self, one_hole_network):
+        """With r larger than the hole, the hole's boundary disappears."""
+        default = BoundaryDetector().detect(one_hole_network)
+        coarse = BoundaryDetector(
+            DetectorConfig(ubf=UBFConfig(ball_radius=3.0))
+        ).detect(one_hole_network)
+        # The hole group (second largest) exists at default r.
+        assert len(default.groups) == 2
+        # At r=3 the small hole cannot host an empty ball.
+        assert len(coarse.groups) <= len(default.groups)
+        assert len(coarse.boundary) < len(default.boundary)

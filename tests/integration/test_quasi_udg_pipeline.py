@@ -1,0 +1,46 @@
+"""End-to-end detection under the quasi-UDG radio model."""
+
+import pytest
+
+from repro import BoundaryDetector, DeploymentConfig, generate_network, sphere_scenario
+from repro.evaluation.metrics import evaluate_detection
+from repro.surface.pipeline import SurfaceBuilder
+
+
+@pytest.fixture(scope="module")
+def quasi_network():
+    return generate_network(
+        sphere_scenario(),
+        DeploymentConfig(
+            n_surface=350,
+            n_interior=600,
+            target_degree=32,
+            seed=4,
+            quasi_udg_alpha=0.75,
+        ),
+        scenario="quasi-sphere",
+    )
+
+
+class TestQuasiUdgPipeline:
+    def test_network_respects_model(self, quasi_network):
+        graph = quasi_network.graph
+        # No link beyond the max range; some gray-zone pairs pruned, so the
+        # degree is below the unit-disk target.
+        for u, v in graph.edges():
+            assert graph.distance(u, v) <= 1.0 + 1e-9
+        assert graph.degrees().mean() < 32
+
+    def test_detection_still_accurate(self, quasi_network):
+        result = BoundaryDetector().detect(quasi_network)
+        stats = evaluate_detection(quasi_network, result)
+        assert stats.correct_pct > 0.95
+        assert len(result.groups) == 1
+
+    def test_mesh_still_builds(self, quasi_network):
+        result = BoundaryDetector().detect(quasi_network)
+        meshes = SurfaceBuilder().build(quasi_network.graph, result.groups)
+        assert meshes
+        counts = meshes[0].edge_face_counts()
+        closed = sum(1 for c in counts.values() if c == 2) / len(counts)
+        assert closed > 0.7

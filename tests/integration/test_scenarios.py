@@ -1,0 +1,79 @@
+"""Integration: the five paper scenarios (Figs. 6-10) end to end.
+
+One compact deployment per scenario; asserts the paper's qualitative
+claims -- boundaries found, holes separated into their own groups, meshes
+constructed.
+"""
+
+import pytest
+
+from repro import BoundaryDetector, DeploymentConfig, generate_network, scenario_by_name
+from repro.evaluation.metrics import evaluate_detection
+from repro.surface.pipeline import SurfaceBuilder
+
+DEPLOY = DeploymentConfig(n_surface=700, n_interior=1100, target_degree=30, seed=3)
+
+EXPECTED_GROUPS = {
+    "underwater": 1,
+    "one_hole": 2,
+    "two_holes": 3,
+    "bent_pipe": 1,
+    "sphere": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def scenario_runs():
+    runs = {}
+    for name in EXPECTED_GROUPS:
+        network = generate_network(scenario_by_name(name), DEPLOY, scenario=name)
+        result = BoundaryDetector().detect(network)
+        runs[name] = (network, result)
+    return runs
+
+
+class TestScenarioDetection:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_GROUPS))
+    def test_truth_boundary_found(self, scenario_runs, name):
+        network, result = scenario_runs[name]
+        stats = evaluate_detection(network, result)
+        assert stats.correct_pct > 0.97, f"{name}: {stats.as_row()}"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_GROUPS))
+    def test_group_count_matches_topology(self, scenario_runs, name):
+        _, result = scenario_runs[name]
+        assert len(result.groups) == EXPECTED_GROUPS[name], (
+            f"{name}: groups {[len(g) for g in result.groups]}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_GROUPS))
+    def test_outer_boundary_is_largest_group(self, scenario_runs, name):
+        network, result = scenario_runs[name]
+        # Majority of ground-truth outer nodes must land in groups[0].
+        truth = network.truth_boundary_set
+        overlap = len(set(result.groups[0]) & truth)
+        assert overlap > 0.5 * len(result.groups[0])
+
+
+#: Closed-edge-fraction floor per scenario.  Convex-ish boundaries close
+#: fully; the thin bent pipe is the stress case for the connectivity-only
+#: crossing heuristic (see DESIGN.md section 6).
+MESH_QUALITY_FLOOR = {
+    "underwater": 0.9,
+    "one_hole": 0.9,
+    "two_holes": 0.9,
+    "bent_pipe": 0.6,
+    "sphere": 0.9,
+}
+
+
+class TestScenarioSurfaces:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_GROUPS))
+    def test_meshes_built_and_mostly_closed(self, scenario_runs, name):
+        network, result = scenario_runs[name]
+        meshes = SurfaceBuilder().build(network.graph, result.groups)
+        assert meshes, f"{name}: no mesh built"
+        counts = meshes[0].edge_face_counts()
+        two_faced = sum(1 for c in counts.values() if c == 2) / len(counts)
+        floor = MESH_QUALITY_FLOOR[name]
+        assert two_faced > floor, f"{name}: only {two_faced:.0%} edges closed"

@@ -1,0 +1,28 @@
+"""Detection on a round-tripped network matches the original exactly."""
+
+import numpy as np
+
+from repro import BoundaryDetector, DetectorConfig, UniformAbsoluteError
+from repro.io.serialization import load_network, save_network
+
+
+class TestSerializationFidelity:
+    def test_true_coordinate_detection_identical(self, sphere_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(sphere_network, path)
+        loaded = load_network(path)
+        a = BoundaryDetector().detect(sphere_network)
+        b = BoundaryDetector().detect(loaded)
+        assert a.boundary == b.boundary
+        assert a.groups == b.groups
+
+    def test_noisy_detection_identical_given_same_rng(self, sphere_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(sphere_network, path)
+        loaded = load_network(path)
+        config = DetectorConfig(error_model=UniformAbsoluteError(0.2))
+        a = BoundaryDetector(config).detect(
+            sphere_network, rng=np.random.default_rng(5)
+        )
+        b = BoundaryDetector(config).detect(loaded, rng=np.random.default_rng(5))
+        assert a.boundary == b.boundary

@@ -1,0 +1,86 @@
+"""Property-based tests for the ball-fitting solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.ballfit import (
+    balls_through_point_pairs,
+    balls_through_three_points,
+    empty_ball_exists,
+)
+
+coord = st.floats(-0.875, 0.875, allow_nan=False, allow_infinity=False, width=32)
+point = arrays(np.float64, (3,), elements=coord)
+
+
+@st.composite
+def triangle(draw):
+    p1 = draw(point)
+    p2 = draw(point)
+    p3 = draw(point)
+    return p1, p2, p3
+
+
+class TestBallsThroughThreePoints:
+    @given(triangle(), st.floats(0.5, 2.0))
+    @settings(max_examples=150, deadline=None)
+    def test_centers_equidistant_from_all_three(self, tri, radius):
+        p1, p2, p3 = tri
+        for center in balls_through_three_points(p1, p2, p3, radius):
+            for p in (p1, p2, p3):
+                assert abs(np.linalg.norm(center - p) - radius) < 1e-6 * radius
+
+    @given(triangle(), st.floats(0.5, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_at_most_two_solutions(self, tri, radius):
+        assert len(balls_through_three_points(*tri, radius)) <= 2
+
+    @given(triangle(), st.floats(0.5, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_translation_invariance(self, tri, radius):
+        p1, p2, p3 = tri
+        shift = np.array([3.0, -7.0, 11.0])
+        base = balls_through_three_points(p1, p2, p3, radius)
+        moved = balls_through_three_points(p1 + shift, p2 + shift, p3 + shift, radius)
+        assert len(base) == len(moved)
+        for b, m in zip(base, moved):
+            assert np.allclose(b + shift, m, atol=1e-6)
+
+
+class TestBatchConsistency:
+    @given(
+        arrays(np.float64, (6, 3), elements=coord),
+        st.floats(0.8, 1.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_centers_all_valid(self, neighbors, radius):
+        origin = np.zeros(3)
+        centers, pairs = balls_through_point_pairs(origin, neighbors, radius)
+        for center in centers:
+            assert abs(np.linalg.norm(center - origin) - radius) < 1e-6
+
+
+class TestEmptyBallInvariants:
+    @given(arrays(np.float64, (8, 3), elements=coord))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_check_set(self, neighbors):
+        """Adding check points can only flip boundary -> interior."""
+        origin = np.zeros(3)
+        base = empty_ball_exists(origin, neighbors, 1.0)
+        extra = np.vstack([neighbors, neighbors * 0.5 + 0.1])
+        augmented = empty_ball_exists(origin, neighbors, 1.0, check_points=extra)
+        if augmented.is_boundary:
+            assert base.is_boundary
+
+    @given(arrays(np.float64, (8, 3), elements=coord))
+    @settings(max_examples=60, deadline=None)
+    def test_witness_ball_is_actually_empty(self, neighbors):
+        origin = np.zeros(3)
+        result = empty_ball_exists(origin, neighbors, 1.0)
+        if result.empty_center is None:
+            return
+        dists = np.linalg.norm(neighbors - result.empty_center, axis=1)
+        # No neighbor may be strictly inside the witness ball.
+        assert (dists > 1.0 - 1e-6).all()

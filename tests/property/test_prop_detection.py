@@ -1,0 +1,77 @@
+"""Property-based tests over the detection pipeline's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import IFFConfig
+from repro.core.grouping import group_boundary_nodes
+from repro.core.iff import run_iff
+from repro.network.graph import NetworkGraph
+
+
+@st.composite
+def random_graph_and_candidates(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(10, 40))
+    pts = rng.uniform(0, 3, size=(n, 3))
+    graph = NetworkGraph(pts, radio_range=1.0)
+    k = draw(st.integers(0, n))
+    candidates = set(rng.choice(n, size=k, replace=False).tolist())
+    return graph, candidates
+
+
+class TestIFFProperties:
+    @given(random_graph_and_candidates(), st.integers(1, 10), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_survivors_subset_of_candidates(self, gc, theta, ttl):
+        graph, candidates = gc
+        survivors = run_iff(graph, candidates, IFFConfig(theta=theta, ttl=ttl))
+        assert survivors <= candidates
+
+    @given(random_graph_and_candidates(), st.integers(1, 8), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_theta(self, gc, theta, ttl):
+        graph, candidates = gc
+        low = run_iff(graph, candidates, IFFConfig(theta=theta, ttl=ttl))
+        high = run_iff(graph, candidates, IFFConfig(theta=theta + 2, ttl=ttl))
+        assert high <= low
+
+    @given(random_graph_and_candidates(), st.integers(2, 8), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_ttl(self, gc, theta, ttl):
+        graph, candidates = gc
+        short = run_iff(graph, candidates, IFFConfig(theta=theta, ttl=ttl))
+        longer = run_iff(graph, candidates, IFFConfig(theta=theta, ttl=ttl + 1))
+        assert short <= longer
+
+
+class TestGroupingProperties:
+    @given(random_graph_and_candidates())
+    @settings(max_examples=50, deadline=None)
+    def test_groups_partition_input(self, gc):
+        graph, candidates = gc
+        groups = group_boundary_nodes(graph, candidates)
+        flat = [n for g in groups for n in g]
+        assert sorted(flat) == sorted(candidates)
+
+    @given(random_graph_and_candidates())
+    @settings(max_examples=50, deadline=None)
+    def test_no_edges_between_groups(self, gc):
+        graph, candidates = gc
+        groups = group_boundary_nodes(graph, candidates)
+        for i, ga in enumerate(groups):
+            for gb in groups[i + 1 :]:
+                for u in ga:
+                    for v in gb:
+                        assert not graph.has_edge(u, v)
+
+    @given(random_graph_and_candidates())
+    @settings(max_examples=50, deadline=None)
+    def test_groups_internally_connected(self, gc):
+        graph, candidates = gc
+        groups = group_boundary_nodes(graph, candidates)
+        for group in groups:
+            hops = graph.bfs_hops([group[0]], within=set(group))
+            assert set(hops) == set(group)

@@ -1,0 +1,59 @@
+"""Property-based tests for NetworkGraph invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.network.graph import NetworkGraph
+
+coord = st.floats(0.0, 3.0, allow_nan=False, allow_infinity=False, width=32)
+positions = arrays(np.float64, (20, 3), elements=coord)
+
+
+class TestGraphInvariants:
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_symmetric(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        for u in range(g.n_nodes):
+            for v in g.neighbors(u):
+                assert g.has_edge(int(v), u)
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_edges_within_radio_range(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        for u, v in g.edges():
+            assert g.distance(u, v) <= 1.0 + 1e-9
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_components_partition_nodes(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        comps = g.connected_components()
+        seen = [n for comp in comps for n in comp]
+        assert sorted(seen) == list(range(g.n_nodes))
+
+    @given(positions, st.integers(0, 19), st.integers(0, 19))
+    @settings(max_examples=40, deadline=None)
+    def test_shortest_path_length_matches_bfs(self, pts, a, b):
+        g = NetworkGraph(pts, radio_range=1.0)
+        path = g.shortest_path(a, b)
+        hops = g.bfs_hops([a])
+        if path is None:
+            assert b not in hops
+        else:
+            assert len(path) - 1 == hops[b]
+            # Path is a real walk.
+            for u, v in zip(path, path[1:]):
+                assert g.has_edge(u, v)
+
+    @given(positions, st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_max_hops_prefix(self, pts, cap):
+        """Capped BFS equals the full BFS restricted to <= cap."""
+        g = NetworkGraph(pts, radio_range=1.0)
+        full = g.bfs_hops([0])
+        capped = g.bfs_hops([0], max_hops=cap)
+        assert capped == {n: d for n, d in full.items() if d <= cap}

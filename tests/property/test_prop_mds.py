@@ -1,0 +1,66 @@
+"""Property-based tests for MDS and distance completion."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.mds import classical_mds, complete_distance_matrix
+from repro.geometry.primitives import pairwise_distances
+from repro.geometry.transforms import procrustes_disparity
+
+coord = st.floats(-1.0, 1.0, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestCompletionProperties:
+    @given(arrays(np.float64, (6, 3), elements=coord))
+    @settings(max_examples=60, deadline=None)
+    def test_completion_never_increases_entries(self, pts):
+        """Shortest-path completion can only shrink finite entries."""
+        d = pairwise_distances(pts)
+        completed = complete_distance_matrix(d)
+        assert (completed <= d + 1e-12).all()
+
+    @given(arrays(np.float64, (6, 3), elements=coord), st.integers(0, 14))
+    @settings(max_examples=60, deadline=None)
+    def test_completed_matrix_is_metric(self, pts, knockout_seed):
+        """Output satisfies the triangle inequality and symmetry."""
+        d = pairwise_distances(pts)
+        rng = np.random.default_rng(knockout_seed)
+        mask = rng.uniform(size=d.shape) < 0.3
+        mask = mask | mask.T
+        np.fill_diagonal(mask, False)
+        partial = d.copy()
+        partial[mask] = np.inf
+        completed = complete_distance_matrix(partial)
+        assert np.allclose(completed, completed.T)
+        m = completed.shape[0]
+        for i in range(m):
+            for j in range(m):
+                for k in range(m):
+                    assert completed[i, j] <= completed[i, k] + completed[k, j] + 1e-9
+
+
+class TestMDSProperties:
+    @given(arrays(np.float64, (7, 3), elements=coord))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_recovery_up_to_rigid_motion(self, pts):
+        coords = classical_mds(pairwise_distances(pts))
+        assert procrustes_disparity(coords, pts) < 1e-6
+
+    @given(arrays(np.float64, (7, 3), elements=coord))
+    @settings(max_examples=40, deadline=None)
+    def test_invariance_under_rigid_motion(self, pts):
+        """MDS of rotated/translated points embeds congruently."""
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        moved = pts @ rot.T + np.array([3.0, -1.0, 2.0])
+        c1 = classical_mds(pairwise_distances(pts))
+        c2 = classical_mds(pairwise_distances(moved))
+        assert procrustes_disparity(c1, c2) < 1e-6

@@ -1,0 +1,77 @@
+"""Property-based tests for the ranging-error models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.network.measurement import (
+    MIN_MEASURED_DISTANCE,
+    GaussianError,
+    NoError,
+    UniformAbsoluteError,
+    UniformRelativeError,
+)
+
+distances = arrays(
+    np.float64,
+    st.integers(1, 50),
+    elements=st.floats(0.015625, 1.0, allow_nan=False, width=32),
+)
+levels = st.floats(0.0, 1.0, allow_nan=False, width=32)
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _models(level):
+    return [
+        NoError(),
+        UniformAbsoluteError(level),
+        UniformRelativeError(level),
+        GaussianError(level / 2),
+    ]
+
+
+class TestModelProperties:
+    @given(distances, levels, seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_outputs_positive(self, d, level, seed):
+        for model in _models(level):
+            out = model.perturb(d, np.random.default_rng(seed))
+            assert (out >= MIN_MEASURED_DISTANCE - 1e-15).all()
+
+    @given(distances, levels, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_given_seed(self, d, level, seed):
+        for model in _models(level):
+            a = model.perturb(d, np.random.default_rng(seed))
+            b = model.perturb(d, np.random.default_rng(seed))
+            assert np.array_equal(a, b)
+
+    @given(distances, levels, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_absolute_bounded(self, d, level, seed):
+        out = UniformAbsoluteError(level).perturb(d, np.random.default_rng(seed))
+        assert (out <= d + level + 1e-12).all()
+        assert (out >= np.maximum(d - level, MIN_MEASURED_DISTANCE) - 1e-12).all()
+
+    @given(distances, levels, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_relative_bounded(self, d, level, seed):
+        out = UniformRelativeError(level).perturb(d, np.random.default_rng(seed))
+        assert (out <= d * (1 + level) + 1e-12).all()
+
+    @given(distances, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_level_is_identity(self, d, seed):
+        rng = np.random.default_rng(seed)
+        assert np.allclose(UniformAbsoluteError(0.0).perturb(d, rng), d)
+        assert np.allclose(UniformRelativeError(0.0).perturb(d, rng), d)
+        assert np.allclose(GaussianError(0.0).perturb(d, rng), d)
+
+    @given(distances, levels, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_input_never_mutated(self, d, level, seed):
+        original = d.copy()
+        for model in _models(level):
+            model.perturb(d, np.random.default_rng(seed))
+        assert np.array_equal(d, original)

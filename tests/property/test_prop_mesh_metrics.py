@@ -1,0 +1,48 @@
+"""Property-based tests for point-triangle distance."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation.mesh_metrics import point_triangle_distance
+
+coord = st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False, width=32)
+point = arrays(np.float64, (3,), elements=coord)
+
+
+class TestPointTriangleProperties:
+    @given(point, point, point, point)
+    @settings(max_examples=120, deadline=None)
+    def test_bounded_by_vertex_distances(self, p, a, b, c):
+        d = point_triangle_distance(p, a, b, c)
+        assert d <= np.linalg.norm(p - a) + 1e-9
+        assert d <= np.linalg.norm(p - b) + 1e-9
+        assert d <= np.linalg.norm(p - c) + 1e-9
+
+    @given(point, point, point)
+    @settings(max_examples=80, deadline=None)
+    def test_vertices_have_zero_distance(self, a, b, c):
+        assert point_triangle_distance(a, a, b, c) < 1e-9
+        assert point_triangle_distance(b, a, b, c) < 1e-9
+        assert point_triangle_distance(c, a, b, c) < 1e-9
+
+    @given(point, point, point, point)
+    @settings(max_examples=80, deadline=None)
+    def test_non_negative_and_symmetric_in_vertices(self, p, a, b, c):
+        d1 = point_triangle_distance(p, a, b, c)
+        d2 = point_triangle_distance(p, b, c, a)
+        d3 = point_triangle_distance(p, c, a, b)
+        assert d1 >= 0
+        assert abs(d1 - d2) < 1e-7
+        assert abs(d1 - d3) < 1e-7
+
+    @given(point, point, point, point, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_barycentric_points_on_triangle(self, a, b, c, _p, u, v):
+        """Any convex combination of the vertices has zero distance."""
+        if u + v > 1.0:
+            u, v = 1.0 - u, 1.0 - v
+        w = 1.0 - u - v
+        inside = u * a + v * b + w * c
+        assert point_triangle_distance(inside, a, b, c) < 1e-7

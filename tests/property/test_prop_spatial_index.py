@@ -1,0 +1,39 @@
+"""Property-based tests for the spatial grid index."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.spatial_index import UniformGridIndex
+
+coord = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestIndexProperties:
+    @given(
+        arrays(np.float64, (40, 3), elements=coord),
+        arrays(np.float64, (3,), elements=coord),
+        st.floats(0.2, 3.0),
+        st.floats(0.2, 2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_query_matches_brute_force(self, points, query, radius, cell):
+        index = UniformGridIndex(points, cell_size=cell)
+        got = set(index.query_radius(query, radius).tolist())
+        dists = np.linalg.norm(points - query, axis=1)
+        expected = set(np.flatnonzero(dists <= radius).tolist())
+        assert got == expected
+
+    @given(
+        arrays(np.float64, (30, 3), elements=coord),
+        st.floats(0.3, 2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_symmetric_in_radius(self, points, radius):
+        """neighbor_pairs covers exactly the <=radius pairs, i<j."""
+        index = UniformGridIndex(points, cell_size=1.0)
+        pairs = index.neighbor_pairs(radius)
+        for i, j in pairs:
+            assert i < j
+            assert np.linalg.norm(points[i] - points[j]) <= radius + 1e-12

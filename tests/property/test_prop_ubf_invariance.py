@@ -1,0 +1,55 @@
+"""UBF must be invariant to the local frame's rigid ambiguity.
+
+MDS frames are arbitrary up to rotation, translation, and reflection;
+the boundary decision cannot depend on which representative the node
+happened to compute.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.ballfit import empty_ball_exists
+from repro.geometry.transforms import random_rotation_matrix
+
+coord = st.floats(-0.875, 0.875, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestRigidInvariance:
+    @given(
+        arrays(np.float64, (9, 3), elements=coord),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rotation_translation_invariance(self, neighbors, seed):
+        rng = np.random.default_rng(seed)
+        rotation = random_rotation_matrix(rng)
+        translation = rng.normal(scale=5.0, size=3)
+
+        base = empty_ball_exists(np.zeros(3), neighbors, 1.0)
+        moved = empty_ball_exists(
+            translation,
+            neighbors @ rotation.T + translation,
+            1.0,
+        )
+        assert base.is_boundary == moved.is_boundary
+
+    @given(arrays(np.float64, (9, 3), elements=coord))
+    @settings(max_examples=60, deadline=None)
+    def test_reflection_invariance(self, neighbors):
+        mirror = np.array([-1.0, 1.0, 1.0])
+        base = empty_ball_exists(np.zeros(3), neighbors, 1.0)
+        mirrored = empty_ball_exists(np.zeros(3), neighbors * mirror, 1.0)
+        assert base.is_boundary == mirrored.is_boundary
+
+    @given(
+        arrays(np.float64, (9, 3), elements=coord),
+        st.floats(0.5, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_scaling_with_radius(self, neighbors, factor):
+        """Scaling the geometry and the ball radius together is neutral."""
+        base = empty_ball_exists(np.zeros(3), neighbors, 1.0)
+        scaled = empty_ball_exists(np.zeros(3), neighbors * factor, factor)
+        assert base.is_boundary == scaled.is_boundary

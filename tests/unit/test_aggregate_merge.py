@@ -1,0 +1,64 @@
+"""Unit tests for the Fig. 11 aggregate-sweep merge arithmetic.
+
+`run_aggregate_sweep` itself is exercised by the benches; these tests pin
+the merge semantics (count addition, histogram union) on hand-built
+inputs by calling the merge path through a stubbed sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import ErrorSweepPoint, run_aggregate_sweep
+from repro.evaluation.metrics import DetectionStats
+
+
+class TestMergeSemantics:
+    def test_counts_add_and_histograms_union(self, monkeypatch):
+        levels = (0.0, 0.5)
+
+        def fake_sweep(network, lv, detector_config=None, seed=0, **kwargs):
+            base = 100 if seed < 1000 else 200  # distinguish the networks
+            return [
+                ErrorSweepPoint(
+                    level=level,
+                    stats=DetectionStats(
+                        n_truth=base,
+                        n_found=base - 10,
+                        n_correct=base - 20,
+                        n_mistaken=10,
+                        n_missing=20,
+                    ),
+                    mistaken_hops={1: base // 10, 2: 1},
+                    missing_hops={1: 2},
+                )
+                for level in lv
+            ]
+
+        def fake_generate(shape, deployment, scenario=""):
+            return object()
+
+        import repro.evaluation.experiments as exp
+
+        monkeypatch.setattr(exp, "run_error_sweep", fake_sweep)
+        monkeypatch.setattr(exp, "generate_network", fake_generate)
+        monkeypatch.setattr(exp, "scenario_by_name", lambda name: None)
+
+        merged = run_aggregate_sweep(
+            ["a", "b"], deployment=None, levels=levels, seed=0
+        )
+        assert len(merged) == 2
+        point = merged[0]
+        assert point.stats.n_truth == 300
+        assert point.stats.n_found == 280  # (100-10) + (200-10)
+        assert point.stats.n_correct == 260
+        assert point.stats.n_mistaken == 20
+        assert point.stats.n_missing == 40
+        assert point.mistaken_hops == {1: 30, 2: 2}
+        assert point.missing_hops == {1: 4}
+
+    def test_percentages_follow_merged_counts(self):
+        stats = DetectionStats(
+            n_truth=300, n_found=270, n_correct=260, n_mistaken=10, n_missing=40
+        )
+        assert stats.correct_pct == pytest.approx(260 / 300)
+        assert stats.missing_pct == pytest.approx(40 / 300)

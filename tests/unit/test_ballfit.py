@@ -1,0 +1,153 @@
+"""Unit tests for the unit-ball fitting solver (the heart of UBF)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.ballfit import (
+    balls_through_point_pairs,
+    balls_through_three_points,
+    empty_ball_exists,
+)
+
+
+class TestBallsThroughThreePoints:
+    def test_two_solutions_for_small_triangle(self):
+        centers = balls_through_three_points(
+            [0, 0, 0], [1, 0, 0], [0, 1, 0], radius=1.0
+        )
+        assert len(centers) == 2
+        for c in centers:
+            for p in ([0, 0, 0], [1, 0, 0], [0, 1, 0]):
+                assert np.linalg.norm(c - np.asarray(p, float)) == pytest.approx(1.0)
+
+    def test_centers_mirror_across_plane(self):
+        centers = balls_through_three_points(
+            [0, 0, 0], [1, 0, 0], [0, 1, 0], radius=1.0
+        )
+        # Triangle lies in z=0; the two centers mirror in z.
+        assert centers[0][2] == pytest.approx(-centers[1][2])
+
+    def test_no_solution_when_circumradius_exceeds_radius(self):
+        # Equilateral triangle with side 2 has circumradius 2/sqrt(3) > 1.
+        centers = balls_through_three_points(
+            [0, 0, 0], [2, 0, 0], [1, np.sqrt(3), 0], radius=1.0
+        )
+        assert centers == []
+
+    def test_tangent_case_single_solution(self):
+        # Equilateral triangle with circumradius exactly equal to radius.
+        r = 1.0
+        side = r * np.sqrt(3)
+        centers = balls_through_three_points(
+            [0, 0, 0], [side, 0, 0], [side / 2, side * np.sqrt(3) / 2, 0], radius=r
+        )
+        assert len(centers) == 1
+
+    def test_collinear_returns_empty(self):
+        assert (
+            balls_through_three_points([0, 0, 0], [1, 0, 0], [2, 0, 0], 1.0) == []
+        )
+
+    def test_radius_scaling(self, rng):
+        """Scaling points and radius together scales the centers."""
+        pts = rng.normal(size=(3, 3)) * 0.3
+        centers1 = balls_through_three_points(*pts, radius=1.0)
+        centers2 = balls_through_three_points(*(2.0 * pts), radius=2.0)
+        assert len(centers1) == len(centers2)
+        for c1, c2 in zip(centers1, centers2):
+            assert np.allclose(2.0 * c1, c2, atol=1e-9)
+
+
+class TestBallsThroughPointPairs:
+    def test_matches_scalar_solver(self, rng):
+        origin = np.zeros(3)
+        others = rng.uniform(-0.8, 0.8, size=(6, 3))
+        centers, pairs = balls_through_point_pairs(origin, others, radius=1.0)
+        # Re-derive each center with the scalar solver.
+        for center, (j, k) in zip(centers, pairs):
+            candidates = balls_through_three_points(
+                origin, others[j], others[k], radius=1.0
+            )
+            assert any(np.allclose(center, c, atol=1e-9) for c in candidates)
+
+    def test_empty_for_fewer_than_two_neighbors(self):
+        centers, pairs = balls_through_point_pairs(
+            np.zeros(3), np.array([[1.0, 0, 0]]), radius=1.0
+        )
+        assert centers.shape == (0, 3)
+        assert pairs.shape == (0, 2)
+
+    def test_all_centers_at_radius_from_origin(self, rng):
+        origin = rng.normal(size=3)
+        others = origin + rng.uniform(-0.7, 0.7, size=(8, 3))
+        centers, _ = balls_through_point_pairs(origin, others, radius=1.0)
+        dists = np.linalg.norm(centers - origin, axis=1)
+        assert np.allclose(dists, 1.0, atol=1e-7)
+
+    def test_collinear_pairs_skipped(self):
+        origin = np.zeros(3)
+        others = np.array([[0.5, 0, 0], [1.0, 0, 0]])  # collinear with origin
+        centers, _ = balls_through_point_pairs(origin, others, radius=1.0)
+        assert centers.shape[0] == 0
+
+
+class TestEmptyBallExists:
+    def test_isolated_surface_point_is_boundary(self):
+        """A point with neighbors only on one side can fit an empty ball."""
+        origin = np.zeros(3)
+        # Neighbors all below the z=0 plane.
+        neighbors = np.array(
+            [[0.5, 0, -0.3], [-0.5, 0, -0.3], [0, 0.5, -0.3], [0, -0.5, -0.3]]
+        )
+        result = empty_ball_exists(origin, neighbors, radius=1.0)
+        assert result.is_boundary
+        assert result.empty_center is not None
+        assert result.witness_pair is not None
+
+    def test_surrounded_point_is_interior(self):
+        """A node inside a dense shell of neighbors finds no empty ball."""
+        rng = np.random.default_rng(3)
+        directions = rng.normal(size=(120, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        radii = rng.uniform(0.35, 0.95, size=120)
+        neighbors = directions * radii[:, None]
+        result = empty_ball_exists(np.zeros(3), neighbors, radius=1.0)
+        assert not result.is_boundary
+        assert result.empty_center is None
+
+    def test_fewer_than_two_neighbors_is_boundary(self):
+        result = empty_ball_exists(np.zeros(3), np.array([[0.5, 0, 0]]), 1.0)
+        assert result.is_boundary
+
+    def test_check_points_block_ball(self):
+        """A blocker passed via check_points (2-hop info) prevents emptiness."""
+        origin = np.zeros(3)
+        neighbors = np.array([[0.6, 0, 0], [0, 0.6, 0]])
+        # Without extra check points the ball through these is empty.
+        open_result = empty_ball_exists(origin, neighbors, radius=1.0)
+        assert open_result.is_boundary
+        # Fill space densely with far blockers visible only via check_points.
+        rng = np.random.default_rng(4)
+        dirs = rng.normal(size=(400, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        blockers = dirs * rng.uniform(0.3, 1.9, size=400)[:, None]
+        closed_result = empty_ball_exists(
+            origin, neighbors, radius=1.0, check_points=np.vstack([neighbors, blockers])
+        )
+        assert not closed_result.is_boundary
+
+    def test_find_first_counts_fewer_balls(self):
+        origin = np.zeros(3)
+        neighbors = np.array(
+            [[0.5, 0, -0.3], [-0.5, 0, -0.3], [0, 0.5, -0.3], [0, -0.5, -0.3]]
+        )
+        first = empty_ball_exists(origin, neighbors, 1.0, find_first=True)
+        full = empty_ball_exists(origin, neighbors, 1.0, find_first=False)
+        assert first.balls_tested <= full.balls_tested
+
+    def test_defining_nodes_do_not_block(self):
+        """The three on-sphere nodes must not count as 'inside' their ball."""
+        origin = np.zeros(3)
+        neighbors = np.array([[0.8, 0, 0], [0, 0.8, 0]])
+        result = empty_ball_exists(origin, neighbors, radius=1.0)
+        assert result.is_boundary

@@ -1,0 +1,95 @@
+"""Unit tests for CDG construction and the CDM path-validity test."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkGraph
+from repro.surface.cdg import build_cdg
+from repro.surface.cdm import build_cdm, path_is_valid
+from repro.surface.landmarks import assign_voronoi_cells, elect_landmarks
+
+
+@pytest.fixture
+def ring_setup():
+    n = 24
+    pts = [
+        [np.cos(2 * np.pi * i / n) * 3.2, np.sin(2 * np.pi * i / n) * 3.2, 0.0]
+        for i in range(n)
+    ]
+    graph = NetworkGraph(np.array(pts), radio_range=1.0)
+    group = list(range(n))
+    landmarks = elect_landmarks(graph, group, 4)
+    cells = assign_voronoi_cells(graph, group, landmarks)
+    return graph, group, landmarks, cells
+
+
+class TestBuildCDG:
+    def test_ring_cdg_is_a_cycle(self, ring_setup):
+        graph, group, landmarks, cells = ring_setup
+        cdg = build_cdg(graph, group, cells)
+        # On a ring, landmark cells touch exactly their two ring neighbors.
+        degree = {l: 0 for l in landmarks}
+        for u, v in cdg:
+            degree[u] += 1
+            degree[v] += 1
+        assert all(d == 2 for d in degree.values())
+        assert len(cdg) == len(landmarks)
+
+    def test_no_self_edges(self, ring_setup):
+        graph, group, landmarks, cells = ring_setup
+        for u, v in build_cdg(graph, group, cells):
+            assert u != v
+
+    def test_single_cell_yields_no_edges(self, ring_setup):
+        graph, group, _, _ = ring_setup
+        cells = {n: 0 for n in group}
+        assert build_cdg(graph, group, cells) == set()
+
+
+class TestPathValidity:
+    def test_valid_two_cell_path(self):
+        cells = {0: 0, 1: 0, 2: 5, 5: 5}
+        assert path_is_valid([0, 1, 2, 5], cells, 0, 5)
+
+    def test_rejects_third_cell(self):
+        cells = {0: 0, 1: 9, 5: 5}
+        assert not path_is_valid([0, 1, 5], cells, 0, 5)
+
+    def test_rejects_interleaving(self):
+        cells = {0: 0, 1: 5, 2: 0, 5: 5}
+        assert not path_is_valid([0, 1, 2, 5], cells, 0, 5)
+
+    def test_direct_landmark_to_landmark(self):
+        cells = {0: 0, 5: 5}
+        assert path_is_valid([0, 5], cells, 0, 5)
+
+
+class TestBuildCDM:
+    def test_ring_cdm_keeps_cycle(self, ring_setup):
+        graph, group, landmarks, cells = ring_setup
+        cdg = build_cdg(graph, group, cells)
+        cdm = build_cdm(graph, group, cells, cdg)
+        # On a clean ring every CDG edge passes the validity test.
+        assert cdm.edges == cdg
+        assert cdm.rejected == set()
+
+    def test_paths_recorded_for_accepted_edges(self, ring_setup):
+        graph, group, landmarks, cells = ring_setup
+        cdg = build_cdg(graph, group, cells)
+        cdm = build_cdm(graph, group, cells, cdg)
+        for edge in cdm.edges:
+            path = cdm.paths[edge]
+            assert path[0] == edge[0] or path[0] == edge[1]
+            assert set(edge) == {path[0], path[-1]}
+
+    def test_on_path_marks_intermediates_only(self, ring_setup):
+        graph, group, landmarks, cells = ring_setup
+        cdg = build_cdg(graph, group, cells)
+        cdm = build_cdm(graph, group, cells, cdg)
+        assert not (cdm.on_path & set(landmarks))
+
+    def test_edges_union_rejected_covers_cdg(self, ring_setup):
+        graph, group, landmarks, cells = ring_setup
+        cdg = build_cdg(graph, group, cells)
+        cdm = build_cdm(graph, group, cells, cdg)
+        assert cdm.edges | cdm.rejected == cdg

@@ -1,0 +1,37 @@
+"""Exhaustive small cases for the CDM path-validity predicate."""
+
+from repro.surface.cdm import path_is_valid
+
+
+class TestPathValidityMatrix:
+    def test_all_i_then_all_j(self):
+        cells = {0: 0, 1: 0, 2: 0, 3: 9, 4: 9, 9: 9}
+        assert path_is_valid([0, 1, 2, 3, 4, 9], cells, 0, 9)
+
+    def test_single_switch_back_rejected(self):
+        cells = {0: 0, 1: 9, 2: 0, 9: 9}
+        assert not path_is_valid([0, 1, 2, 9], cells, 0, 9)
+
+    def test_double_interleave_rejected(self):
+        cells = {0: 0, 1: 9, 2: 0, 3: 9, 9: 9}
+        assert not path_is_valid([0, 1, 2, 3, 9], cells, 0, 9)
+
+    def test_unassigned_node_rejected(self):
+        cells = {0: 0, 9: 9}  # node 5 has no cell
+        assert not path_is_valid([0, 5, 9], cells, 0, 9)
+
+    def test_endpoints_only(self):
+        cells = {0: 0, 9: 9}
+        assert path_is_valid([0, 9], cells, 0, 9)
+
+    def test_all_in_one_cell(self):
+        """A path entirely in i's cell (j unreached via j-cells) is valid:
+        no interleaving occurred and only the two cells appear."""
+        cells = {0: 0, 1: 0, 2: 0, 9: 0}
+        assert path_is_valid([0, 1, 2, 9], cells, 0, 9)
+
+    def test_starts_in_j_cell(self):
+        """A path whose first intermediate already belongs to j stays valid
+        (prefix of i-cells may be empty)."""
+        cells = {0: 0, 1: 9, 2: 9, 9: 9}
+        assert path_is_valid([0, 1, 2, 9], cells, 0, 9)

@@ -1,0 +1,153 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--scenario", "sphere", "--out", "x.json"]
+        )
+        assert args.scenario == "sphere"
+        assert args.out == "x.json"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--scenario", "cube", "--out", "x"])
+
+
+class TestEndToEnd:
+    def test_generate_detect_surface(self, tmp_path):
+        net_path = str(tmp_path / "net.json")
+        result_path = str(tmp_path / "res.json")
+        prefix = str(tmp_path / "mesh")
+
+        assert (
+            main(
+                [
+                    "generate",
+                    "--scenario",
+                    "sphere",
+                    "--surface-nodes",
+                    "250",
+                    "--interior-nodes",
+                    "450",
+                    "--degree",
+                    "26",
+                    "--seed",
+                    "4",
+                    "--out",
+                    net_path,
+                ]
+            )
+            == 0
+        )
+        doc = json.loads((tmp_path / "net.json").read_text())
+        assert len(doc["positions"]) == 700
+
+        assert (
+            main(["detect", "--network", net_path, "--out", result_path]) == 0
+        )
+        res = json.loads((tmp_path / "res.json").read_text())
+        assert len(res["boundary"]) > 0
+
+        assert (
+            main(
+                [
+                    "surface",
+                    "--network",
+                    net_path,
+                    "--result",
+                    result_path,
+                    "--out-prefix",
+                    prefix,
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "mesh_0.obj").exists()
+
+    def test_scenario_svg_render(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        svg_path = str(tmp_path / "scene.svg")
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--scenario",
+                    "sphere",
+                    "--surface-nodes",
+                    "150",
+                    "--interior-nodes",
+                    "250",
+                    "--degree",
+                    "24",
+                    "--svg",
+                    svg_path,
+                ]
+            )
+            == 0
+        )
+        text = (tmp_path / "scene.svg").read_text()
+        assert text.startswith("<svg")
+        assert "<circle" in text
+
+    def test_analyze_reports_hole(self, capsys, tmp_path):
+        net_path = str(tmp_path / "net.json")
+        result_path = str(tmp_path / "res.json")
+        assert (
+            main(
+                [
+                    "generate",
+                    "--scenario",
+                    "one_hole",
+                    "--surface-nodes",
+                    "350",
+                    "--interior-nodes",
+                    "550",
+                    "--degree",
+                    "30",
+                    "--seed",
+                    "6",
+                    "--out",
+                    net_path,
+                ]
+            )
+            == 0
+        )
+        assert main(["detect", "--network", net_path, "--out", result_path]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--network", net_path, "--result", result_path]) == 0
+        out = capsys.readouterr().out
+        assert "hole" in out or "no holes" in out
+
+    def test_sweep_runs(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "sphere",
+                    "--surface-nodes",
+                    "150",
+                    "--interior-nodes",
+                    "250",
+                    "--degree",
+                    "24",
+                    "--levels",
+                    "0,0.3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 1(g)" in out
+        assert "30%" in out

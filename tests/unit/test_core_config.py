@@ -1,0 +1,58 @@
+"""Unit tests for the pipeline configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import DetectorConfig, IFFConfig, UBFConfig
+from repro.network.measurement import NoError, UniformAbsoluteError
+
+
+class TestUBFConfig:
+    def test_default_radius(self):
+        assert UBFConfig().radius == pytest.approx(1.001)
+
+    def test_epsilon_controls_radius(self):
+        assert UBFConfig(epsilon=0.25).radius == pytest.approx(1.25)
+
+    def test_ball_radius_overrides_epsilon(self):
+        assert UBFConfig(epsilon=0.5, ball_radius=2.0).radius == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UBFConfig(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            UBFConfig(ball_radius=0.0)
+        with pytest.raises(ValueError):
+            UBFConfig(collection_hops=0)
+
+
+class TestIFFConfig:
+    def test_paper_defaults(self):
+        config = IFFConfig()
+        assert config.theta == 20  # icosahedron argument
+        assert config.ttl == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IFFConfig(theta=0)
+        with pytest.raises(ValueError):
+            IFFConfig(ttl=0)
+
+
+class TestDetectorConfig:
+    def test_auto_resolves_true_under_no_error(self):
+        assert DetectorConfig().resolved_localization() == "true"
+
+    def test_auto_resolves_mds_under_error(self):
+        config = DetectorConfig(error_model=UniformAbsoluteError(0.1))
+        assert config.resolved_localization() == "mds"
+
+    def test_explicit_modes_pass_through(self):
+        assert DetectorConfig(localization="mds").resolved_localization() == "mds"
+        config = DetectorConfig(
+            error_model=UniformAbsoluteError(0.1), localization="true"
+        )
+        assert config.resolved_localization() == "true"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(localization="wrong")

@@ -1,0 +1,63 @@
+"""Unit tests for BoundaryDetectionResult and detect_boundary."""
+
+import numpy as np
+import pytest
+
+from repro import BoundaryDetector, DetectorConfig, detect_boundary
+from repro.core.pipeline import BoundaryDetectionResult
+
+
+class TestResultHelpers:
+    def test_boundary_mask(self):
+        result = BoundaryDetectionResult(
+            candidates={0, 2}, boundary={2}, groups=[[2]]
+        )
+        mask = result.boundary_mask(4)
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_n_found(self):
+        result = BoundaryDetectionResult(
+            candidates={0, 1}, boundary={0, 1}, groups=[[0, 1]]
+        )
+        assert result.n_found == 2
+
+
+class TestDetectBoundaryFunction:
+    def test_matches_class_api(self, sphere_network):
+        a = detect_boundary(sphere_network)
+        b = BoundaryDetector().detect(sphere_network)
+        assert a.boundary == b.boundary
+
+    def test_explicit_config(self, sphere_network):
+        result = detect_boundary(sphere_network, DetectorConfig())
+        assert result.localization_used == "true"
+
+    def test_default_rng_reproducible(self, sphere_network):
+        from repro import UniformAbsoluteError
+
+        config = DetectorConfig(error_model=UniformAbsoluteError(0.2))
+        a = BoundaryDetector(config).detect(sphere_network)
+        b = BoundaryDetector(config).detect(sphere_network)
+        # No rng passed: both use the default seed-0 generator.
+        assert a.boundary == b.boundary
+
+    def test_ubf_outcomes_attached(self, sphere_detection, sphere_network):
+        assert len(sphere_detection.ubf_outcomes) == sphere_network.n_nodes
+
+    def test_pre_supplied_measurements_used(self, sphere_network):
+        """Passing `measured` bypasses internal measurement generation."""
+        import numpy as np
+
+        from repro import DetectorConfig, UniformAbsoluteError
+        from repro.network.measurement import measure_distances
+
+        model = UniformAbsoluteError(0.2)
+        measured = measure_distances(
+            sphere_network.graph, model, np.random.default_rng(77)
+        )
+        config = DetectorConfig(error_model=model)
+        a = BoundaryDetector(config).detect(sphere_network, measured=measured)
+        b = BoundaryDetector(config).detect(sphere_network, measured=measured)
+        # Identical measurements -> identical outcome, regardless of rng.
+        assert a.boundary == b.boundary
+        assert a.localization_used == "mds"

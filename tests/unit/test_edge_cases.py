@@ -1,0 +1,93 @@
+"""Degenerate and adversarial inputs across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoundaryDetector,
+    DetectorConfig,
+    IFFConfig,
+    Network,
+    NetworkGraph,
+    UBFConfig,
+)
+from repro.core.grouping import group_boundary_nodes
+from repro.core.iff import run_iff
+from repro.core.ubf import run_ubf
+from repro.surface.pipeline import SurfaceBuilder
+
+
+def _network_from_points(points):
+    graph = NetworkGraph(np.asarray(points, dtype=float), radio_range=1.0)
+    return Network(
+        graph=graph,
+        truth_boundary=np.zeros(len(points), dtype=bool),
+        scenario="degenerate",
+    )
+
+
+class TestTinyNetworks:
+    def test_empty_network(self):
+        net = _network_from_points(np.empty((0, 3)))
+        result = BoundaryDetector().detect(net)
+        assert result.boundary == set()
+        assert result.groups == []
+
+    def test_single_node(self):
+        net = _network_from_points([[0.0, 0.0, 0.0]])
+        result = BoundaryDetector(
+            DetectorConfig(iff=IFFConfig(theta=1, ttl=1))
+        ).detect(net)
+        # An isolated node is (vacuously) boundary: no ball test possible.
+        assert result.boundary == {0}
+
+    def test_two_nodes(self):
+        net = _network_from_points([[0, 0, 0], [0.5, 0, 0]])
+        outcomes = run_ubf(net, UBFConfig())
+        assert all(o.is_candidate for o in outcomes)
+
+    def test_collinear_chain(self):
+        """All-collinear geometry: every ball triple is degenerate."""
+        net = _network_from_points([[0.4 * i, 0.0, 0.0] for i in range(6)])
+        outcomes = run_ubf(net, UBFConfig())
+        # Degenerate neighborhoods fall back to 'boundary' (they certainly
+        # touch empty space).
+        assert all(o.is_candidate for o in outcomes)
+
+    def test_coincident_nodes(self):
+        """Duplicate positions must not crash the solver."""
+        net = _network_from_points(
+            [[0, 0, 0], [0, 0, 0], [0.5, 0, 0], [0, 0.5, 0], [0, 0, 0.5]]
+        )
+        result = BoundaryDetector(
+            DetectorConfig(iff=IFFConfig(theta=1, ttl=1))
+        ).detect(net)
+        assert isinstance(result.boundary, set)
+
+
+class TestDegenerateSurfaceInputs:
+    def test_empty_group_list(self, sphere_network):
+        assert SurfaceBuilder().build(sphere_network.graph, []) == []
+
+    def test_single_node_group(self, sphere_network):
+        assert SurfaceBuilder().build(sphere_network.graph, [[0]]) == []
+
+    def test_grouping_with_unknown_like_ids(self, sphere_network):
+        """Grouping handles boundary sets that are plain Python ints."""
+        groups = group_boundary_nodes(sphere_network.graph, [0, 1, 2])
+        flat = sorted(n for g in groups for n in g)
+        assert flat == [0, 1, 2]
+
+
+class TestIFFDegenerate:
+    def test_theta_equals_fragment_size_boundary(self):
+        """theta == fragment size keeps the fragment (>= comparison)."""
+        net = _network_from_points([[0.5 * i, 0, 0] for i in range(3)])
+        survivors = run_iff(
+            net.graph, {0, 1, 2}, IFFConfig(theta=3, ttl=3)
+        )
+        assert survivors == {0, 1, 2}
+
+    def test_candidates_not_in_graph_range_rejected(self, sphere_network):
+        with pytest.raises(IndexError):
+            run_iff(sphere_network.graph, {10**6}, IFFConfig())

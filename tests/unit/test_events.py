@@ -1,0 +1,91 @@
+"""Unit tests for the event-monitoring subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.events.models import ShapeEvent, SphericalEvent, apply_event
+from repro.events.monitor import EventMonitor, frontier_truth
+from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
+from repro.shapes.solids import Sphere
+
+
+@pytest.fixture
+def grid_network():
+    """A dense 9x9x5 grid slab network."""
+    pts = [
+        [0.6 * x, 0.6 * y, 0.6 * z]
+        for x in range(9)
+        for y in range(9)
+        for z in range(5)
+    ]
+    positions = np.array(pts)
+    graph = NetworkGraph(positions, radio_range=1.0)
+    truth = np.zeros(len(pts), dtype=bool)
+    return Network(graph=graph, truth_boundary=truth, scenario="grid")
+
+
+class TestEventModels:
+    def test_spherical_event_kills_inside(self, grid_network):
+        event = SphericalEvent(center=(2.4, 2.4, 1.2), radius=0.7)
+        outcome = apply_event(grid_network, event)
+        assert outcome.n_destroyed > 0
+        assert (
+            outcome.survivor.n_nodes + outcome.n_destroyed == grid_network.n_nodes
+        )
+        # No survivor position remains inside the event.
+        assert not event.contains(outcome.survivor.graph.positions).any()
+
+    def test_id_mapping_consistent(self, grid_network):
+        event = SphericalEvent(center=(2.4, 2.4, 1.2), radius=0.7)
+        outcome = apply_event(grid_network, event)
+        for new_id, old_id in enumerate(outcome.alive_original_ids):
+            assert np.allclose(
+                outcome.survivor.graph.positions[new_id],
+                grid_network.graph.positions[old_id],
+            )
+
+    def test_shape_event(self, grid_network):
+        event = ShapeEvent(Sphere(center=(2.4, 2.4, 1.2), radius=0.7))
+        outcome = apply_event(grid_network, event)
+        assert outcome.n_destroyed > 0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            SphericalEvent(center=(0, 0, 0), radius=0.0)
+
+    def test_event_missing_everything(self, grid_network):
+        event = SphericalEvent(center=(100, 100, 100), radius=0.5)
+        outcome = apply_event(grid_network, event)
+        assert outcome.n_destroyed == 0
+        assert outcome.survivor.n_nodes == grid_network.n_nodes
+
+
+class TestFrontierTruth:
+    def test_spherical_frontier(self, grid_network):
+        event = SphericalEvent(center=(2.4, 2.4, 1.2), radius=0.7)
+        outcome = apply_event(grid_network, event)
+        frontier = frontier_truth(outcome, event, margin=1.0)
+        positions = outcome.survivor.graph.positions
+        center = np.array([2.4, 2.4, 1.2])
+        for node in frontier:
+            assert np.linalg.norm(positions[node] - center) <= 0.7 + 1.0 + 1e-9
+
+
+class TestEventMonitor:
+    def test_event_hole_detected_on_sphere_network(self, sphere_network):
+        # A central interior event ~3 radio ranges wide; the fixture
+        # sphere's radius is only ~3.6 radio ranges, so an off-center
+        # event would merge with the outer boundary group.
+        event = SphericalEvent(center=(0.0, 0.0, 0.0), radius=1.6)
+        report = EventMonitor().inspect(sphere_network, event)
+        assert report.outcome.n_destroyed > 5
+        assert report.event_detected
+        assert report.precision > 0.8
+        assert report.coverage > 0.0
+
+    def test_no_event_no_groups(self, sphere_network):
+        event = SphericalEvent(center=(1000.0, 0, 0), radius=0.5)
+        report = EventMonitor().inspect(sphere_network, event)
+        assert report.outcome.n_destroyed == 0
+        assert not report.event_detected

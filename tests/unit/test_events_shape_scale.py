@@ -1,0 +1,48 @@
+"""ShapeEvent scale-conversion and monitor fallback-frontier tests."""
+
+import numpy as np
+import pytest
+
+from repro.events.models import ShapeEvent, apply_event
+from repro.events.monitor import frontier_truth
+from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
+from repro.shapes.solids import AxisAlignedBox, Sphere
+
+
+@pytest.fixture
+def line_network():
+    positions = np.array([[float(i), 0.0, 0.0] for i in range(10)])
+    graph = NetworkGraph(positions, radio_range=1.0)
+    return Network(
+        graph=graph, truth_boundary=np.zeros(10, bool), scenario="line"
+    )
+
+
+class TestShapeEventScaling:
+    def test_scale_maps_model_units(self, line_network):
+        # Model-space box [0, 1]^3 with scale 4 covers network x in [0, 4].
+        event = ShapeEvent(
+            AxisAlignedBox((0, -1, -1), (1, 1, 1)), scale=4.0
+        )
+        outcome = apply_event(line_network, event)
+        assert outcome.destroyed_original_ids.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unit_scale(self, line_network):
+        event = ShapeEvent(Sphere(center=(5.0, 0, 0), radius=1.1))
+        outcome = apply_event(line_network, event)
+        assert outcome.destroyed_original_ids.tolist() == [4, 5, 6]
+
+
+class TestGenericFrontier:
+    def test_fallback_frontier_probe(self, line_network):
+        """Non-spherical events use the sampled-probe frontier fallback."""
+        event = ShapeEvent(AxisAlignedBox((4.6, -1, -1), (5.4, 1, 1)))
+        outcome = apply_event(line_network, event)
+        frontier = frontier_truth(outcome, event, margin=1.0)
+        survivor_positions = outcome.survivor.graph.positions
+        # Frontier nodes are survivors near the box; the far ends are not.
+        xs = sorted(float(survivor_positions[n][0]) for n in frontier)
+        assert xs, "frontier should not be empty"
+        assert min(xs) >= 3.0
+        assert max(xs) <= 7.0

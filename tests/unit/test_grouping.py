@@ -1,0 +1,49 @@
+"""Unit tests for boundary grouping."""
+
+import numpy as np
+
+from repro.core.grouping import group_boundary_nodes
+from repro.network.graph import NetworkGraph
+
+
+def _two_ring_graph():
+    """Two small disjoint rings of boundary nodes plus connecting interior."""
+    ring1 = [[np.cos(t), np.sin(t), 0.0] for t in np.linspace(0, 2 * np.pi, 8, endpoint=False)]
+    ring2 = [[np.cos(t) + 5.0, np.sin(t), 0.0] for t in np.linspace(0, 2 * np.pi, 6, endpoint=False)]
+    bridge = [[1.5 + 0.5 * i, 0.0, 0.0] for i in range(6)]
+    positions = np.array(ring1 + ring2 + bridge)
+    return NetworkGraph(positions, radio_range=1.0), set(range(8)), set(range(8, 14))
+
+
+class TestGrouping:
+    def test_two_groups_found(self):
+        graph, ring1, ring2 = _two_ring_graph()
+        groups = group_boundary_nodes(graph, ring1 | ring2)
+        assert len(groups) == 2
+        assert set(groups[0]) == ring1  # larger group first
+        assert set(groups[1]) == ring2
+
+    def test_groups_sorted_by_size_then_min_id(self):
+        graph, ring1, ring2 = _two_ring_graph()
+        groups = group_boundary_nodes(graph, ring1 | ring2)
+        assert len(groups[0]) >= len(groups[1])
+
+    def test_min_group_size_filter(self):
+        graph, ring1, ring2 = _two_ring_graph()
+        groups = group_boundary_nodes(graph, ring1 | ring2, min_group_size=7)
+        assert len(groups) == 1
+        assert set(groups[0]) == ring1
+
+    def test_empty_boundary(self):
+        graph, _, _ = _two_ring_graph()
+        assert group_boundary_nodes(graph, set()) == []
+
+    def test_one_hole_network_groups(self, one_hole_network, one_hole_detection):
+        """The one-hole scenario must yield exactly two boundary groups."""
+        groups = one_hole_detection.groups
+        assert len(groups) == 2
+        assert len(groups[0]) > len(groups[1])
+
+    def test_groups_partition_boundary(self, sphere_detection):
+        all_grouped = [n for g in sphere_detection.groups for n in g]
+        assert sorted(all_grouped) == sorted(sphere_detection.boundary)

@@ -1,0 +1,56 @@
+"""Interactions between IFF and grouping on crafted topologies."""
+
+import numpy as np
+
+from repro.core.config import IFFConfig
+from repro.core.grouping import group_boundary_nodes
+from repro.core.iff import run_iff
+from repro.network.graph import NetworkGraph
+
+
+def _two_shells():
+    """Two concentric-ish shells joined by interior filler nodes.
+
+    Outer shell: 40 nodes at radius 3.2; inner shell: 20 nodes at radius
+    1.4; filler between them keeps the graph connected without joining
+    the shells directly.
+    """
+    rng = np.random.default_rng(8)
+    outer_dirs = rng.normal(size=(40, 3))
+    outer_dirs /= np.linalg.norm(outer_dirs, axis=1, keepdims=True)
+    inner_dirs = rng.normal(size=(20, 3))
+    inner_dirs /= np.linalg.norm(inner_dirs, axis=1, keepdims=True)
+    filler = rng.normal(size=(60, 3))
+    filler /= np.linalg.norm(filler, axis=1, keepdims=True)
+    filler *= rng.uniform(2.0, 2.7, size=(60, 1))
+    positions = np.vstack([outer_dirs * 3.2, inner_dirs * 1.4, filler])
+    graph = NetworkGraph(positions, radio_range=1.0)
+    outer = set(range(40))
+    inner = set(range(40, 60))
+    return graph, outer, inner
+
+
+class TestShellSeparation:
+    def test_shells_form_separate_groups(self):
+        graph, outer, inner = _two_shells()
+        groups = group_boundary_nodes(graph, outer | inner)
+        # The shells are >1 radio range apart: no group mixes them.
+        for group in groups:
+            members = set(group)
+            assert not (members & outer and members & inner)
+
+    def test_iff_keeps_both_shells_with_low_theta(self):
+        graph, outer, inner = _two_shells()
+        survivors = run_iff(graph, outer | inner, IFFConfig(theta=5, ttl=3))
+        assert survivors & outer
+        assert survivors & inner
+
+    def test_iff_theta_can_select_shells_by_size(self):
+        """A theta between the shells' 3-hop densities drops the sparser one."""
+        graph, outer, inner = _two_shells()
+        sizes_all = run_iff(graph, outer | inner, IFFConfig(theta=1, ttl=3))
+        assert sizes_all == outer | inner
+        # Push theta to the inner shell's full size + 1: outer (40 nodes,
+        # denser) can still clear it where inner cannot.
+        survivors = run_iff(graph, outer | inner, IFFConfig(theta=21, ttl=5))
+        assert not (survivors & inner)

@@ -1,0 +1,64 @@
+"""Unit tests for hole analysis."""
+
+import numpy as np
+import pytest
+
+from repro.applications.hole_analysis import analyze_hole, rank_holes
+from repro.network.graph import NetworkGraph
+
+
+@pytest.fixture
+def shell_graph():
+    """60 nodes on a sphere of radius 2 centered at (5, 0, 0)."""
+    rng = np.random.default_rng(4)
+    dirs = rng.normal(size=(60, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    positions = np.array([5.0, 0.0, 0.0]) + 2.0 * dirs
+    return NetworkGraph(positions, radio_range=1.0)
+
+
+class TestAnalyzeHole:
+    def test_centroid_near_true_center(self, shell_graph):
+        report = analyze_hole(shell_graph, range(60))
+        assert np.linalg.norm(report.centroid - [5, 0, 0]) < 0.5
+
+    def test_radius_estimates(self, shell_graph):
+        report = analyze_hole(shell_graph, range(60))
+        assert report.mean_radius == pytest.approx(2.0, rel=0.15)
+        assert report.max_radius >= report.mean_radius
+
+    def test_volume_close_to_ball(self, shell_graph):
+        report = analyze_hole(shell_graph, range(60))
+        true_volume = 4 / 3 * np.pi * 8
+        assert report.volume_estimate == pytest.approx(true_volume, rel=0.4)
+
+    def test_tiny_group_no_volume(self, shell_graph):
+        report = analyze_hole(shell_graph, [0, 1, 2])
+        assert report.volume_estimate is None
+
+    def test_empty_group_raises(self, shell_graph):
+        with pytest.raises(ValueError):
+            analyze_hole(shell_graph, [])
+
+    def test_as_row(self, shell_graph):
+        assert "boundary nodes" in analyze_hole(shell_graph, range(60)).as_row()
+
+
+class TestRankHoles:
+    def test_skips_outer_and_sorts_by_volume(self, shell_graph):
+        groups = [list(range(60)), [0, 1, 2, 3, 4], list(range(10, 40))]
+        reports = rank_holes(shell_graph, groups)
+        assert len(reports) == 2
+        vols = [r.volume_estimate or 0.0 for r in reports]
+        assert vols == sorted(vols, reverse=True)
+
+    def test_single_group_no_holes(self, shell_graph):
+        assert rank_holes(shell_graph, [list(range(60))]) == []
+
+    def test_real_hole_detection(self, one_hole_network, one_hole_detection):
+        """The detected hole's radius matches the scenario's hole size."""
+        reports = rank_holes(one_hole_network.graph, one_hole_detection.groups)
+        assert len(reports) == 1
+        # Scenario hole radius is 0.38 model units; convert via scale.
+        expected = 0.38 * one_hole_network.scale
+        assert reports[0].mean_radius == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,48 @@
+"""IFF flood-count semantics on hand-built topologies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import IFFConfig
+from repro.core.iff import iff_fragment_sizes, run_iff
+from repro.network.graph import NetworkGraph
+
+
+def _grid2d(w, h, spacing=0.9):
+    pts = [[spacing * x, spacing * y, 0.0] for x in range(w) for y in range(h)]
+    return NetworkGraph(np.array(pts), radio_range=1.0)
+
+
+class TestFloodGeometry:
+    def test_grid_center_counts_manhattan_ball(self):
+        """On a 4-neighbor grid, TTL-T flood reaches the Manhattan ball."""
+        g = _grid2d(9, 9)
+        candidates = set(range(81))
+        sizes = iff_fragment_sizes(g, candidates, ttl=2)
+        center = 4 * 9 + 4
+        # Manhattan ball of radius 2: 1 + 4 + 8 = 13 nodes.
+        assert sizes[center] == 13
+
+    def test_corner_counts_quarter_ball(self):
+        g = _grid2d(9, 9)
+        candidates = set(range(81))
+        sizes = iff_fragment_sizes(g, candidates, ttl=2)
+        corner = 0
+        # Quarter ball: {(0,0),(0,1),(1,0),(0,2),(1,1),(2,0)} = 6 nodes.
+        assert sizes[corner] == 6
+
+    def test_threshold_cuts_corners_not_centers(self):
+        """A theta between corner and center counts demotes only corners."""
+        g = _grid2d(9, 9)
+        candidates = set(range(81))
+        survivors = run_iff(g, candidates, IFFConfig(theta=10, ttl=2))
+        assert 0 not in survivors  # corner: 6 < 10
+        assert (4 * 9 + 4) in survivors  # center: 13 >= 10
+
+
+class TestPaperDefaults:
+    def test_icosahedron_bound_is_default(self):
+        config = IFFConfig()
+        # 20 nodes (icosahedron vertices... the paper's minimum hole
+        # surface), max 3 hops between them.
+        assert (config.theta, config.ttl) == (20, 3)

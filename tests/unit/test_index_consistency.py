@@ -1,0 +1,31 @@
+"""Internal consistency between the spatial index's query flavors."""
+
+import numpy as np
+
+from repro.geometry.spatial_index import UniformGridIndex
+
+
+class TestQueryConsistency:
+    def test_pairs_match_neighbor_lists(self, rng):
+        points = rng.uniform(0, 3, size=(80, 3))
+        index = UniformGridIndex(points, cell_size=1.0)
+        pairs = set(index.neighbor_pairs(1.0))
+        lists = index.neighbor_lists(1.0)
+        rebuilt = set()
+        for i, nbrs in enumerate(lists):
+            for j in nbrs:
+                rebuilt.add((min(i, int(j)), max(i, int(j))))
+        assert pairs == rebuilt
+
+    def test_lists_symmetric(self, rng):
+        points = rng.uniform(0, 3, size=(60, 3))
+        index = UniformGridIndex(points, cell_size=0.7)
+        lists = [set(map(int, nbrs)) for nbrs in index.neighbor_lists(1.0)]
+        for i, nbrs in enumerate(lists):
+            for j in nbrs:
+                assert i in lists[j]
+
+    def test_coincident_points_pair_up(self):
+        points = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [9.0, 9.0, 9.0]])
+        index = UniformGridIndex(points, cell_size=1.0)
+        assert (0, 1) in index.neighbor_pairs(0.5)

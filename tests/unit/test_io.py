@@ -1,0 +1,117 @@
+"""Unit tests for serialization and mesh export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BoundaryDetectionResult
+from repro.io.meshio import (
+    export_mesh_obj,
+    export_mesh_off,
+    export_mesh_ply,
+    export_points_xyz,
+)
+from repro.io.serialization import (
+    load_detection_result,
+    load_network,
+    save_detection_result,
+    save_network,
+)
+from repro.network.graph import NetworkGraph
+from repro.surface.mesh import TriangularMesh
+
+
+class TestNetworkRoundtrip:
+    def test_roundtrip_preserves_everything(self, sphere_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(sphere_network, path)
+        loaded = load_network(path)
+        assert loaded.n_nodes == sphere_network.n_nodes
+        assert np.allclose(loaded.graph.positions, sphere_network.graph.positions)
+        assert (loaded.truth_boundary == sphere_network.truth_boundary).all()
+        assert loaded.scenario == sphere_network.scenario
+        assert loaded.config.seed == sphere_network.config.seed
+        # Adjacency identical.
+        for i in range(0, loaded.n_nodes, 97):
+            assert (
+                loaded.graph.neighbors(i).tolist()
+                == sphere_network.graph.neighbors(i).tolist()
+            )
+
+    def test_version_check(self, sphere_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(sphere_network, path)
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_network(path)
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        result = BoundaryDetectionResult(
+            candidates={1, 2, 3},
+            boundary={1, 2},
+            groups=[[1, 2]],
+            localization_used="true",
+        )
+        path = tmp_path / "result.json"
+        save_detection_result(result, path)
+        loaded = load_detection_result(path)
+        assert loaded.candidates == result.candidates
+        assert loaded.boundary == result.boundary
+        assert loaded.groups == result.groups
+        assert loaded.localization_used == "true"
+
+
+class TestMeshExport:
+    def _mesh_and_graph(self):
+        positions = np.array(
+            [[0, 0, 0], [1, 0, 0], [0.5, 0.9, 0], [0.5, 0.3, 0.8]], dtype=float
+        )
+        graph = NetworkGraph(positions, radio_range=1.5)
+        mesh = TriangularMesh(vertices=[0, 1, 2, 3])
+        for u in range(4):
+            for v in range(u + 1, 4):
+                mesh.add_edge(u, v)
+        return mesh, graph
+
+    def test_off_structure(self, tmp_path):
+        mesh, graph = self._mesh_and_graph()
+        path = tmp_path / "m.off"
+        export_mesh_off(mesh, graph, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "OFF"
+        n_v, n_f, _ = map(int, lines[1].split())
+        assert n_v == 4
+        assert n_f == 4
+        assert len(lines) == 2 + n_v + n_f
+
+    def test_obj_structure(self, tmp_path):
+        mesh, graph = self._mesh_and_graph()
+        path = tmp_path / "m.obj"
+        export_mesh_obj(mesh, graph, path)
+        text = path.read_text()
+        assert text.count("\nv ") + text.startswith("v ") == 4
+        assert text.count("\nf ") == 4
+        # OBJ indices are 1-based.
+        assert " 0 " not in text.split("f ", 1)[1]
+
+    def test_ply_structure(self, tmp_path):
+        mesh, graph = self._mesh_and_graph()
+        path = tmp_path / "m.ply"
+        export_mesh_ply(mesh, graph, path)
+        text = path.read_text()
+        assert text.startswith("ply")
+        assert "element vertex 4" in text
+        assert "element face 4" in text
+
+    def test_xyz_points(self, tmp_path):
+        _, graph = self._mesh_and_graph()
+        path = tmp_path / "p.xyz"
+        export_points_xyz(graph, [0, 2], path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert lines[0].split() == ["0.000000", "0.000000", "0.000000"]

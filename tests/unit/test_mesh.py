@@ -1,0 +1,96 @@
+"""Unit tests for the TriangularMesh data structure."""
+
+import pytest
+
+from repro.surface.mesh import TriangularMesh, edge_key
+
+
+def tetrahedron_mesh():
+    """A tetrahedron over vertices 0..3: the smallest closed 2-manifold."""
+    mesh = TriangularMesh(vertices=[0, 1, 2, 3])
+    for u in range(4):
+        for v in range(u + 1, 4):
+            mesh.add_edge(u, v, hop_length=1)
+    return mesh
+
+
+class TestEdgeKey:
+    def test_canonical_order(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge_key(3, 3)
+
+
+class TestMeshBasics:
+    def test_vertices_deduplicated_sorted(self):
+        mesh = TriangularMesh(vertices=[3, 1, 3, 2])
+        assert mesh.vertices == [1, 2, 3]
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMesh(vertices=[0, 1], edges={(0, 5)})
+
+    def test_add_remove_edge(self):
+        mesh = TriangularMesh(vertices=[0, 1, 2])
+        mesh.add_edge(2, 0, path=[2, 7, 0])
+        assert mesh.has_edge(0, 2)
+        assert mesh.paths[(0, 2)] == [2, 7, 0]
+        assert mesh.hop_lengths[(0, 2)] == 2
+        mesh.remove_edge(0, 2)
+        assert not mesh.has_edge(0, 2)
+        assert (0, 2) not in mesh.paths
+
+    def test_add_edge_idempotent(self):
+        mesh = TriangularMesh(vertices=[0, 1])
+        mesh.add_edge(0, 1)
+        mesh.add_edge(1, 0)
+        assert len(mesh.edges) == 1
+
+
+class TestTopology:
+    def test_tetrahedron_triangles(self):
+        mesh = tetrahedron_mesh()
+        assert len(mesh.triangles()) == 4
+
+    def test_tetrahedron_is_manifold_chi_2(self):
+        mesh = tetrahedron_mesh()
+        assert mesh.is_two_manifold()
+        assert mesh.euler_characteristic() == 2
+        assert mesh.genus() == 0
+
+    def test_single_triangle_not_manifold(self):
+        mesh = TriangularMesh(vertices=[0, 1, 2])
+        for u, v in ((0, 1), (1, 2), (0, 2)):
+            mesh.add_edge(u, v)
+        assert not mesh.is_two_manifold()  # each edge has only one face
+        counts = mesh.edge_face_counts()
+        assert all(c == 1 for c in counts.values())
+
+    def test_edges_with_face_count(self):
+        mesh = tetrahedron_mesh()
+        assert mesh.edges_with_face_count(2) == sorted(mesh.edges)
+        assert mesh.edges_with_face_count(3) == []
+
+    def test_saturated_edge_detected(self):
+        """Tetrahedron plus an apex over one edge: that edge gets 3 faces."""
+        mesh = tetrahedron_mesh()
+        mesh.vertices.append(4)
+        mesh.vertices.sort()
+        mesh.add_edge(0, 4)
+        mesh.add_edge(1, 4)
+        assert (0, 1) in mesh.edges_with_face_count(3)
+
+    def test_covered_nodes_includes_paths(self):
+        mesh = TriangularMesh(vertices=[0, 1])
+        mesh.add_edge(0, 1, path=[0, 9, 8, 1])
+        assert mesh.covered_nodes() == {0, 1, 8, 9}
+
+    def test_empty_mesh_not_manifold(self):
+        mesh = TriangularMesh(vertices=[0, 1, 2])
+        assert not mesh.is_two_manifold()
+
+    def test_summary_string(self):
+        assert "2-manifold=True" in tetrahedron_mesh().summary()

@@ -1,0 +1,117 @@
+"""Unit tests for detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BoundaryDetectionResult
+from repro.evaluation.metrics import (
+    DetectionStats,
+    distribution_percentages,
+    evaluate_detection,
+    hop_distribution,
+    mistaken_hop_distribution,
+    missing_hop_distribution,
+)
+from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
+
+
+@pytest.fixture
+def toy_network():
+    """A 6-chain; nodes 0 and 5 are ground-truth boundary."""
+    positions = np.array([[0.9 * i, 0, 0] for i in range(6)])
+    graph = NetworkGraph(positions, radio_range=1.0)
+    truth = np.array([True, False, False, False, False, True])
+    return Network(graph=graph, truth_boundary=truth, scenario="toy")
+
+
+def _result(boundary):
+    boundary = set(boundary)
+    return BoundaryDetectionResult(
+        candidates=boundary, boundary=boundary, groups=[sorted(boundary)]
+    )
+
+
+class TestDetectionStats:
+    def test_perfect_detection(self, toy_network):
+        stats = evaluate_detection(toy_network, _result({0, 5}))
+        assert stats.n_found == 2
+        assert stats.n_correct == 2
+        assert stats.n_mistaken == 0
+        assert stats.n_missing == 0
+        assert stats.correct_pct == 1.0
+
+    def test_mistaken_and_missing(self, toy_network):
+        stats = evaluate_detection(toy_network, _result({0, 1}))
+        assert stats.n_correct == 1
+        assert stats.n_mistaken == 1
+        assert stats.n_missing == 1
+        assert stats.missing_pct == pytest.approx(0.5)
+        assert stats.mistaken_pct == pytest.approx(0.5)
+
+    def test_zero_truth_percentages(self):
+        stats = DetectionStats(0, 0, 0, 0, 0)
+        assert stats.found_pct == 0.0
+        assert stats.correct_pct == 0.0
+
+    def test_as_row(self, toy_network):
+        assert "found=2" in evaluate_detection(toy_network, _result({0, 5})).as_row()
+
+
+class TestHopDistribution:
+    def test_buckets(self, toy_network):
+        # Distances from {1, 2, 3} to target {0}: 1, 2, 3 hops.
+        buckets = hop_distribution(toy_network.graph, [1, 2, 3], [0])
+        assert buckets[1] == 1
+        assert buckets[2] == 1
+        assert buckets[3] == 1
+
+    def test_overflow_bucket(self, toy_network):
+        buckets = hop_distribution(toy_network.graph, [5], [0], max_bucket=3)
+        assert buckets[4] == 1  # 5 hops away -> overflow
+
+    def test_self_in_targets_bucket_zero(self, toy_network):
+        buckets = hop_distribution(toy_network.graph, [0], [0])
+        assert buckets[0] == 1
+
+    def test_no_targets_all_overflow(self, toy_network):
+        buckets = hop_distribution(toy_network.graph, [1, 2], [])
+        assert buckets[4] == 2
+
+    def test_empty_sources(self, toy_network):
+        buckets = hop_distribution(toy_network.graph, [], [0])
+        assert sum(buckets.values()) == 0
+
+
+class TestNamedDistributions:
+    def test_mistaken_distribution(self, toy_network):
+        result = _result({0, 1, 5})  # node 1 is mistaken
+        buckets = mistaken_hop_distribution(toy_network, result)
+        assert buckets[1] == 1
+        assert sum(buckets.values()) == 1
+
+    def test_missing_distribution(self, toy_network):
+        result = _result({0})  # node 5 missing, correct = {0}
+        buckets = missing_hop_distribution(toy_network, result)
+        assert buckets[4] == 1  # 5 hops from node 0 -> overflow bucket
+
+    def test_percentages(self):
+        assert distribution_percentages({1: 3, 2: 1}) == {1: 0.75, 2: 0.25}
+        assert distribution_percentages({1: 0}) == {1: 0.0}
+
+
+class TestRealNetworkInvariants:
+    def test_identity_decomposition(self, sphere_network, sphere_detection):
+        stats = evaluate_detection(sphere_network, sphere_detection)
+        assert stats.n_found == stats.n_correct + stats.n_mistaken
+        assert stats.n_truth == stats.n_correct + stats.n_missing
+
+    def test_mistaken_nodes_close_to_boundary(
+        self, sphere_network, sphere_detection
+    ):
+        """Paper claim: mistaken nodes sit within ~2 hops of the boundary."""
+        buckets = mistaken_hop_distribution(sphere_network, sphere_detection)
+        total = sum(buckets.values())
+        if total:
+            near = buckets[1] + buckets[2]
+            assert near / total > 0.9

@@ -1,0 +1,36 @@
+"""Pure-logic tests for partition merge bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.applications.partition import SurfacePartition, balanced_partition
+from repro.network.graph import NetworkGraph
+
+
+class TestSurfacePartitionHelpers:
+    def test_sizes(self):
+        partition = SurfacePartition(patches=[[1, 2], [3]], heads=[1, 3])
+        assert partition.sizes == [2, 1]
+
+    def test_patch_of_disjoint(self):
+        partition = SurfacePartition(patches=[[1, 2], [3, 4]], heads=[1, 3])
+        lookup = partition.patch_of()
+        assert lookup == {1: 0, 2: 0, 3: 1, 4: 1}
+
+
+class TestBalancedMergeOnChain:
+    def test_merge_to_one_patch(self):
+        positions = np.array([[0.9 * i, 0, 0] for i in range(9)])
+        graph = NetworkGraph(positions, radio_range=1.0)
+        group = list(range(9))
+        landmarks = [0, 4, 8]
+        partition = balanced_partition(graph, group, landmarks, 1)
+        assert len(partition.patches) == 1
+        assert sorted(partition.patches[0]) == group
+        assert partition.heads == [0]
+
+    def test_head_is_min_of_merged(self):
+        positions = np.array([[0.9 * i, 0, 0] for i in range(9)])
+        graph = NetworkGraph(positions, radio_range=1.0)
+        partition = balanced_partition(graph, range(9), [0, 4, 8], 2)
+        assert all(h == min(p) or h in p for h, p in zip(partition.heads, partition.patches))

@@ -1,0 +1,55 @@
+"""Unit tests for table rendering."""
+
+from repro.evaluation.experiments import ErrorSweepPoint
+from repro.evaluation.metrics import DetectionStats
+from repro.evaluation.reporting import (
+    format_table,
+    render_error_sweep_counts,
+    render_error_sweep_percent,
+    render_mistaken_distribution,
+    render_missing_distribution,
+)
+
+
+def _point(level):
+    return ErrorSweepPoint(
+        level=level,
+        stats=DetectionStats(
+            n_truth=100, n_found=95, n_correct=90, n_mistaken=5, n_missing=10
+        ),
+        mistaken_hops={0: 0, 1: 3, 2: 1, 3: 1, 4: 0},
+        missing_hops={0: 0, 1: 9, 2: 1, 3: 0, 4: 0},
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+        assert lines[0].startswith("a")
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert out.splitlines()[0] == "x"
+
+
+class TestRenderers:
+    def test_counts_table(self):
+        out = render_error_sweep_counts([_point(0.0), _point(0.3)])
+        assert "0%" in out and "30%" in out
+        assert "95" in out and "90" in out
+
+    def test_percent_table(self):
+        out = render_error_sweep_percent([_point(0.1)])
+        assert "95.0%" in out
+        assert "90.0%" in out
+
+    def test_mistaken_distribution_table(self):
+        out = render_mistaken_distribution([_point(0.2)])
+        assert "60.0%" in out  # 3 of 5 at 1 hop
+
+    def test_missing_distribution_table(self):
+        out = render_missing_distribution([_point(0.2)])
+        assert "90.0%" in out  # 9 of 10 at 1 hop

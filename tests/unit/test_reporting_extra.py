@@ -1,0 +1,101 @@
+"""Unit tests for the remaining report renderers."""
+
+from repro.evaluation.experiments import (
+    ComplexityPoint,
+    MeshErrorPoint,
+    ScenarioResult,
+)
+from repro.evaluation.metrics import DetectionStats
+from repro.evaluation.mesh_metrics import MeshQuality
+from repro.evaluation.reporting import (
+    render_complexity,
+    render_mesh_error_sweep,
+    render_scenario_result,
+)
+from repro.network.stats import NetworkStats
+
+
+def _quality(manifold=True):
+    return MeshQuality(
+        n_vertices=10,
+        n_edges=24,
+        n_faces=16,
+        euler_characteristic=2,
+        is_two_manifold=manifold,
+        two_faced_edge_fraction=1.0 if manifold else 0.5,
+        edge_face_histogram={2: 24} if manifold else {1: 12, 2: 12},
+        covered_fraction=0.8,
+        mean_deviation=0.3,
+        max_deviation=0.9,
+    )
+
+
+class TestRenderComplexity:
+    def test_columns_present(self):
+        points = [
+            ComplexityPoint(10.0, 9.1, 120.0, 300.0),
+            ComplexityPoint(20.0, 18.2, 480.0, 900.0),
+        ]
+        out = render_complexity(points)
+        assert "mean balls" in out
+        assert "480" in out
+
+
+class TestRenderScenario:
+    def test_full_result(self):
+        result = ScenarioResult(
+            scenario="sphere",
+            network_stats=NetworkStats(
+                n_nodes=100,
+                n_edges=500,
+                n_truth_boundary=40,
+                avg_degree=10.0,
+                min_degree=4,
+                max_degree=20,
+                connected=True,
+                avg_edge_length=0.7,
+            ),
+            detection=DetectionStats(40, 42, 40, 2, 0),
+            group_sizes=[42],
+            meshes=[_quality()],
+        )
+        out = render_scenario_result(result)
+        assert "sphere" in out
+        assert "mesh[0]" in out
+        assert "manifold=True" in out
+
+
+class TestRenderMeshErrorSweep:
+    def test_rows_per_mesh(self):
+        points = [
+            MeshErrorPoint(
+                level=0.0,
+                detection=DetectionStats(40, 42, 40, 2, 0),
+                meshes=[_quality(), _quality(manifold=False)],
+            )
+        ]
+        out = render_mesh_error_sweep(points)
+        assert out.count("0%") >= 2  # two mesh rows for the one level
+        assert "100%" in out and "50%" in out
+
+    def test_handles_missing_deviation(self):
+        quality = MeshQuality(
+            n_vertices=4,
+            n_edges=6,
+            n_faces=0,
+            euler_characteristic=-2,
+            is_two_manifold=False,
+            two_faced_edge_fraction=0.0,
+            edge_face_histogram={0: 6},
+            covered_fraction=0.5,
+            mean_deviation=None,
+            max_deviation=None,
+        )
+        points = [
+            MeshErrorPoint(
+                level=0.2,
+                detection=DetectionStats(40, 42, 40, 2, 0),
+                meshes=[quality],
+            )
+        ]
+        assert "n/a" in render_mesh_error_sweep(points)

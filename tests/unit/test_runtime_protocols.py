@@ -1,0 +1,57 @@
+"""Unit tests for the Voronoi and election protocols on tiny graphs."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkGraph
+from repro.runtime.protocols import (
+    VoronoiCellProtocol,
+    distributed_landmark_election,
+    run_voronoi_distributed,
+)
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def chain():
+    positions = np.array([[0.9 * i, 0, 0] for i in range(7)])
+    return NetworkGraph(positions, radio_range=1.0)
+
+
+class TestVoronoiProtocol:
+    def test_two_landmarks_split_chain(self, chain):
+        result = Simulator(chain).run(VoronoiCellProtocol([0, 6]))
+        cells = {n: s["cell"] for n, s in result.states.items()}
+        assert cells[0] == 0
+        assert cells[1] == 0
+        assert cells[2] == 0
+        assert cells[3] == 0  # tie at distance 3: smaller ID wins
+        assert cells[4] == 6
+        assert cells[6] == 6
+
+    def test_single_landmark_owns_all(self, chain):
+        cells, _ = run_voronoi_distributed(chain, range(7), [3])
+        assert all(owner == 3 for owner in cells.values())
+
+    def test_unreachable_node_gets_none(self, chain):
+        # Restrict participants so node 6 is cut off from landmark 0.
+        result = Simulator(chain, participants={0, 1, 2, 6}).run(
+            VoronoiCellProtocol([0])
+        )
+        assert result.states[6]["cell"] is None
+
+
+class TestElectionProtocol:
+    def test_chain_election_k2(self, chain):
+        landmarks, messages = distributed_landmark_election(chain, range(7), 2)
+        # Greedy k=2 on a chain: 0 suppresses 1, then 2 suppresses 3, ...
+        assert landmarks == [0, 2, 4, 6]
+        assert messages > 0
+
+    def test_k_larger_than_diameter_single_landmark(self, chain):
+        landmarks, _ = distributed_landmark_election(chain, range(7), 8)
+        assert landmarks == [0]
+
+    def test_subset_group(self, chain):
+        landmarks, _ = distributed_landmark_election(chain, [2, 3, 4], 2)
+        assert landmarks == [2, 4]

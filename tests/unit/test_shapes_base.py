@@ -1,0 +1,88 @@
+"""Unit tests for the generic Shape3D machinery."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.csg import Difference
+from repro.shapes.sampling import (
+    multinomial_split,
+    orthonormal_frame,
+    sample_circle,
+    sample_unit_disk,
+    sample_unit_sphere,
+)
+from repro.shapes.solids import Sphere
+
+
+class TestGenericInterior:
+    def test_rejection_sampler_fails_on_empty_region(self, rng):
+        # A hole that swallows the whole outer shape leaves no interior.
+        empty = Difference(Sphere(radius=0.5), [Sphere(radius=1.0)])
+        with pytest.raises(RuntimeError):
+            empty.sample_interior(10, rng, max_batches=3)
+
+    def test_zero_requests(self, rng):
+        s = Sphere()
+        assert s.sample_interior(0, rng).shape == (0, 3)
+
+    def test_contains_point_scalar(self):
+        assert Sphere().contains_point([0.0, 0.0, 0.0])
+        assert not Sphere().contains_point([2.0, 0.0, 0.0])
+
+
+class TestSamplers:
+    def test_unit_sphere_norms(self, rng):
+        pts = sample_unit_sphere(500, rng)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_unit_disk_within(self, rng):
+        pts = sample_unit_disk(500, rng)
+        assert (np.linalg.norm(pts, axis=1) <= 1.0 + 1e-12).all()
+
+    def test_disk_area_uniformity(self, rng):
+        """Half the points fall inside radius 1/sqrt(2)."""
+        pts = sample_unit_disk(20_000, rng)
+        inner = (np.linalg.norm(pts, axis=1) < 1 / np.sqrt(2)).mean()
+        assert inner == pytest.approx(0.5, abs=0.02)
+
+    def test_circle_on_rim(self, rng):
+        pts = sample_circle(200, rng)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_zero_counts(self, rng):
+        assert sample_unit_sphere(0, rng).shape == (0, 3)
+        assert sample_unit_disk(0, rng).shape == (0, 2)
+        assert sample_circle(0, rng).shape == (0, 2)
+
+
+class TestMultinomialSplit:
+    def test_sums_to_n(self, rng):
+        counts = multinomial_split(100, [1.0, 2.0, 7.0], rng)
+        assert counts.sum() == 100
+
+    def test_proportions(self, rng):
+        counts = multinomial_split(100_000, [1.0, 3.0], rng)
+        assert counts[1] / counts.sum() == pytest.approx(0.75, abs=0.01)
+
+    def test_invalid_weights(self, rng):
+        with pytest.raises(ValueError):
+            multinomial_split(10, [-1.0, 2.0], rng)
+        with pytest.raises(ValueError):
+            multinomial_split(10, [0.0, 0.0], rng)
+
+
+class TestOrthonormalFrame:
+    def test_frame_is_orthonormal(self, rng):
+        for _ in range(20):
+            d = rng.normal(size=3)
+            u, v = orthonormal_frame(d)
+            d_hat = d / np.linalg.norm(d)
+            assert abs(np.dot(u, v)) < 1e-10
+            assert abs(np.dot(u, d_hat)) < 1e-10
+            assert abs(np.dot(v, d_hat)) < 1e-10
+            assert np.linalg.norm(u) == pytest.approx(1.0)
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_near_pole_direction(self):
+        u, v = orthonormal_frame([0.0, 0.0, 1.0])
+        assert abs(np.dot(u, v)) < 1e-10

@@ -1,0 +1,51 @@
+"""Unit tests for the scenario registry (Figs. 6-10)."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.library import (
+    SCENARIO_FIGURES,
+    SCENARIOS,
+    scenario_by_name,
+)
+
+
+class TestRegistry:
+    def test_five_paper_scenarios_present(self):
+        assert set(SCENARIOS) == {
+            "underwater",
+            "one_hole",
+            "two_holes",
+            "bent_pipe",
+            "sphere",
+        }
+
+    def test_every_scenario_has_figure_reference(self):
+        assert set(SCENARIO_FIGURES) == set(SCENARIOS)
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="sphere"):
+            scenario_by_name("nope")
+
+
+class TestScenarioGeometry:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_shapes_sample_and_contain(self, name, rng):
+        shape = scenario_by_name(name)
+        interior = shape.sample_interior(100, rng)
+        assert shape.contains(interior).all()
+        surface = shape.sample_surface(100, rng)
+        assert surface.shape == (100, 3)
+
+    def test_one_hole_has_void(self, rng):
+        shape = scenario_by_name("one_hole")
+        assert not shape.contains_point([0.12, 0.0, 0.0])
+
+    def test_two_holes_have_two_voids(self):
+        shape = scenario_by_name("two_holes")
+        assert not shape.contains_point([-0.42, 0.0, 0.0])
+        assert not shape.contains_point([0.42, 0.1, 0.05])
+        assert shape.contains_point([0.0, -0.5, 0.0])
+
+    def test_scenarios_are_fresh_instances(self):
+        assert scenario_by_name("sphere") is not scenario_by_name("sphere")

@@ -1,0 +1,78 @@
+"""Unit tests for the bent pipe (capsule around an arc)."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.pipe import BentPipe
+
+
+class TestContains:
+    def setup_method(self):
+        self.pipe = BentPipe(bend_radius=1.0, tube_radius=0.3, sweep=np.pi)
+
+    def test_centerline_inside(self):
+        for phi in (0.0, np.pi / 4, np.pi / 2, np.pi):
+            p = [np.cos(phi), np.sin(phi), 0.0]
+            assert self.pipe.contains_point(p)
+
+    def test_tube_wall_limits(self):
+        assert self.pipe.contains_point([1.0, 0.0, 0.29])
+        assert not self.pipe.contains_point([1.0, 0.0, 0.31])
+
+    def test_cap_region_rounds_the_end(self):
+        # Beyond the end at phi=0 the cap extends along -y up to tube_radius.
+        assert self.pipe.contains_point([1.0, -0.25, 0.0])
+        assert not self.pipe.contains_point([1.0, -0.35, 0.0])
+
+    def test_gap_side_is_outside(self):
+        # The un-swept half (negative y around the circle) is empty.
+        assert not self.pipe.contains_point([0.0, -1.0, 0.0])
+
+    def test_bend_center_outside(self):
+        assert not self.pipe.contains_point([0.0, 0.0, 0.0])
+
+
+class TestSurface:
+    def setup_method(self):
+        self.pipe = BentPipe(bend_radius=1.0, tube_radius=0.3, sweep=np.pi)
+
+    def test_samples_at_tube_radius_from_centerline(self, rng):
+        pts = self.pipe.sample_surface(600, rng)
+        phi = self.pipe._clamped_arc_angle(pts)
+        nearest = self.pipe._arc_point(phi)
+        d = np.linalg.norm(pts - nearest, axis=1)
+        assert np.allclose(d, 0.3, atol=1e-9)
+
+    def test_samples_cover_caps_and_tube(self, rng):
+        pts = self.pipe.sample_surface(2000, rng)
+        # Cap points project (angularly) outside the swept range slightly,
+        # i.e. have negative y near the phi=0 end.
+        near_start_cap = pts[:, 1] < -1e-6
+        assert near_start_cap.sum() > 0
+        assert (~near_start_cap).sum() > near_start_cap.sum()
+
+    def test_volume_estimate_matches_analytic(self, rng):
+        assert self.pipe.volume_estimate(rng, samples=150_000) == pytest.approx(
+            self.pipe.volume, rel=0.05
+        )
+
+    def test_area_split_roughly_matches(self, rng):
+        pts = self.pipe.sample_surface(5000, rng)
+        phi_raw = np.mod(np.arctan2(pts[:, 1], pts[:, 0]), 2 * np.pi)
+        on_cap = (phi_raw > self.pipe.sweep)
+        cap_area = 4 * np.pi * 0.3 ** 2
+        expected = cap_area / self.pipe.surface_area
+        # Loose bound: cap points with phi inside the sweep range blur this.
+        assert on_cap.mean() == pytest.approx(expected, abs=0.05)
+
+
+class TestValidation:
+    def test_sweep_bounds(self):
+        with pytest.raises(ValueError):
+            BentPipe(sweep=0.0)
+        with pytest.raises(ValueError):
+            BentPipe(sweep=2 * np.pi)
+
+    def test_tube_must_be_smaller_than_bend(self):
+        with pytest.raises(ValueError):
+            BentPipe(bend_radius=0.3, tube_radius=0.5)

@@ -1,0 +1,97 @@
+"""Unit tests for the underwater terrain region."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.terrain import UnderwaterTerrain
+
+
+class TestHeights:
+    def setup_method(self):
+        self.terrain = UnderwaterTerrain(
+            size=(2.0, 2.0), depth=0.8, bump_count=3, bump_height=0.3, seed=1
+        )
+
+    def test_bottom_below_top_everywhere(self):
+        xs, ys = np.meshgrid(np.linspace(0, 2, 40), np.linspace(0, 2, 40))
+        bottom = self.terrain.bottom_height(xs, ys)
+        top = self.terrain.top_height(xs, ys)
+        assert (bottom < top).all()
+
+    def test_bumps_raise_bottom(self):
+        """Somewhere the seabed rises measurably above the base depth."""
+        xs, ys = np.meshgrid(np.linspace(0, 2, 80), np.linspace(0, 2, 80))
+        bottom = self.terrain.bottom_height(xs, ys)
+        assert bottom.max() > -0.8 + 0.05
+
+    def test_deterministic_given_seed(self):
+        other = UnderwaterTerrain(
+            size=(2.0, 2.0), depth=0.8, bump_count=3, bump_height=0.3, seed=1
+        )
+        xs = np.linspace(0, 2, 17)
+        assert np.allclose(
+            self.terrain.bottom_height(xs, xs), other.bottom_height(xs, xs)
+        )
+
+
+class TestContains:
+    def setup_method(self):
+        self.terrain = UnderwaterTerrain(size=(2.0, 2.0), depth=0.8, seed=2)
+
+    def test_middle_of_column_inside(self):
+        assert self.terrain.contains_point([1.0, 1.0, -0.4])
+
+    def test_above_surface_outside(self):
+        assert not self.terrain.contains_point([1.0, 1.0, 0.5])
+
+    def test_below_bottom_outside(self):
+        assert not self.terrain.contains_point([1.0, 1.0, -0.9])
+
+    def test_outside_footprint(self):
+        assert not self.terrain.contains_point([-0.5, 1.0, -0.4])
+        assert not self.terrain.contains_point([1.0, 2.5, -0.4])
+
+
+class TestSampling:
+    def setup_method(self):
+        self.terrain = UnderwaterTerrain(size=(2.0, 2.0), depth=0.8, seed=3)
+
+    def test_surface_points_on_boundary(self, rng):
+        pts = self.terrain.sample_surface(600, rng)
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        tol = 1e-6
+        on_top = np.abs(z - self.terrain.top_height(x, y)) < tol
+        on_bottom = np.abs(z - self.terrain.bottom_height(x, y)) < tol
+        on_wall = (
+            (np.abs(x) < tol)
+            | (np.abs(x - 2.0) < tol)
+            | (np.abs(y) < tol)
+            | (np.abs(y - 2.0) < tol)
+        )
+        assert (on_top | on_bottom | on_wall).all()
+        assert on_top.sum() > 0
+        assert on_bottom.sum() > 0
+        assert on_wall.sum() > 0
+
+    def test_interior_sampling_inside(self, rng):
+        pts = self.terrain.sample_interior(400, rng)
+        assert self.terrain.contains(pts).all()
+
+    def test_surface_area_close_to_flat_estimate(self):
+        # Flat approximation: two 2x2 sheets + 4 walls of height ~0.8.
+        flat = 2 * 4.0 + 4 * (2.0 * 0.8)
+        assert self.terrain.surface_area == pytest.approx(flat, rel=0.2)
+
+
+class TestValidation:
+    def test_bump_height_must_be_below_depth(self):
+        with pytest.raises(ValueError):
+            UnderwaterTerrain(depth=0.5, bump_height=0.6)
+
+    def test_positive_footprint(self):
+        with pytest.raises(ValueError):
+            UnderwaterTerrain(size=(0.0, 1.0))
+
+    def test_positive_depth(self):
+        with pytest.raises(ValueError):
+            UnderwaterTerrain(depth=-1.0)

@@ -1,0 +1,26 @@
+"""Unit tests for network statistics."""
+
+from repro.network.stats import compute_network_stats
+
+
+class TestNetworkStats:
+    def test_counts_match_network(self, sphere_network):
+        stats = compute_network_stats(sphere_network)
+        assert stats.n_nodes == sphere_network.n_nodes
+        assert stats.n_truth_boundary == int(sphere_network.truth_boundary.sum())
+        assert stats.n_edges == sphere_network.graph.n_edges
+
+    def test_degree_bounds(self, sphere_network):
+        stats = compute_network_stats(sphere_network)
+        assert stats.min_degree <= stats.avg_degree <= stats.max_degree
+
+    def test_connected_flag(self, sphere_network):
+        assert compute_network_stats(sphere_network).connected
+
+    def test_edge_length_below_radio_range(self, sphere_network):
+        stats = compute_network_stats(sphere_network)
+        assert 0.0 < stats.avg_edge_length <= 1.0
+
+    def test_as_row_renders(self, sphere_network):
+        row = compute_network_stats(sphere_network).as_row()
+        assert "nodes=" in row and "degree" in row

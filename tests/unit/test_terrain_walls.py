@@ -1,0 +1,52 @@
+"""Extra terrain coverage: wall samplers and area-table consistency."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.terrain import UnderwaterTerrain
+
+
+@pytest.fixture
+def terrain():
+    return UnderwaterTerrain(size=(3.0, 2.0), depth=1.0, bump_count=2, seed=5)
+
+
+class TestWallSampling:
+    @pytest.mark.parametrize(
+        "name,axis,value",
+        [
+            ("wall_x0", 0, 0.0),
+            ("wall_x1", 0, 3.0),
+            ("wall_y0", 1, 0.0),
+            ("wall_y1", 1, 2.0),
+        ],
+    )
+    def test_each_wall_lies_on_its_plane(self, terrain, name, axis, value, rng):
+        pts = terrain._sample_wall(200, rng, name)
+        assert np.allclose(pts[:, axis], value)
+        # z within the local water column.
+        x, y = pts[:, 0], pts[:, 1]
+        assert (pts[:, 2] >= terrain.bottom_height(x, y) - 1e-9).all()
+        assert (pts[:, 2] <= terrain.top_height(x, y) + 1e-9).all()
+
+
+class TestAreaTable:
+    def test_component_names(self, terrain):
+        table = terrain._area_table
+        assert set(table) == {
+            "top",
+            "bottom",
+            "wall_x0",
+            "wall_x1",
+            "wall_y0",
+            "wall_y1",
+        }
+
+    def test_rectangular_footprint_walls_scale_with_length(self, terrain):
+        table = terrain._area_table
+        # x-walls span length 2 (y extent), y-walls span 3 (x extent).
+        assert table["wall_y0"] > table["wall_x0"]
+
+    def test_bottom_area_at_least_footprint(self, terrain):
+        # A bumpy sheet has more area than its flat footprint.
+        assert terrain._area_table["bottom"] >= 3.0 * 2.0 - 1e-6

@@ -1,0 +1,62 @@
+"""Unit tests for rigid alignment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import (
+    kabsch_align,
+    procrustes_disparity,
+    random_rotation_matrix,
+)
+
+
+class TestKabschAlign:
+    def test_recovers_rotation_translation(self, rng):
+        pts = rng.normal(size=(10, 3))
+        rotation = random_rotation_matrix(rng)
+        translation = rng.normal(size=3)
+        moved = pts @ rotation.T + translation
+        aligned, r, t = kabsch_align(pts, moved)
+        assert np.allclose(aligned, moved, atol=1e-9)
+        assert np.allclose(r, rotation, atol=1e-9)
+        assert np.allclose(t, translation, atol=1e-9)
+
+    def test_reflection_allowed_by_default(self, rng):
+        pts = rng.normal(size=(8, 3))
+        mirrored = pts * np.array([-1.0, 1.0, 1.0])
+        aligned, r, _ = kabsch_align(pts, mirrored)
+        assert np.allclose(aligned, mirrored, atol=1e-9)
+        assert np.linalg.det(r) == pytest.approx(-1.0)
+
+    def test_reflection_forbidden(self, rng):
+        pts = rng.normal(size=(8, 3))
+        mirrored = pts * np.array([-1.0, 1.0, 1.0])
+        _, r, _ = kabsch_align(pts, mirrored, allow_reflection=False)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kabsch_align(np.zeros((4, 3)), np.zeros((5, 3)))
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            kabsch_align(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestProcrustesDisparity:
+    def test_zero_for_congruent_sets(self, rng):
+        pts = rng.normal(size=(9, 3))
+        moved = pts @ random_rotation_matrix(rng).T + rng.normal(size=3)
+        assert procrustes_disparity(pts, moved) < 1e-9
+
+    def test_positive_for_distorted_sets(self, rng):
+        pts = rng.normal(size=(9, 3))
+        assert procrustes_disparity(pts, pts + rng.normal(scale=0.5, size=pts.shape)) > 0.05
+
+
+class TestRandomRotationMatrix:
+    def test_orthogonal_determinant_one(self, rng):
+        for _ in range(10):
+            r = random_rotation_matrix(rng)
+            assert np.allclose(r @ r.T, np.eye(3), atol=1e-10)
+            assert np.linalg.det(r) == pytest.approx(1.0)

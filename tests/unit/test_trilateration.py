@@ -1,0 +1,107 @@
+"""Unit tests for trilateration-based local frames."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import procrustes_disparity
+from repro.network.graph import NetworkGraph
+from repro.network.localization import frame_distance_residual
+from repro.network.measurement import NoError, UniformAbsoluteError, measure_distances
+from repro.network.trilateration import _multilaterate, trilateration_local_frame
+
+
+@pytest.fixture
+def dense_cluster(rng):
+    pts = rng.uniform(-0.7, 0.7, size=(25, 3))
+    return NetworkGraph(pts, radio_range=1.0)
+
+
+class TestMultilaterate:
+    def test_exact_recovery(self, rng):
+        anchors = rng.uniform(-1, 1, size=(6, 3))
+        target = rng.uniform(-1, 1, size=3)
+        ranges = np.linalg.norm(anchors - target, axis=1)
+        estimate = _multilaterate(anchors, ranges)
+        assert estimate is not None
+        assert np.allclose(estimate, target, atol=1e-8)
+
+    def test_too_few_anchors(self, rng):
+        anchors = rng.uniform(-1, 1, size=(3, 3))
+        assert _multilaterate(anchors, np.ones(3)) is None
+
+    def test_coplanar_anchors_rejected(self):
+        anchors = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0], [0.5, 0.5, 0]],
+            dtype=float,
+        )
+        target = np.array([0.3, 0.3, 0.5])
+        ranges = np.linalg.norm(anchors - target, axis=1)
+        # Coplanar anchors cannot resolve the z sign/magnitude linearly.
+        result = _multilaterate(anchors, ranges)
+        assert result is None or abs(result[2] - target[2]) > 1e-6
+
+
+class TestTrilaterationFrame:
+    def test_exact_distances_recover_geometry(self, dense_cluster, rng):
+        measured = measure_distances(dense_cluster, NoError(), rng)
+        frame = trilateration_local_frame(dense_cluster, measured, 0)
+        placed = np.asarray(frame.members, dtype=int)
+        assert len(placed) >= 0.8 * (dense_cluster.degree(0) + 1)
+        true_pts = dense_cluster.positions[placed]
+        assert procrustes_disparity(frame.coordinates, true_pts) < 0.05
+
+    def test_frame_structure(self, dense_cluster, rng):
+        measured = measure_distances(dense_cluster, NoError(), rng)
+        frame = trilateration_local_frame(dense_cluster, measured, 0)
+        assert frame.members[0] == 0
+        one_hop = set(int(v) for v in dense_cluster.neighbors(0))
+        for member in frame.members[1 : 1 + frame.n_one_hop]:
+            assert member in one_hop
+
+    def test_isolated_node_degenerate_frame(self):
+        positions = np.array([[0, 0, 0], [5, 5, 5]], dtype=float)
+        graph = NetworkGraph(positions, radio_range=1.0)
+        from repro.network.measurement import MeasuredDistances
+
+        frame = trilateration_local_frame(graph, MeasuredDistances({}), 0)
+        assert frame.members == [0]
+        assert frame.n_one_hop == 0
+
+    def test_collinear_neighborhood_degenerates_gracefully(self, rng):
+        """A perfectly collinear neighborhood cannot seed a 3D frame."""
+        positions = np.array([[0.4 * i, 0.0, 0.0] for i in range(5)])
+        graph = NetworkGraph(positions, radio_range=1.0)
+        measured = measure_distances(graph, NoError(), rng)
+        frame = trilateration_local_frame(graph, measured, 2)
+        # Seeding fails at the non-collinear third node: single-point frame.
+        assert frame.members == [2]
+
+    def test_noise_degrades_more_than_mds(self, dense_cluster):
+        """Incremental placement propagates errors: residual >= MDS's."""
+        from repro.network.localization import establish_local_frame
+
+        noisy = measure_distances(
+            dense_cluster, UniformAbsoluteError(0.15), np.random.default_rng(3)
+        )
+        tri = trilateration_local_frame(dense_cluster, noisy, 0)
+        mds = establish_local_frame(dense_cluster, noisy, 0)
+        assert len(tri.members) > 10, "seed failed unexpectedly at 15% noise"
+        assert frame_distance_residual(dense_cluster, tri) >= 0.5 * (
+            frame_distance_residual(dense_cluster, mds)
+        )
+
+
+class TestPipelineIntegration:
+    def test_detector_with_trilateration(self, sphere_network):
+        from repro import BoundaryDetector, DetectorConfig, UniformAbsoluteError
+        from repro.evaluation.metrics import evaluate_detection
+
+        config = DetectorConfig(
+            error_model=UniformAbsoluteError(0.05),
+            localization="trilateration",
+        )
+        result = BoundaryDetector(config).detect(
+            sphere_network, rng=np.random.default_rng(1)
+        )
+        stats = evaluate_detection(sphere_network, result)
+        assert stats.correct_pct > 0.75

@@ -1,0 +1,50 @@
+"""UBF witness semantics: the reported empty ball is a valid certificate."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import UBFConfig
+from repro.core.ubf import run_ubf
+from repro.network.localization import true_local_frame
+from repro.core.ubf import ubf_classify_frame
+
+
+class TestWitnessCertificate:
+    def test_witness_ball_empty_of_collection(self, sphere_network):
+        """For a sample of boundary nodes, re-verify the witness ball."""
+        graph = sphere_network.graph
+        radius = UBFConfig().radius
+        checked = 0
+        for node in sorted(sphere_network.truth_boundary_set)[:25]:
+            frame = true_local_frame(graph, node)
+            fit = ubf_classify_frame(frame, radius)
+            if fit.empty_center is None:
+                continue
+            checked += 1
+            dists = np.linalg.norm(
+                frame.collection_coordinates - fit.empty_center, axis=1
+            )
+            assert (dists > radius * (1 - 1e-6)).all()
+            # The origin itself sits on the sphere.
+            origin_d = np.linalg.norm(frame.origin_coordinates - fit.empty_center)
+            assert origin_d == pytest.approx(radius, rel=1e-6)
+        assert checked >= 20
+
+    def test_witness_pair_indices_valid(self, sphere_network):
+        graph = sphere_network.graph
+        radius = UBFConfig().radius
+        for node in sorted(sphere_network.truth_boundary_set)[:10]:
+            frame = true_local_frame(graph, node)
+            fit = ubf_classify_frame(frame, radius)
+            if fit.witness_pair is None:
+                continue
+            j, k = fit.witness_pair
+            assert 0 <= j < frame.n_one_hop
+            assert 0 <= k < frame.n_one_hop
+            assert j != k
+            # Both witnesses lie on the ball surface.
+            for idx in (j, k):
+                d = np.linalg.norm(
+                    frame.neighbor_coordinates[idx] - fit.empty_center
+                )
+                assert d == pytest.approx(radius, rel=1e-6)
