@@ -1,0 +1,72 @@
+"""``repro-lint`` command-line interface.
+
+Usage::
+
+    repro-lint src                  # lint a tree (exit 1 on any finding)
+    repro-lint src/repro/core       # lint a subtree
+    repro-lint --select LOC001 src  # run a subset of rules
+    repro-lint --list-rules         # print the rule catalogue
+
+Also reachable as ``python -m repro.analysis``.  The linter is stdlib-only
+by design: it must run in hermetic environments with no network access.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporter import render_rule_list, report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based checks for the paper's locality, layering, and "
+            "reproducibility invariants (see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (diagnostics only)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        render_rule_list()
+        return 0
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        diagnostics, errors = lint_paths(args.paths, select=select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    return report(diagnostics, errors, quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Extract the configuration schema from ``repro/core/config.py``.
+
+CFG006 checks that every config attribute referenced anywhere in ``src/``
+actually exists on the config dataclasses.  To stay dependency-free the
+schema is recovered statically: the config module is parsed with
+:mod:`ast` and every ``@dataclass``-decorated class contributes
+
+* its annotated fields (constructor keywords and readable attributes),
+* its ``@property`` names,
+* its plain method names,
+
+plus, for chained resolution (``cfg.ubf.radius``), a map from field name
+to the config class named in its annotation when there is one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class ConfigClass:
+    """Members of one config dataclass."""
+
+    name: str
+    fields: Set[str] = field(default_factory=set)
+    members: Set[str] = field(default_factory=set)
+    #: field name -> config class name, for annotations like ``ubf: UBFConfig``
+    field_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ConfigSchema:
+    """All config dataclasses found in the config module."""
+
+    classes: Dict[str, ConfigClass] = field(default_factory=dict)
+
+    def resolve_chain(self, class_name: str, attr: str) -> Optional[str]:
+        """Class of ``<class_name> instance>.<attr>`` when attr is itself a config."""
+        cfg = self.classes.get(class_name)
+        if cfg is None:
+            return None
+        return cfg.field_types.get(attr)
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_class_name(annotation: ast.expr, known: Set[str]) -> Optional[str]:
+    """Name of a known config class inside ``annotation``, if any.
+
+    Handles bare names, ``Optional[X]``/``X | None`` wrappers, and string
+    annotations.
+    """
+    if isinstance(annotation, ast.Name) and annotation.id in known:
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip().strip("'\"")
+        for name in known:
+            if text == name or text.startswith(f"Optional[{name}") or f"[{name}]" in text:
+                return name
+        return None
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_class_name(
+            annotation.slice if not isinstance(annotation.slice, ast.Tuple) else annotation.slice.elts[0],
+            known,
+        )
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_class_name(annotation.left, known) or _annotation_class_name(
+            annotation.right, known
+        )
+    if isinstance(annotation, ast.Attribute) and annotation.attr in known:
+        return annotation.attr
+    return None
+
+
+def extract_config_schema(source: str) -> ConfigSchema:
+    """Parse a config module's source into a :class:`ConfigSchema`."""
+    tree = ast.parse(source)
+    schema = ConfigSchema()
+    class_nodes = [
+        node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node)
+    ]
+    known = {node.name for node in class_nodes}
+    for node in class_nodes:
+        cfg = ConfigClass(name=node.name)
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                cfg.fields.add(stmt.target.id)
+                cfg.members.add(stmt.target.id)
+                chained = _annotation_class_name(stmt.annotation, known)
+                if chained is not None:
+                    cfg.field_types[stmt.target.id] = chained
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cfg.members.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        cfg.members.add(target.id)
+        schema.classes[node.name] = cfg
+    return schema

@@ -1,0 +1,24 @@
+"""Diagnostic records emitted by lint rules.
+
+A diagnostic pinpoints one violation: the file, the 1-based line, the rule
+code (``LOC001`` .. ``CFG006``), and a human-readable message.  The render
+format is the conventional ``file:line: CODE message`` so editors and CI
+annotators can parse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, ordered by (path, line, code) for stable output."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"

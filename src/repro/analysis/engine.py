@@ -1,0 +1,118 @@
+"""Lint engine: discover files, build contexts, run rules, filter allows.
+
+The engine is deliberately dependency-free (stdlib only) so it can run in
+hermetic environments with no network access.  Entry points:
+
+* :func:`lint_paths` -- lint files/directories on disk (the CLI path);
+* :func:`lint_source` -- lint an in-memory snippet under a chosen module
+  name (the unit-test path).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import repro.analysis.rules  # noqa: F401  (registers the shipped rules)
+from repro.analysis.configschema import ConfigSchema, extract_config_schema
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import iter_rules
+from repro.analysis.suppressions import is_suppressed
+
+#: Repo-relative suffix of the module CFG006 extracts its schema from.
+CONFIG_MODULE_SUFFIX = ("repro", "core", "config.py")
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and directories into a sorted, deduplicated .py list."""
+    seen = {}
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            seen[candidate.resolve()] = candidate
+    return [seen[key] for key in sorted(seen)]
+
+
+def _find_config_source(files: Sequence[Path]) -> Optional[str]:
+    for file_path in files:
+        if file_path.resolve().parts[-3:] == CONFIG_MODULE_SUFFIX:
+            return file_path.read_text(encoding="utf-8")
+    return None
+
+
+def build_project_context(files: Sequence[Path]) -> ProjectContext:
+    config_source = _find_config_source(files)
+    schema: Optional[ConfigSchema] = None
+    if config_source is not None:
+        schema = extract_config_schema(config_source)
+    return ProjectContext(config_schema=schema)
+
+
+def _run_rules(
+    module: ModuleContext,
+    project: ProjectContext,
+    select: Optional[Sequence[str]],
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for rule in iter_rules(select):
+        for diag in rule.check(module, project):
+            if not is_suppressed(module.suppressions, diag.line, diag.code):
+                out.append(diag)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> Tuple[List[Diagnostic], List[str]]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(diagnostics, errors)`` where ``errors`` are file-level
+    problems (unreadable file, syntax error) reported separately from rule
+    findings so a broken file cannot masquerade as a clean one.
+    """
+    files = discover_files([Path(p) for p in paths])
+    project = build_project_context(files)
+    diagnostics: List[Diagnostic] = []
+    errors: List[str] = []
+    for file_path in files:
+        try:
+            module = ModuleContext.from_file(file_path)
+        except OSError as exc:
+            errors.append(f"{file_path}: unreadable: {exc}")
+            continue
+        except SyntaxError as exc:
+            errors.append(f"{file_path}:{exc.lineno or 0}: syntax error: {exc.msg}")
+            continue
+        diagnostics.extend(_run_rules(module, project, select))
+    return sorted(diagnostics), errors
+
+
+def lint_source(
+    source: str,
+    *,
+    module_name: str = "repro.example",
+    path: str = "<string>",
+    config_source: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory module (unit-test entry point).
+
+    ``module_name`` controls layer/locality classification;
+    ``config_source`` optionally supplies the CFG006 schema module.
+    """
+    module = ModuleContext.from_source(source, path=path, module_name=module_name)
+    schema = extract_config_schema(config_source) if config_source is not None else None
+    project = ProjectContext(config_schema=schema)
+    return sorted(_run_rules(module, project, select))
+
+
+def parse_check(source: str) -> ast.Module:
+    """Parse helper kept public for tooling; raises SyntaxError on bad input."""
+    return ast.parse(source)

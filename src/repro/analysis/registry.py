@@ -1,0 +1,55 @@
+"""Rule registry.
+
+Rules are small classes with a ``code`` (``LOC001``), a one-line
+``summary``, and a ``check(module, project)`` generator of diagnostics.
+They self-register at import time through the :func:`register` decorator;
+:func:`iter_rules` returns them in code order.  The engine imports
+:mod:`repro.analysis.rules` once so every shipped rule is registered before
+any file is linted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, module: ModuleContext, line: int, message: str) -> Diagnostic:
+        return Diagnostic(path=module.path, line=line, code=self.code, message=message)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def iter_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Registered rules in code order, optionally restricted to ``select``."""
+    wanted = None if select is None else {code.upper() for code in select}
+    unknown = wanted - set(_REGISTRY) if wanted is not None else set()
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [
+        _REGISTRY[code]
+        for code in sorted(_REGISTRY)
+        if wanted is None or code in wanted
+    ]

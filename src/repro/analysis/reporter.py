@@ -1,0 +1,54 @@
+"""Render lint results for terminals and CI logs."""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import iter_rules
+
+
+def report(
+    diagnostics: Sequence[Diagnostic],
+    errors: Sequence[str],
+    *,
+    stream: Optional[TextIO] = None,
+    quiet: bool = False,
+) -> int:
+    """Print diagnostics and return the process exit code.
+
+    0 -- clean; 1 -- rule violations; 2 -- file-level errors (unreadable
+    or unparsable input), which dominate because a file the linter cannot
+    read is not known to be clean.
+    """
+    out = stream if stream is not None else sys.stdout
+    for diag in diagnostics:
+        print(diag.render(), file=out)
+    for error in errors:
+        print(f"error: {error}", file=out)
+    if not quiet:
+        if diagnostics or errors:
+            counts = _counts_by_code(diagnostics)
+            summary = ", ".join(f"{code} x{n}" for code, n in counts)
+            if summary:
+                print(f"repro-lint: {len(diagnostics)} finding(s): {summary}", file=out)
+        else:
+            print("repro-lint: clean", file=out)
+    if errors:
+        return 2
+    return 1 if diagnostics else 0
+
+
+def _counts_by_code(diagnostics: Sequence[Diagnostic]) -> List[tuple]:
+    counts = {}
+    for diag in diagnostics:
+        counts[diag.code] = counts.get(diag.code, 0) + 1
+    return sorted(counts.items())
+
+
+def render_rule_list(stream: Optional[TextIO] = None) -> None:
+    """Print the registered rule catalogue (``--list-rules``)."""
+    out = stream if stream is not None else sys.stdout
+    for rule in iter_rules():
+        print(f"{rule.code}  {rule.summary}", file=out)

@@ -1,0 +1,19 @@
+"""Shipped lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`:
+
+* ``LOC001`` locality (:mod:`repro.analysis.rules.locality`)
+* ``LAY002`` layering (:mod:`repro.analysis.rules.layering`)
+* ``RNG003`` reproducible randomness (:mod:`repro.analysis.rules.rng`)
+* ``MUT004`` / ``EXC005`` Python pitfalls (:mod:`repro.analysis.rules.pitfalls`)
+* ``CFG006`` config-key consistency (:mod:`repro.analysis.rules.config_keys`)
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import for registration side effect)
+    config_keys,
+    layering,
+    locality,
+    pitfalls,
+    rng,
+)

@@ -1,0 +1,229 @@
+"""CFG006 -- config-key consistency against ``repro/core/config.py``.
+
+A silent typo like ``config.collection_hop`` (for ``collection_hops``)
+raises only at run time, deep inside an experiment sweep.  This rule
+resolves, statically, which expressions hold instances of the config
+dataclasses (``UBFConfig``, ``IFFConfig``, ``DetectorConfig``) and checks
+
+* every attribute read on them against the class's fields, properties and
+  methods, and
+* every keyword passed to their constructors against the declared fields.
+
+Type information is recovered from parameter annotations, direct
+constructor assignments (``cfg = UBFConfig(...)``), ``self.<attr>``
+bindings made from annotated ``__init__`` parameters, and chained config
+fields (``cfg.ubf.radius`` knows ``ubf`` is a ``UBFConfig``).  Anything
+the resolver cannot type is left alone -- the rule only fires on objects
+it has positively identified as config instances.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.configschema import ConfigSchema, _annotation_class_name
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+
+@register
+class ConfigKeyRule(Rule):
+    code = "CFG006"
+    summary = "config attribute reads and constructor keywords must match repro/core/config.py"
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        schema = project.config_schema
+        if schema is None or not schema.classes:
+            return
+        scanner = _Scanner(self, module, schema)
+        scanner.scan_module(module.tree)
+        yield from scanner.findings
+
+
+class _Scanner:
+    """Walks one module, tracking which names hold config instances."""
+
+    def __init__(self, rule: ConfigKeyRule, module: ModuleContext, schema: ConfigSchema):
+        self.rule = rule
+        self.module = module
+        self.schema = schema
+        self.findings: List[Diagnostic] = []
+
+    # -- type resolution ------------------------------------------------
+
+    def _constructor_class(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self.schema.classes:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in self.schema.classes:
+            return func.attr
+        return None
+
+    def _resolve(self, node: ast.expr, env: Dict[str, str], self_attrs: Dict[str, str],
+                 self_type: Optional[str]) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self_type is not None:
+                return self_type
+            return env.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._constructor_class(node)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if node.attr in self_attrs:
+                    return self_attrs[node.attr]
+                if self_type is not None:
+                    return self.schema.resolve_chain(self_type, node.attr)
+                return None
+            inner = self._resolve(node.value, env, self_attrs, self_type)
+            if inner is not None:
+                return self.schema.resolve_chain(inner, node.attr)
+        return None
+
+    # -- scanning -------------------------------------------------------
+
+    def scan_module(self, tree: ast.Module) -> None:
+        env: Dict[str, str] = {}
+        self._scan_body(tree.body, env, {}, None)
+
+    def _param_types(self, fn: ast.FunctionDef) -> Dict[str, str]:
+        known = set(self.schema.classes)
+        types: Dict[str, str] = {}
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+        for arg in args:
+            if arg.annotation is not None:
+                cls = _annotation_class_name(arg.annotation, known)
+                if cls is not None:
+                    types[arg.arg] = cls
+        # unannotated params with a config-constructor default
+        defaults = fn.args.defaults
+        if defaults:
+            for arg, default in zip(args[-len(defaults):], defaults):
+                if arg.arg not in types and isinstance(default, ast.Call):
+                    cls = self._constructor_class(default)
+                    if cls is not None:
+                        types[arg.arg] = cls
+        return types
+
+    def _collect_self_attrs(self, cls_node: ast.ClassDef) -> Dict[str, str]:
+        """``self.<name>`` bindings visible to every method of the class."""
+        known = set(self.schema.classes)
+        out: Dict[str, str] = {}
+        for stmt in cls_node.body:
+            # dataclass-style declaration: ``ubf: UBFConfig``
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                cls = _annotation_class_name(stmt.annotation, known)
+                if cls is not None:
+                    out[stmt.target.id] = cls
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = self._param_types(stmt)
+                for inner in ast.walk(stmt):
+                    if not (isinstance(inner, ast.Assign) and len(inner.targets) == 1):
+                        continue
+                    target = inner.targets[0]
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    cls = self._resolve(inner.value, dict(params), {}, None)
+                    if cls is not None:
+                        out[target.attr] = cls
+        return out
+
+    def _scan_body(self, body, env: Dict[str, str], self_attrs: Dict[str, str],
+                   self_type: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                cls_self_type = stmt.name if stmt.name in self.schema.classes else None
+                cls_attrs = self._collect_self_attrs(stmt)
+                for deco in stmt.decorator_list:
+                    self._scan_expr(deco, env, self_attrs, self_type)
+                self._scan_body(stmt.body, dict(env), cls_attrs, cls_self_type)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_env = dict(env)
+                fn_env.update(self._param_types(stmt))
+                for default in list(stmt.args.defaults) + [
+                    d for d in stmt.args.kw_defaults if d is not None
+                ]:
+                    self._scan_expr(default, env, self_attrs, self_type)
+                self._scan_body(stmt.body, fn_env, self_attrs, self_type)
+            else:
+                self._scan_stmt(stmt, env, self_attrs, self_type)
+
+    def _scan_stmt(self, stmt: ast.stmt, env, self_attrs, self_type) -> None:
+        if isinstance(stmt, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._scan_body([stmt], env, self_attrs, self_type)
+        elif isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, env, self_attrs, self_type)
+            cls = self._resolve(stmt.value, env, self_attrs, self_type)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if cls is not None:
+                        env[target.id] = cls
+                    else:
+                        env.pop(target.id, None)
+                else:
+                    self._scan_expr(target, env, self_attrs, self_type)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, env, self_attrs, self_type)
+            if isinstance(stmt.target, ast.Name):
+                cls = _annotation_class_name(stmt.annotation, set(self.schema.classes))
+                if cls is not None:
+                    env[stmt.target.id] = cls
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan_expr(child, env, self_attrs, self_type)
+                elif isinstance(child, ast.stmt):
+                    self._scan_stmt(child, env, self_attrs, self_type)
+                elif isinstance(child, (ast.excepthandler, ast.withitem, ast.comprehension)):
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.expr):
+                            self._scan_expr(sub, env, self_attrs, self_type)
+                        elif isinstance(sub, ast.stmt):
+                            self._scan_stmt(sub, env, self_attrs, self_type)
+
+    def _scan_expr(self, expr: ast.expr, env, self_attrs, self_type) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                self._check_attribute(node, env, self_attrs, self_type)
+            elif isinstance(node, ast.Call):
+                self._check_constructor(node)
+
+    def _check_attribute(self, node: ast.Attribute, env, self_attrs, self_type) -> None:
+        owner = self._resolve(node.value, env, self_attrs, self_type)
+        if owner is None:
+            return
+        cfg = self.schema.classes.get(owner)
+        if cfg is None or node.attr in cfg.members or node.attr.startswith("__"):
+            return
+        self.findings.append(
+            self.rule.diagnostic(
+                self.module,
+                node.lineno,
+                f"unknown config attribute '{node.attr}' on {owner} "
+                f"(known: {', '.join(sorted(cfg.members))})",
+            )
+        )
+
+    def _check_constructor(self, call: ast.Call) -> None:
+        cls = self._constructor_class(call)
+        if cls is None:
+            return
+        cfg = self.schema.classes[cls]
+        for kw in call.keywords:
+            if kw.arg is None:  # **splat -- not statically checkable
+                continue
+            if kw.arg not in cfg.fields:
+                self.findings.append(
+                    self.rule.diagnostic(
+                        self.module,
+                        kw.value.lineno,
+                        f"unknown constructor keyword '{kw.arg}' for {cls} "
+                        f"(fields: {', '.join(sorted(cfg.fields))})",
+                    )
+                )

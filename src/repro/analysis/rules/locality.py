@@ -1,0 +1,85 @@
+"""LOC001 -- locality: algorithm layers may not peek at ground truth.
+
+The paper's central claim is that UBF/IFF and surface reconstruction are
+*localized*: every node decides from its one-hop neighborhood embedded in
+a locally built coordinate frame.  Ground-truth positions and the
+ground-truth boundary labels exist in this codebase only so deployments
+can be generated and detections scored.  Code under ``repro.core`` and
+``repro.surface`` therefore may not
+
+* read the ground-truth attributes (``.positions``, ``.truth``,
+  ``.truth_boundary``, ``.truth_boundary_set``), nor
+* import ``repro.evaluation`` (the scorer) or ``repro.shapes`` (the
+  ground-truth region generators).
+
+Documented evaluation shims escape with ``# lint: allow[LOC001]`` plus a
+justification comment on the same line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+LOCALIZED_PACKAGES = ("repro.core", "repro.surface")
+GROUND_TRUTH_ATTRS = frozenset(
+    {"positions", "truth", "truth_boundary", "truth_boundary_set"}
+)
+FORBIDDEN_IMPORTS = ("repro.evaluation", "repro.shapes")
+
+
+def _in_localized_layer(module_name: str) -> bool:
+    return any(
+        module_name == pkg or module_name.startswith(pkg + ".")
+        for pkg in LOCALIZED_PACKAGES
+    )
+
+
+@register
+class LocalityRule(Rule):
+    code = "LOC001"
+    summary = (
+        "repro.core / repro.surface must stay localized: no ground-truth "
+        "attribute reads, no imports of repro.evaluation or repro.shapes"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        if not _in_localized_layer(module.module_name):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in GROUND_TRUTH_ATTRS:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    f"ground-truth attribute '.{node.attr}' read inside localized "
+                    f"module {module.module_name}; algorithm code must use "
+                    "locally built frames (see docs/STATIC_ANALYSIS.md)",
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bad = _forbidden_target(alias.name)
+                    if bad:
+                        yield self.diagnostic(
+                            module,
+                            node.lineno,
+                            f"localized module {module.module_name} imports {bad}",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                bad = _forbidden_target(node.module)
+                if bad:
+                    yield self.diagnostic(
+                        module,
+                        node.lineno,
+                        f"localized module {module.module_name} imports {bad}",
+                    )
+
+
+def _forbidden_target(dotted: str) -> str:
+    for pkg in FORBIDDEN_IMPORTS:
+        if dotted == pkg or dotted.startswith(pkg + "."):
+            return pkg
+    return ""

@@ -1,0 +1,108 @@
+"""MUT004 / EXC005 -- classic Python pitfalls that corrupt experiments.
+
+MUT004 flags mutable default arguments (``def f(xs=[])``): the default is
+created once per *process*, so state leaks across calls and across
+repeated experiment runs in one session -- exactly the kind of hidden
+coupling a reproduction cannot afford.  Immutable dataclass defaults such
+as ``config: UBFConfig = UBFConfig()`` are fine (the config classes are
+``frozen=True``) and are not flagged.
+
+EXC005 flags bare ``except:`` and over-broad ``except Exception`` /
+``except BaseException`` handlers, which swallow numerical errors (and
+``KeyboardInterrupt`` in the bare case) and convert wrong answers into
+silent ones.  A broad handler that unconditionally re-raises (contains a
+bare ``raise``) is accepted -- that is the legitimate cleanup idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "MUT004"
+    summary = "no mutable default arguments (lists/dicts/sets created once per process)"
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    fn_name = getattr(node, "name", "<lambda>")
+                    yield self.diagnostic(
+                        module,
+                        default.lineno,
+                        f"mutable default argument in '{fn_name}'; use None and "
+                        "create the container inside the function",
+                    )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(inner, ast.Raise) and inner.exc is None
+        for inner in ast.walk(handler)
+    )
+
+
+def _broad_name(type_node: ast.expr) -> str:
+    if isinstance(type_node, ast.Name) and type_node.id in BROAD_EXCEPTIONS:
+        return type_node.id
+    if isinstance(type_node, ast.Tuple):
+        for elt in type_node.elts:
+            name = _broad_name(elt)
+            if name:
+                return name
+    return ""
+
+
+@register
+class BroadExceptRule(Rule):
+    code = "EXC005"
+    summary = "no bare or over-broad except handlers (unless they re-raise)"
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    "bare 'except:' swallows every error including "
+                    "KeyboardInterrupt; catch the specific exception",
+                )
+                continue
+            broad = _broad_name(node.type)
+            if broad and not _reraises(node):
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    f"over-broad 'except {broad}' without re-raise; catch the "
+                    "specific exception or re-raise after cleanup",
+                )

@@ -1,0 +1,145 @@
+"""RNG003 -- reproducibility: randomness must flow through seeded Generators.
+
+Every experiment in the reproduction is replayable because algorithm code
+takes an explicit ``np.random.Generator`` parameter.  Three patterns break
+that contract and are flagged:
+
+* any ``np.random.<fn>(...)`` / ``random.<fn>(...)`` call at module level
+  (import-time RNG state makes results depend on import order);
+* ``default_rng()`` with no seed argument anywhere outside the CLI layer
+  (``repro.cli`` parses ``--seed`` and is the one place an unseeded
+  generator could legitimately originate -- and even there a seed default
+  is preferred);
+* the legacy global-state mutators ``np.random.seed`` / ``random.seed`` /
+  ``np.random.set_state`` at any depth, which poison unrelated callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+UNSEEDED_EXEMPT_MODULES = ("repro.cli",)
+GLOBAL_STATE_FNS = frozenset({"seed", "set_state"})
+
+
+def _collect_random_aliases(tree: ast.Module) -> tuple:
+    """Names bound to numpy / numpy.random / random by top-level imports."""
+    numpy_aliases: Set[str] = set()
+    nprandom_aliases: Set[str] = set()
+    random_aliases: Set[str] = set()
+    default_rng_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy":
+                    numpy_aliases.add(bound)
+                elif alias.name == "numpy.random":
+                    nprandom_aliases.add(alias.asname or "numpy")
+                    if alias.asname:
+                        nprandom_aliases.add(alias.asname)
+                elif alias.name == "random":
+                    random_aliases.add(bound)
+        elif isinstance(node, ast.ImportFrom) and node.module in ("numpy.random", "random"):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if node.module == "numpy.random" and alias.name == "default_rng":
+                    default_rng_names.add(bound)
+                elif node.module == "random":
+                    random_aliases.add(bound)  # direct fn import, flagged by name
+    return numpy_aliases, nprandom_aliases, random_aliases, default_rng_names
+
+
+def _random_call_name(call: ast.Call, numpy_aliases, nprandom_aliases, random_aliases, default_rng_names):
+    """('np.random', fn) / ('random', fn) / ('default_rng', fn) or None."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        # np.random.<fn>(...)
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+        ):
+            return ("np.random", func.attr)
+        if isinstance(base, ast.Name):
+            if base.id in nprandom_aliases:
+                return ("np.random", func.attr)
+            if base.id in random_aliases:
+                return ("random", func.attr)
+    elif isinstance(func, ast.Name):
+        if func.id in default_rng_names:
+            return ("default_rng", "default_rng")
+        if func.id in random_aliases:
+            return ("random", func.id)
+    return None
+
+
+@register
+class RngRule(Rule):
+    code = "RNG003"
+    summary = (
+        "no module-level np.random/random calls, no unseeded default_rng() "
+        "outside the CLI, no legacy global RNG state"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        aliases = _collect_random_aliases(module.tree)
+        exempt_unseeded = module.module_name in UNSEEDED_EXEMPT_MODULES
+        yield from self._walk(module, module.tree, aliases, depth=0, exempt=exempt_unseeded)
+
+    def _walk(self, module, node, aliases, depth, exempt) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                child_depth = depth + 1
+            if isinstance(child, ast.Call):
+                yield from self._check_call(module, child, aliases, depth, exempt)
+            yield from self._walk(module, child, aliases, child_depth, exempt)
+
+    def _check_call(self, module, call, aliases, depth, exempt) -> Iterator[Diagnostic]:
+        resolved = _random_call_name(call, *aliases)
+        if resolved is None:
+            return
+        family, fn = resolved
+        is_default_rng = fn == "default_rng"
+        unseeded = is_default_rng and not call.args and not call.keywords
+        shown = fn if family == "default_rng" else f"{family}.{fn}"
+        if depth == 0:
+            yield self.diagnostic(
+                module,
+                call.lineno,
+                f"module-level {shown}() call; seed an np.random.Generator "
+                "inside the consuming function instead",
+            )
+        elif fn in GLOBAL_STATE_FNS and family in ("np.random", "random"):
+            yield self.diagnostic(
+                module,
+                call.lineno,
+                f"global RNG state mutation {family}.{fn}(); pass an explicit "
+                "np.random.Generator instead",
+            )
+        elif unseeded and not exempt:
+            yield self.diagnostic(
+                module,
+                call.lineno,
+                "unseeded default_rng(); algorithm code must accept a seeded "
+                "np.random.Generator parameter",
+            )
+        elif is_default_rng or family == "random":
+            return
+        elif family == "np.random":
+            # Seeded default_rng aside, np.random.<fn> uses the legacy
+            # global-state API even inside functions.
+            yield self.diagnostic(
+                module,
+                call.lineno,
+                f"legacy np.random.{fn}() call; use a seeded "
+                "np.random.Generator parameter",
+            )

@@ -1,0 +1,37 @@
+"""Per-line lint suppression comments.
+
+The escape hatch is explicit and code-scoped::
+
+    graph = network.positions  # lint: allow[LOC001] -- evaluation shim, see docs
+
+Only the codes named inside the brackets are suppressed, and only on the
+line carrying the comment.  Several codes may be listed separated by
+commas: ``# lint: allow[LOC001,RNG003]``.  A blanket ``allow[]`` (empty
+bracket) suppresses nothing -- suppression must always name its rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_,\s]*)\]")
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the set of rule codes allowed there."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper() for code in match.group(1).split(",") if code.strip()
+        )
+        if codes:
+            out[lineno] = codes
+    return out
+
+
+def is_suppressed(suppressions: Dict[int, FrozenSet[str]], line: int, code: str) -> bool:
+    return code.upper() in suppressions.get(line, frozenset())

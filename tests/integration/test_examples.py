@@ -5,13 +5,31 @@ intrusive, so they run as subprocesses with their shipped parameters; each
 one is laptop-sized by construction.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+SRC_DIR = REPO_ROOT / "src"
+
+
+def _child_env() -> dict:
+    """Current environment with ``src`` prepended to PYTHONPATH.
+
+    The examples import ``repro`` without being installed; the test
+    process found it via its own PYTHONPATH, which subprocess children do
+    not inherit augmented -- so build it explicitly.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 EXAMPLES = [
     "quickstart.py",
@@ -33,6 +51,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=1200,
         cwd=tmp_path,
+        env=_child_env(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "example produced no output"

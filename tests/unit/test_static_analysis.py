@@ -1,0 +1,420 @@
+"""Unit tests for the repro-lint subsystem (repro.analysis).
+
+Every rule LOC001..CFG006 gets at least one triggering fixture and one
+passing fixture; the ``# lint: allow[...]`` escape hatch is checked for
+exact-code suppression; and a gate test runs the full linter over ``src/``
+so new violations fail CI instead of accumulating.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import extract_config_schema, iter_rules, lint_paths, lint_source
+from repro.analysis.cli import main as lint_main
+from repro.analysis.context import resolve_module_name
+from repro.analysis.suppressions import collect_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+CONFIG_SOURCE = textwrap.dedent(
+    """
+    from dataclasses import dataclass, field
+    from typing import Optional
+
+    @dataclass(frozen=True)
+    class UBFConfig:
+        epsilon: float = 1e-3
+        ball_radius: Optional[float] = None
+
+        @property
+        def radius(self) -> float:
+            return self.ball_radius or 1.0 + self.epsilon
+
+    @dataclass(frozen=True)
+    class DetectorConfig:
+        ubf: UBFConfig = field(default_factory=UBFConfig)
+        localization: str = "auto"
+
+        def resolved_localization(self) -> str:
+            return self.localization
+    """
+)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+def lint(source, module_name="repro.evaluation.example", **kw):
+    return lint_source(textwrap.dedent(source), module_name=module_name, **kw)
+
+
+# ---------------------------------------------------------------- LOC001
+
+
+def test_loc001_flags_ground_truth_attribute_in_core():
+    diags = lint(
+        """
+        def f(network):
+            return network.positions
+        """,
+        module_name="repro.core.ubf",
+    )
+    assert codes(diags) == ["LOC001"]
+    assert "positions" in diags[0].message
+
+
+def test_loc001_flags_truth_and_forbidden_imports_in_surface():
+    diags = lint(
+        """
+        from repro.shapes import library
+
+        def f(network):
+            return network.truth_boundary
+        """,
+        module_name="repro.surface.mesh",
+    )
+    assert sorted(codes(diags)).count("LOC001") == 2
+
+
+def test_loc001_silent_outside_localized_layers():
+    diags = lint(
+        """
+        from repro.shapes import library
+
+        def f(network):
+            return network.positions
+        """,
+        module_name="repro.evaluation.metrics",
+    )
+    assert "LOC001" not in codes(diags)
+
+
+# ---------------------------------------------------------------- LAY002
+
+
+def test_lay002_flags_upward_import():
+    diags = lint(
+        "from repro.surface.mesh import TriangularMesh\n",
+        module_name="repro.network.graph",
+    )
+    assert codes(diags) == ["LAY002"]
+    assert "upward" in diags[0].message
+
+
+def test_lay002_flags_lateral_import_between_consumer_packages():
+    diags = lint(
+        "import repro.io.meshio\n",
+        module_name="repro.evaluation.reporting",
+    )
+    assert codes(diags) == ["LAY002"]
+    assert "lateral" in diags[0].message
+
+
+def test_lay002_allows_downward_and_intra_package_imports():
+    diags = lint(
+        """
+        from repro.geometry.primitives import foo
+        from repro.network.graph import NetworkGraph
+        from repro.core.config import UBFConfig
+        """,
+        module_name="repro.core.pipeline",
+    )
+    assert diags == []
+
+
+def test_lay002_cli_may_import_everything():
+    diags = lint(
+        """
+        from repro.evaluation.experiments import run_scenario
+        from repro.core.pipeline import BoundaryDetector
+        """,
+        module_name="repro.cli",
+    )
+    assert diags == []
+
+
+# ---------------------------------------------------------------- RNG003
+
+
+def test_rng003_flags_module_level_calls():
+    diags = lint(
+        """
+        import numpy as np
+        import random
+
+        JITTER = np.random.uniform(0, 1)
+        SHUFFLED = random.random()
+        """
+    )
+    assert codes(diags) == ["RNG003", "RNG003"]
+
+
+def test_rng003_flags_unseeded_default_rng_and_global_seed():
+    diags = lint(
+        """
+        import numpy as np
+        from numpy.random import default_rng
+
+        def f():
+            np.random.seed(0)
+            return default_rng()
+        """
+    )
+    assert codes(diags) == ["RNG003", "RNG003"]
+
+
+def test_rng003_accepts_seeded_generators_and_cli_module():
+    assert (
+        lint(
+            """
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        == []
+    )
+    # unseeded default_rng is tolerated only in repro.cli
+    assert (
+        lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """,
+            module_name="repro.cli",
+        )
+        == []
+    )
+
+
+# ---------------------------------------------------------------- MUT004
+
+
+def test_mut004_flags_mutable_defaults():
+    diags = lint(
+        """
+        def f(xs=[], mapping={}, items=set(), *, named=list()):
+            return xs, mapping, items, named
+        """
+    )
+    assert codes(diags) == ["MUT004"] * 4
+
+
+def test_mut004_accepts_frozen_dataclass_and_none_defaults():
+    diags = lint(
+        """
+        from repro.core.config import UBFConfig
+
+        def f(config=UBFConfig(), xs=None, label="x"):
+            return config, xs, label
+        """,
+        module_name="repro.core.ubf",
+    )
+    assert "MUT004" not in codes(diags)
+
+
+# ---------------------------------------------------------------- EXC005
+
+
+def test_exc005_flags_bare_and_broad_except():
+    diags = lint(
+        """
+        def f():
+            try:
+                work()
+            except:
+                pass
+            try:
+                work()
+            except Exception:
+                return None
+        """
+    )
+    assert codes(diags) == ["EXC005", "EXC005"]
+
+
+def test_exc005_accepts_specific_and_reraising_handlers():
+    diags = lint(
+        """
+        def f():
+            try:
+                work()
+            except ValueError:
+                pass
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+        """
+    )
+    assert diags == []
+
+
+# ---------------------------------------------------------------- CFG006
+
+
+def test_cfg006_flags_unknown_attribute_and_kwarg():
+    diags = lint(
+        """
+        from repro.core.config import DetectorConfig, UBFConfig
+
+        def f(config: DetectorConfig):
+            bad = config.ubf.epsilonn
+            return UBFConfig(ball_radus=2.0)
+        """,
+        config_source=CONFIG_SOURCE,
+    )
+    assert codes(diags) == ["CFG006", "CFG006"]
+    assert "epsilonn" in diags[0].message
+    assert "ball_radus" in diags[1].message
+
+
+def test_cfg006_resolves_chains_properties_and_self_attributes():
+    diags = lint(
+        """
+        from repro.core.config import DetectorConfig
+
+        class Detector:
+            def __init__(self, config: DetectorConfig):
+                self.config = config
+
+            def go(self):
+                mode = self.config.resolved_localization()
+                return self.config.ubf.radius, self.config.ubf.bogus
+        """,
+        config_source=CONFIG_SOURCE,
+    )
+    assert codes(diags) == ["CFG006"]
+    assert "bogus" in diags[0].message
+
+
+def test_cfg006_untyped_objects_are_left_alone():
+    diags = lint(
+        """
+        def f(config):
+            return config.definitely_not_a_field
+        """,
+        config_source=CONFIG_SOURCE,
+    )
+    assert diags == []
+
+
+def test_cfg006_schema_extraction():
+    schema = extract_config_schema(CONFIG_SOURCE)
+    assert set(schema.classes) == {"UBFConfig", "DetectorConfig"}
+    ubf = schema.classes["UBFConfig"]
+    assert {"epsilon", "ball_radius"} <= ubf.fields
+    assert "radius" in ubf.members and "radius" not in ubf.fields
+    assert schema.resolve_chain("DetectorConfig", "ubf") == "UBFConfig"
+
+
+# ------------------------------------------------------- escape hatch
+
+
+def test_allow_comment_suppresses_exactly_the_named_code():
+    source = """
+    def f(network):
+        return network.positions  # lint: allow[LOC001] -- documented shim
+    """
+    assert lint(source, module_name="repro.core.ubf") == []
+    # the same comment must NOT suppress a different rule on that line
+    other = """
+    def f(network, xs=[]):  # lint: allow[LOC001]
+        return xs
+    """
+    assert codes(lint(other, module_name="repro.core.ubf")) == ["MUT004"]
+
+
+def test_allow_comment_is_line_scoped():
+    source = """
+    def f(network):
+        a = network.positions  # lint: allow[LOC001]
+        return network.positions
+    """
+    diags = lint(source, module_name="repro.core.ubf")
+    assert codes(diags) == ["LOC001"]
+    assert diags[0].line == 4
+
+
+def test_allow_comment_parsing_multiple_codes():
+    table = collect_suppressions("x = 1  # lint: allow[LOC001, RNG003]\ny = 2\n")
+    assert table == {1: frozenset({"LOC001", "RNG003"})}
+    assert collect_suppressions("z = 3  # lint: allow[]\n") == {}
+
+
+# -------------------------------------------------------------- framework
+
+
+def test_module_name_resolution():
+    assert resolve_module_name(SRC / "repro" / "core" / "ubf.py") == "repro.core.ubf"
+    assert resolve_module_name(SRC / "repro" / "core" / "__init__.py") == "repro.core"
+
+
+def test_every_registered_rule_has_code_and_summary():
+    rules = iter_rules()
+    assert [r.code for r in rules] == [
+        "CFG006",
+        "EXC005",
+        "LAY002",
+        "LOC001",
+        "MUT004",
+        "RNG003",
+    ]
+    assert all(r.summary for r in rules)
+
+
+def test_select_unknown_rule_code_raises():
+    with pytest.raises(KeyError):
+        lint_source("x = 1\n", select=["NOPE999"])
+
+
+def test_diagnostic_render_format(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    diags, errors = lint_paths([bad])
+    assert errors == []
+    assert len(diags) == 1
+    rendered = diags[0].render()
+    assert rendered.startswith(str(bad)) and ": MUT004 " in rendered
+
+
+def test_syntax_error_reported_as_error_not_clean(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    diags, errors = lint_paths([bad])
+    assert diags == []
+    assert len(errors) == 1 and "syntax error" in errors[0]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(xs=[]):\n    return xs\n")
+    assert lint_main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert ": MUT004 " in out
+    assert lint_main(["--list-rules"]) == 0
+
+
+# ------------------------------------------------------------------ gate
+
+
+def test_src_tree_is_clean():
+    """Gate: the shipped source tree must produce zero diagnostics.
+
+    Violations are fixed, not baselined; a justified ``# lint: allow``
+    with a trailing reason is the only accepted escape.
+    """
+    diags, errors = lint_paths([SRC])
+    assert errors == []
+    assert diags == [], "\n".join(d.render() for d in diags)
