@@ -28,117 +28,158 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every reproduced figure.
 """
 
-from repro.core import (
-    BoundaryDetectionResult,
-    BoundaryDetector,
-    DetectorConfig,
-    IFFConfig,
-    UBFConfig,
-    detect_boundary,
-    group_boundary_nodes,
-    run_iff,
-    run_ubf,
-)
-from repro.network import (
-    DeploymentConfig,
-    DistanceErrorModel,
-    GaussianError,
-    MeasuredDistances,
-    Network,
-    NetworkGraph,
-    NetworkStats,
-    NoError,
-    UniformAbsoluteError,
-    UniformRelativeError,
-    compute_network_stats,
-    generate_network,
-    measure_distances,
-)
-from repro.shapes import (
-    SCENARIOS,
-    AxisAlignedBox,
-    BentPipe,
-    Cylinder,
-    Difference,
-    Shape3D,
-    Sphere,
-    Torus,
-    Union,
-    UnderwaterTerrain,
-    bent_pipe_scenario,
-    one_hole_scenario,
-    scenario_by_name,
-    sphere_scenario,
-    two_hole_scenario,
-    underwater_scenario,
-)
-from repro.applications import (
-    GeoRouter,
-    HoleReport,
-    RouteResult,
-    SurfaceRouter,
-    analyze_hole,
-)
-from repro.events import EventMonitor, SphericalEvent, apply_event
-from repro.surface import SurfaceBuilder, SurfaceConfig, TriangularMesh
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # eager imports for type checkers only
+    from repro.applications import (
+        GeoRouter,
+        HoleReport,
+        RouteResult,
+        SurfaceRouter,
+        analyze_hole,
+    )
+    from repro.core import (
+        BoundaryDetectionResult,
+        BoundaryDetector,
+        DetectorConfig,
+        IFFConfig,
+        UBFConfig,
+        detect_boundary,
+        group_boundary_nodes,
+        run_iff,
+        run_ubf,
+    )
+    from repro.events import EventMonitor, SphericalEvent, apply_event
+    from repro.network import (
+        DeploymentConfig,
+        DistanceErrorModel,
+        GaussianError,
+        MeasuredDistances,
+        Network,
+        NetworkGraph,
+        NetworkStats,
+        NoError,
+        UniformAbsoluteError,
+        UniformRelativeError,
+        compute_network_stats,
+        generate_network,
+        measure_distances,
+    )
+    from repro.shapes import (
+        SCENARIOS,
+        AxisAlignedBox,
+        BentPipe,
+        Cylinder,
+        Difference,
+        Shape3D,
+        Sphere,
+        Torus,
+        Union,
+        UnderwaterTerrain,
+        bent_pipe_scenario,
+        one_hole_scenario,
+        scenario_by_name,
+        sphere_scenario,
+        two_hole_scenario,
+        underwater_scenario,
+    )
+    from repro.surface import SurfaceBuilder, SurfaceConfig, TriangularMesh
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
-    # core
-    "BoundaryDetector",
-    "BoundaryDetectionResult",
-    "DetectorConfig",
-    "UBFConfig",
-    "IFFConfig",
-    "detect_boundary",
-    "run_ubf",
-    "run_iff",
-    "group_boundary_nodes",
-    # network
-    "Network",
-    "NetworkGraph",
-    "NetworkStats",
-    "DeploymentConfig",
-    "generate_network",
-    "compute_network_stats",
-    "DistanceErrorModel",
-    "NoError",
-    "UniformAbsoluteError",
-    "UniformRelativeError",
-    "GaussianError",
-    "MeasuredDistances",
-    "measure_distances",
-    # shapes
-    "Shape3D",
-    "Sphere",
-    "AxisAlignedBox",
-    "Cylinder",
-    "Torus",
-    "BentPipe",
-    "UnderwaterTerrain",
-    "Difference",
-    "Union",
-    "SCENARIOS",
-    "scenario_by_name",
-    "sphere_scenario",
-    "one_hole_scenario",
-    "two_hole_scenario",
-    "bent_pipe_scenario",
-    "underwater_scenario",
-    # surface
-    "SurfaceBuilder",
-    "SurfaceConfig",
-    "TriangularMesh",
-    # applications
-    "SurfaceRouter",
-    "RouteResult",
-    "GeoRouter",
-    "analyze_hole",
-    "HoleReport",
-    # events
-    "EventMonitor",
-    "SphericalEvent",
-    "apply_event",
-]
+#: Public name -> defining submodule.  Exports resolve lazily on first
+#: attribute access (PEP 562): importing ``repro`` must not import numpy,
+#: so the stdlib-only ``repro.analysis`` linter stays runnable in hermetic
+#: environments (e.g. the CI lint job) with no dependencies installed.
+_EXPORT_MODULES = {
+    "repro.core": (
+        "BoundaryDetectionResult",
+        "BoundaryDetector",
+        "DetectorConfig",
+        "IFFConfig",
+        "UBFConfig",
+        "detect_boundary",
+        "group_boundary_nodes",
+        "run_iff",
+        "run_ubf",
+    ),
+    "repro.network": (
+        "DeploymentConfig",
+        "DistanceErrorModel",
+        "GaussianError",
+        "MeasuredDistances",
+        "Network",
+        "NetworkGraph",
+        "NetworkStats",
+        "NoError",
+        "UniformAbsoluteError",
+        "UniformRelativeError",
+        "compute_network_stats",
+        "generate_network",
+        "measure_distances",
+    ),
+    "repro.shapes": (
+        "SCENARIOS",
+        "AxisAlignedBox",
+        "BentPipe",
+        "Cylinder",
+        "Difference",
+        "Shape3D",
+        "Sphere",
+        "Torus",
+        "Union",
+        "UnderwaterTerrain",
+        "bent_pipe_scenario",
+        "one_hole_scenario",
+        "scenario_by_name",
+        "sphere_scenario",
+        "two_hole_scenario",
+        "underwater_scenario",
+    ),
+    "repro.applications": (
+        "GeoRouter",
+        "HoleReport",
+        "RouteResult",
+        "SurfaceRouter",
+        "analyze_hole",
+    ),
+    "repro.events": (
+        "EventMonitor",
+        "SphericalEvent",
+        "apply_event",
+    ),
+    "repro.surface": (
+        "SurfaceBuilder",
+        "SurfaceConfig",
+        "TriangularMesh",
+    ),
+}
+
+_EXPORTS = {
+    name: module for module, names in _EXPORT_MODULES.items() for name in names
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    import importlib
+
+    module_name = _EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(importlib.import_module(module_name), name)
+        globals()[name] = value  # cache so __getattr__ runs once per name
+        return value
+    if not name.startswith("_"):
+        # ``import repro; repro.core`` worked when the imports above were
+        # eager; keep submodule attribute access alive for that idiom.
+        try:
+            return importlib.import_module(f"repro.{name}")
+        except ModuleNotFoundError as exc:
+            if exc.name != f"repro.{name}":
+                raise  # a real missing dependency inside the submodule
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

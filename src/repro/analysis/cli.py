@@ -14,9 +14,11 @@ by design: it must run in hermetic environments with no network access.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.analysis.engine import lint_paths
+from repro.analysis.registry import iter_rules
 from repro.analysis.reporter import render_rule_list, report
 
 
@@ -60,11 +62,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     select = None
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
-    try:
-        diagnostics, errors = lint_paths(args.paths, select=select)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}")
-        return 2
+        try:
+            # Validate before linting: a tree with no .py files must still
+            # reject an unknown code instead of reporting itself clean.
+            iter_rules(select)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    diagnostics, errors = lint_paths(args.paths, select=select)
     return report(diagnostics, errors, quiet=args.quiet)
 
 

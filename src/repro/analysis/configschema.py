@@ -55,25 +55,45 @@ def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
     return False
 
 
-def _annotation_class_name(annotation: ast.expr, known: Set[str]) -> Optional[str]:
-    """Name of a known config class inside ``annotation``, if any.
+#: Typing wrappers whose argument is still an *instance* of the wrapped
+#: class.  Generic containers (``List[UBFConfig]``, ``Sequence[...]``)
+#: are deliberately absent: a list of configs is not a config, and
+#: resolving through them would make CFG006 flag ordinary container
+#: methods (``configs.append``) as unknown config attributes.
+_OPTIONAL_WRAPPERS = frozenset({"Optional", "Union"})
 
-    Handles bare names, ``Optional[X]``/``X | None`` wrappers, and string
-    annotations.
+
+def _annotation_class_name(annotation: ast.expr, known: Set[str]) -> Optional[str]:
+    """Name of a known config class ``annotation`` types an instance of.
+
+    Handles bare names, ``Optional[X]`` / ``Union[X, None]`` / ``X | None``
+    wrappers, and string annotations.  Container generics resolve to None.
     """
     if isinstance(annotation, ast.Name) and annotation.id in known:
         return annotation.id
     if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
-        text = annotation.value.strip().strip("'\"")
-        for name in known:
-            if text == name or text.startswith(f"Optional[{name}") or f"[{name}]" in text:
-                return name
-        return None
+        try:
+            parsed = ast.parse(annotation.value.strip(), mode="eval")
+        except SyntaxError:
+            return None
+        return _annotation_class_name(parsed.body, known)
     if isinstance(annotation, ast.Subscript):
-        return _annotation_class_name(
-            annotation.slice if not isinstance(annotation.slice, ast.Tuple) else annotation.slice.elts[0],
-            known,
-        )
+        wrapper = annotation.value
+        if isinstance(wrapper, ast.Name):
+            wrapper_name: Optional[str] = wrapper.id
+        elif isinstance(wrapper, ast.Attribute):
+            wrapper_name = wrapper.attr
+        else:
+            wrapper_name = None
+        if wrapper_name not in _OPTIONAL_WRAPPERS:
+            return None
+        inner = annotation.slice
+        elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for elt in elts:
+            found = _annotation_class_name(elt, known)
+            if found is not None:
+                return found
+        return None
     if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
         return _annotation_class_name(annotation.left, known) or _annotation_class_name(
             annotation.right, known

@@ -40,9 +40,13 @@ def _collect_random_aliases(tree: ast.Module) -> tuple:
                 if alias.name == "numpy":
                     numpy_aliases.add(bound)
                 elif alias.name == "numpy.random":
-                    nprandom_aliases.add(alias.asname or "numpy")
                     if alias.asname:
+                        # ``import numpy.random as npr``: npr IS the module
                         nprandom_aliases.add(alias.asname)
+                    else:
+                        # plain ``import numpy.random`` binds the root name,
+                        # so calls look like ``numpy.random.<fn>(...)``
+                        numpy_aliases.add("numpy")
                 elif alias.name == "random":
                     random_aliases.add(bound)
         elif isinstance(node, ast.ImportFrom) and node.module in ("numpy.random", "random"):
@@ -95,13 +99,21 @@ class RngRule(Rule):
         yield from self._walk(module, module.tree, aliases, depth=0, exempt=exempt_unseeded)
 
     def _walk(self, module, node, aliases, depth, exempt) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(module, node, aliases, depth, exempt)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Only the body is deferred to call time.  Defaults, decorators,
+            # and annotations execute in the enclosing scope when the ``def``
+            # runs, so ``def f(x=np.random.rand())`` at module level is a
+            # module-level call.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            body_ids = {id(stmt) for stmt in body}
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth + 1 if id(child) in body_ids else depth
+                yield from self._walk(module, child, aliases, child_depth, exempt)
+            return
         for child in ast.iter_child_nodes(node):
-            child_depth = depth
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-                child_depth = depth + 1
-            if isinstance(child, ast.Call):
-                yield from self._check_call(module, child, aliases, depth, exempt)
-            yield from self._walk(module, child, aliases, child_depth, exempt)
+            yield from self._walk(module, child, aliases, depth, exempt)
 
     def _check_call(self, module, call, aliases, depth, exempt) -> Iterator[Diagnostic]:
         resolved = _random_call_name(call, *aliases)

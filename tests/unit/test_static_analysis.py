@@ -6,6 +6,9 @@ exact-code suppression; and a gate test runs the full linter over ``src/``
 so new violations fail CI instead of accumulating.
 """
 
+import os
+import subprocess
+import sys
 import textwrap
 from pathlib import Path
 
@@ -167,6 +170,63 @@ def test_rng003_flags_unseeded_default_rng_and_global_seed():
     assert codes(diags) == ["RNG003", "RNG003"]
 
 
+def test_rng003_defaults_and_decorators_execute_at_import_time():
+    # ``def f(x=np.random.rand())`` runs the call when the module is
+    # imported, not when f is called -- it must count as module level.
+    diags = lint(
+        """
+        import numpy as np
+
+        def f(x=np.random.rand()):
+            return x
+        """
+    )
+    assert codes(diags) == ["RNG003"]
+    assert "module-level" in diags[0].message
+
+    diags = lint(
+        """
+        import numpy as np
+
+        def tag(value):
+            def deco(fn):
+                return fn
+            return deco
+
+        @tag(np.random.uniform(0, 1))
+        def g():
+            return 1
+        """
+    )
+    assert codes(diags) == ["RNG003"]
+    assert "module-level" in diags[0].message
+
+
+def test_rng003_import_numpy_random_submodule_forms():
+    # plain ``import numpy.random`` binds the root name ``numpy``
+    diags = lint(
+        """
+        import numpy.random
+
+        def f():
+            numpy.random.seed(0)
+        """
+    )
+    assert codes(diags) == ["RNG003"]
+    assert "global RNG state" in diags[0].message
+    # aliased form binds the submodule directly
+    diags = lint(
+        """
+        import numpy.random as npr
+
+        def f():
+            npr.seed(0)
+        """
+    )
+    assert codes(diags) == ["RNG003"]
+    assert "global RNG state" in diags[0].message
+
+
 def test_rng003_accepts_seeded_generators_and_cli_module():
     assert (
         lint(
@@ -307,6 +367,37 @@ def test_cfg006_untyped_objects_are_left_alone():
     assert diags == []
 
 
+def test_cfg006_container_annotations_are_not_config_instances():
+    # List[UBFConfig] holds configs but is not one; list methods must not
+    # be flagged as unknown config attributes.
+    diags = lint(
+        """
+        from typing import List, Sequence
+        from repro.core.config import UBFConfig
+
+        def f(configs: List[UBFConfig], more: "Sequence[UBFConfig]"):
+            configs.append(UBFConfig())
+            return configs, more
+        """,
+        config_source=CONFIG_SOURCE,
+    )
+    assert diags == []
+
+
+def test_cfg006_optional_wrappers_still_resolve():
+    diags = lint(
+        """
+        from typing import Optional, Union
+        from repro.core.config import UBFConfig
+
+        def f(a: Optional[UBFConfig], b: Union[UBFConfig, None], c: "UBFConfig"):
+            return a.epsilonn, b.epsilonn, c.epsilonn
+        """,
+        config_source=CONFIG_SOURCE,
+    )
+    assert codes(diags) == ["CFG006"] * 3
+
+
 def test_cfg006_schema_extraction():
     schema = extract_config_schema(CONFIG_SOURCE)
     assert set(schema.classes) == {"UBFConfig", "DetectorConfig"}
@@ -404,6 +495,63 @@ def test_cli_exit_codes(tmp_path, capsys):
     out = capsys.readouterr().out
     assert ": MUT004 " in out
     assert lint_main(["--list-rules"]) == 0
+
+
+def test_cli_rejects_unknown_select_even_with_no_py_files(tmp_path, capsys):
+    # An empty tree must not let an invalid --select exit 0 as "clean".
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert lint_main(["--select", "NOPE999", str(empty)]) == 2
+    captured = capsys.readouterr()
+    assert "NOPE999" in captured.err
+    assert "clean" not in captured.out
+    # a valid code over the same empty tree is genuinely clean
+    assert lint_main(["--select", "MUT004", str(empty)]) == 0
+
+
+def test_linter_runs_with_numpy_import_blocked(tmp_path):
+    """The CI lint job installs no dependencies; importing repro.analysis
+    must not pull numpy in through repro/__init__.py (PEP 562 laziness)."""
+    blocker = tmp_path / "numpy.py"
+    blocker.write_text("raise ImportError('numpy blocked: lint must be stdlib-only')\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(tmp_path), str(SRC)])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_lazy_init_type_checking_imports_match_runtime_exports():
+    """repro/__init__.py lists its exports twice: in the TYPE_CHECKING
+    block (for type checkers) and in _EXPORT_MODULES (for PEP 562 runtime
+    resolution).  Keep the two in lockstep."""
+    import ast as ast_mod
+
+    import repro
+
+    tree = ast_mod.parse((SRC / "repro" / "__init__.py").read_text(encoding="utf-8"))
+    type_checking_names = {}
+    for node in tree.body:
+        if not (
+            isinstance(node, ast_mod.If)
+            and isinstance(node.test, ast_mod.Name)
+            and node.test.id == "TYPE_CHECKING"
+        ):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast_mod.ImportFrom):
+                for alias in stmt.names:
+                    type_checking_names[alias.asname or alias.name] = stmt.module
+    assert type_checking_names == repro._EXPORTS
+    assert set(repro.__all__) == {"__version__", *repro._EXPORTS}
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
 
 
 # ------------------------------------------------------------------ gate
