@@ -21,19 +21,22 @@ from repro.analysis.suppressions import collect_suppressions
 #: Layer ranks of the import DAG (lower may never import higher).  The
 #: paper's pipeline fixes the spine geometry -> network -> core -> surface;
 #: ``shapes`` (ground-truth region generators) sits below ``network`` which
-#: samples deployments from it, and the consumer layers -- applications,
-#: evaluation, runtime, io, events -- sit side by side above ``surface``
-#: with no lateral edges, so any of them can be deleted without touching
-#: the others.  ``cli`` and the lint subsystem itself are topmost.
+#: samples deployments from it.  ``runtime`` (the message-passing simulator
+#: and its fault models) ranks alongside ``surface``: it is infrastructure
+#: the consumer layers drive -- ``evaluation`` runs protocols under
+#: injected faults for the robustness sweeps -- but it never imports them.
+#: The consumer layers -- applications, evaluation, io, events -- sit side
+#: by side above with no lateral edges, so any of them can be deleted
+#: without touching the others.  ``cli`` and the lint subsystem are topmost.
 LAYER_RANKS: Dict[str, int] = {
     "geometry": 0,
     "shapes": 1,
     "network": 2,
     "core": 3,
     "surface": 4,
+    "runtime": 4,
     "applications": 5,
     "evaluation": 5,
-    "runtime": 5,
     "io": 5,
     "events": 5,
     "cli": 6,

@@ -2,13 +2,14 @@
 
 The spine mirrors the paper's pipeline stages::
 
-    geometry -> shapes -> network -> core -> surface
-        -> {applications, evaluation, runtime, io, events} -> cli
+    geometry -> shapes -> network -> core -> {surface, runtime}
+        -> {applications, evaluation, io, events} -> cli
 
 A module may import from its own package or any *strictly lower* layer.
 Upward edges and lateral edges between distinct same-rank packages are
-both violations: the consumer layers above ``surface`` are deliberately
-independent of each other.  Relative imports are resolved against the
+both violations: the consumer layers above ``surface``/``runtime`` are
+deliberately independent of each other, and ``surface`` and ``runtime``
+never import one another.  Relative imports are resolved against the
 importing module's package before ranking.
 """
 

@@ -9,6 +9,9 @@
   calls: error sweeps, the scenario suite, and the ablations.
 * :mod:`repro.evaluation.reporting` -- ASCII tables in the shape of the
   paper's figures.
+* :mod:`repro.evaluation.robustness` -- degradation sweeps under injected
+  channel faults (message loss, crashes), with and without the reliable
+  ack/retransmit wrapper; see ``docs/ROBUSTNESS.md``.
 """
 
 from repro.evaluation.metrics import (
@@ -34,8 +37,20 @@ from repro.evaluation.experiments import (
     run_ubf_complexity,
 )
 from repro.evaluation.reporting import format_table
+from repro.evaluation.robustness import (
+    RobustnessPoint,
+    precision_recall_f1,
+    render_robustness_table,
+    run_robustness_sweep,
+    run_scenario_robustness,
+)
 
 __all__ = [
+    "RobustnessPoint",
+    "precision_recall_f1",
+    "render_robustness_table",
+    "run_robustness_sweep",
+    "run_scenario_robustness",
     "DetectionStats",
     "evaluate_detection",
     "hop_distribution",

@@ -1,0 +1,221 @@
+"""Degradation experiments: boundary detection under channel faults.
+
+The paper's error sweeps (Figs. 1(g-i), 11) vary *measurement* noise but
+assume perfectly reliable message delivery.  This driver attacks the other
+axis: it fixes the sensing (UBF candidacy from true local frames) and runs
+the communication phases -- IFF's TTL-bounded flood and min-label grouping
+-- as actual message-level protocols over a faulty channel drawn from a
+:class:`repro.runtime.faults.FaultPlan`, sweeping message-loss rate and
+node-crash fraction.  Each sweep cell reports boundary-detection
+precision/recall/F1 against ground truth plus the message overhead, with
+and without the :class:`repro.runtime.protocols.ReliableProtocol`
+ack/retransmit wrapper.
+
+Everything is seeded: one ``seed`` reproduces the full sweep, each cell
+drawing from its own deterministic substream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.ubf import candidates_from_outcomes, run_ubf
+from repro.evaluation.reporting import format_table
+from repro.network.generator import DeploymentConfig, Network, generate_network
+from repro.runtime.faults import FaultPlan, sample_crashes
+from repro.runtime.protocols import (
+    RetryPolicy,
+    reliable_stats,
+    run_grouping_distributed,
+    run_iff_distributed,
+)
+from repro.shapes.library import scenario_by_name
+
+
+def precision_recall_f1(
+    found: Set[int], truth: Set[int]
+) -> Tuple[float, float, float]:
+    """Standard detection scores; empty sets score 1.0 against each other."""
+    tp = len(found & truth)
+    precision = tp / len(found) if found else (1.0 if not truth else 0.0)
+    recall = tp / len(truth) if truth else 1.0
+    denom = precision + recall
+    f1 = 2.0 * precision * recall / denom if denom else 0.0
+    return precision, recall, f1
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Detection outcome of one (loss, crash) sweep cell.
+
+    ``messages_sent``/``messages_dropped`` cover both communication phases
+    (IFF flood + grouping); ``retransmissions``/``gave_up`` are zero when
+    the cell ran without the reliable wrapper.
+    """
+
+    loss_rate: float
+    crash_fraction: float
+    reliable: bool
+    precision: float
+    recall: float
+    f1: float
+    n_found: int
+    n_truth: int
+    n_groups: int
+    messages_sent: int
+    messages_dropped: int
+    retransmissions: int
+    gave_up: int
+    rounds: int
+    quiesced: bool
+
+
+def run_robustness_sweep(
+    network: Network,
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.3),
+    crash_fractions: Sequence[float] = (0.0,),
+    *,
+    detector_config: DetectorConfig = DetectorConfig(),
+    retry_policy: Optional[RetryPolicy] = None,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+) -> List[RobustnessPoint]:
+    """Sweep channel faults over the communication phases of detection.
+
+    UBF candidacy is computed once, fault-free, from true local frames --
+    channel faults cannot corrupt a node's geometric self-test, only the
+    flood traffic that follows (the measurement-error axis is the existing
+    :func:`repro.evaluation.experiments.run_error_sweep`).  For every
+    ``(crash_fraction, loss_rate)`` cell a fresh seeded fault plan crashes
+    that fraction of the candidates at round 1 and applies uniform loss,
+    then the IFF flood and min-label grouping run over the faulty channel;
+    ``retry_policy`` switches the per-hop reliable wrapper on.
+
+    Returns one :class:`RobustnessPoint` per cell, in
+    ``crash_fractions x loss_rates`` row-major order.
+    """
+    outcomes = run_ubf(network, detector_config.ubf)
+    candidates = candidates_from_outcomes(outcomes)
+    truth = network.truth_boundary_set
+    theta = detector_config.iff.theta
+    ttl = detector_config.iff.ttl
+
+    points: List[RobustnessPoint] = []
+    for cell, (crash_fraction, loss) in enumerate(
+        (c, l) for c in crash_fractions for l in loss_rates
+    ):
+        rng = np.random.default_rng([seed, cell])
+        crashes = sample_crashes(candidates, crash_fraction, rng)
+        plan = FaultPlan(loss_rate=loss, crashes=crashes)
+        survivors, iff_result = run_iff_distributed(
+            network.graph,
+            candidates,
+            theta,
+            ttl,
+            fault_plan=plan,
+            retry_policy=retry_policy,
+            rng=rng,
+            max_rounds=max_rounds,
+        )
+        labels, grp_result = run_grouping_distributed(
+            network.graph,
+            survivors,
+            fault_plan=plan,
+            retry_policy=retry_policy,
+            rng=rng,
+            max_rounds=max_rounds,
+        )
+        precision, recall, f1 = precision_recall_f1(survivors, truth)
+        retry = reliable_stats(iff_result)
+        retry_grp = reliable_stats(grp_result)
+        points.append(
+            RobustnessPoint(
+                loss_rate=loss,
+                crash_fraction=crash_fraction,
+                reliable=retry_policy is not None,
+                precision=precision,
+                recall=recall,
+                f1=f1,
+                n_found=len(survivors),
+                n_truth=len(truth),
+                n_groups=len(set(labels.values())),
+                messages_sent=iff_result.messages_sent + grp_result.messages_sent,
+                messages_dropped=iff_result.messages_dropped
+                + grp_result.messages_dropped,
+                retransmissions=retry.retransmissions + retry_grp.retransmissions,
+                gave_up=retry.gave_up + retry_grp.gave_up,
+                rounds=iff_result.rounds + grp_result.rounds,
+                quiesced=iff_result.quiesced and grp_result.quiesced,
+            )
+        )
+    return points
+
+
+def run_scenario_robustness(
+    scenario: str,
+    deployment: DeploymentConfig = DeploymentConfig(),
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.3),
+    crash_fractions: Sequence[float] = (0.0,),
+    *,
+    detector_config: DetectorConfig = DetectorConfig(),
+    retry_policy: Optional[RetryPolicy] = None,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+) -> List[RobustnessPoint]:
+    """Generate one scenario network and run the robustness sweep on it."""
+    network = generate_network(
+        scenario_by_name(scenario), deployment, scenario=scenario
+    )
+    return run_robustness_sweep(
+        network,
+        loss_rates,
+        crash_fractions,
+        detector_config=detector_config,
+        retry_policy=retry_policy,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+
+
+def render_robustness_table(points: Iterable[RobustnessPoint]) -> str:
+    """ASCII degradation table, one row per sweep cell."""
+    rows = [
+        (
+            f"{p.loss_rate:.0%}",
+            f"{p.crash_fraction:.0%}",
+            "yes" if p.reliable else "no",
+            p.n_found,
+            f"{p.precision:.3f}",
+            f"{p.recall:.3f}",
+            f"{p.f1:.3f}",
+            p.n_groups,
+            p.messages_sent,
+            p.messages_dropped,
+            p.retransmissions,
+            p.gave_up,
+            p.rounds,
+        )
+        for p in points
+    ]
+    return format_table(
+        [
+            "loss",
+            "crash",
+            "reliable",
+            "found",
+            "precision",
+            "recall",
+            "F1",
+            "groups",
+            "msgs",
+            "dropped",
+            "retx",
+            "gaveup",
+            "rounds",
+        ],
+        rows,
+    )

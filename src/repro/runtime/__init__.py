@@ -18,16 +18,44 @@ with one-hop communication only:
 
 ``tests/integration/test_runtime_equivalence.py`` pins each protocol's
 outcome to its centralized counterpart.
+
+The runtime also owns the failure story: :mod:`repro.runtime.faults`
+declares seeded fault models (:class:`~repro.runtime.faults.FaultPlan`:
+uniform/per-link/burst loss, duplication, bounded delay, crash schedules)
+that :class:`~repro.runtime.simulator.Simulator` injects, and
+:class:`~repro.runtime.protocols.ReliableProtocol` adds per-hop
+dedup + ack/retransmit under a bounded
+:class:`~repro.runtime.protocols.RetryPolicy`.  See ``docs/ROBUSTNESS.md``.
 """
 
+from repro.runtime.faults import (
+    CrashSpec,
+    DelaySpec,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliott,
+    sample_crashes,
+)
 from repro.runtime.message import Message
 from repro.runtime.protocols import (
     MinLabelProtocol,
+    ReliableProtocol,
+    ReliableStats,
+    RetryPolicy,
     TTLFloodProtocol,
     VoronoiCellProtocol,
     distributed_landmark_election,
+    reliable_stats,
+    run_grouping_distributed,
+    run_iff_distributed,
 )
-from repro.runtime.simulator import NodeContext, Protocol, SimulationResult, Simulator
+from repro.runtime.simulator import (
+    NodeContext,
+    NonQuiescentTermination,
+    Protocol,
+    SimulationResult,
+    Simulator,
+)
 
 __all__ = [
     "Message",
@@ -35,8 +63,21 @@ __all__ = [
     "SimulationResult",
     "Protocol",
     "NodeContext",
+    "NonQuiescentTermination",
     "TTLFloodProtocol",
     "MinLabelProtocol",
     "VoronoiCellProtocol",
     "distributed_landmark_election",
+    "run_iff_distributed",
+    "run_grouping_distributed",
+    "FaultPlan",
+    "FaultInjector",
+    "GilbertElliott",
+    "DelaySpec",
+    "CrashSpec",
+    "sample_crashes",
+    "ReliableProtocol",
+    "ReliableStats",
+    "RetryPolicy",
+    "reliable_stats",
 ]

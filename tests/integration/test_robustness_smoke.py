@@ -1,0 +1,123 @@
+"""Robustness smoke: detection under channel faults stays in known bands.
+
+This file doubles as the CI robustness job (see ``.github/workflows/ci.yml``).
+It uses one small sphere deployment and fixed seeds, so every assertion is a
+deterministic regression pin, sized to finish in well under two minutes.
+
+The headline acceptance tests:
+
+* with the reliable-flood wrapper at 10% uniform loss, the IFF fragment
+  sizes (per-candidate heard-set sizes) match the lossless run *exactly*;
+* without it, F1 declines monotonically as loss grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.ubf import candidates_from_outcomes, run_ubf
+from repro.evaluation.robustness import run_robustness_sweep
+from repro.network.generator import DeploymentConfig, generate_network
+from repro.runtime.faults import FaultPlan
+from repro.runtime.protocols import RetryPolicy, run_iff_distributed
+from repro.shapes.library import scenario_by_name
+
+DEPLOYMENT = DeploymentConfig(
+    n_surface=150, n_interior=250, target_degree=14, seed=0
+)
+CONFIG = DetectorConfig()
+
+
+@pytest.fixture(scope="module")
+def sphere_network():
+    return generate_network(
+        scenario_by_name("sphere"), DEPLOYMENT, scenario="sphere"
+    )
+
+
+@pytest.fixture(scope="module")
+def candidates(sphere_network):
+    outcomes = run_ubf(sphere_network, CONFIG.ubf)
+    return candidates_from_outcomes(outcomes)
+
+
+class TestReliableFloodExactness:
+    def test_fragment_sizes_match_lossless_at_ten_pct_loss(
+        self, sphere_network, candidates
+    ):
+        """Acceptance: the ack/retransmit wrapper at 10% uniform loss
+        reproduces the lossless IFF flood exactly on the sphere scenario."""
+        theta, ttl = CONFIG.iff.theta, CONFIG.iff.ttl
+        ideal_survivors, ideal_result = run_iff_distributed(
+            sphere_network.graph, candidates, theta, ttl
+        )
+        lossy_survivors, lossy_result = run_iff_distributed(
+            sphere_network.graph,
+            candidates,
+            theta,
+            ttl,
+            fault_plan=FaultPlan(loss_rate=0.1),
+            retry_policy=RetryPolicy(max_retries=8),
+            rng=np.random.default_rng(0),
+        )
+        ideal_sizes = {
+            n: len(s["heard"]) for n, s in ideal_result.states.items()
+        }
+        lossy_sizes = {
+            n: len(s["heard"]) for n, s in lossy_result.states.items()
+        }
+        assert lossy_sizes == ideal_sizes
+        assert lossy_survivors == ideal_survivors
+        # The channel really was lossy and the wrapper really did work.
+        assert lossy_result.messages_dropped > 0
+        assert lossy_result.quiesced
+
+
+class TestDegradationBands:
+    @pytest.fixture(scope="class")
+    def raw_sweep(self, sphere_network):
+        return run_robustness_sweep(
+            sphere_network,
+            loss_rates=(0.0, 0.1, 0.3),
+            crash_fractions=(0.0, 0.2),
+            detector_config=CONFIG,
+            seed=0,
+        )
+
+    def test_f1_monotone_decline_with_loss(self, raw_sweep):
+        healthy = [p.f1 for p in raw_sweep if p.crash_fraction == 0.0]
+        crashed = [p.f1 for p in raw_sweep if p.crash_fraction == 0.2]
+        assert healthy == sorted(healthy, reverse=True)
+        assert crashed == sorted(crashed, reverse=True)
+
+    def test_crashes_strictly_hurt(self, raw_sweep):
+        by_cell = {(p.crash_fraction, p.loss_rate): p for p in raw_sweep}
+        for loss in (0.0, 0.1, 0.3):
+            assert by_cell[(0.2, loss)].f1 < by_cell[(0.0, loss)].f1
+
+    def test_f1_bands(self, raw_sweep):
+        """Regression pins for the CI smoke job: lossless detection is
+        healthy, heavy loss degrades it but not to garbage."""
+        by_cell = {(p.crash_fraction, p.loss_rate): p for p in raw_sweep}
+        assert by_cell[(0.0, 0.0)].f1 > 0.70
+        assert by_cell[(0.0, 0.3)].f1 > 0.55
+        assert by_cell[(0.2, 0.3)].f1 > 0.40
+        assert all(p.quiesced for p in raw_sweep)
+
+    def test_reliable_sweep_restores_lossless_f1(self, sphere_network, raw_sweep):
+        reliable = run_robustness_sweep(
+            sphere_network,
+            loss_rates=(0.1,),
+            detector_config=CONFIG,
+            retry_policy=RetryPolicy(max_retries=8),
+            seed=0,
+        )[0]
+        lossless = next(
+            p for p in raw_sweep if (p.crash_fraction, p.loss_rate) == (0.0, 0.0)
+        )
+        assert reliable.f1 == lossless.f1
+        assert reliable.n_found == lossless.n_found
+        assert reliable.gave_up == 0
+        # Reliability is not free: retransmissions and ack traffic appear.
+        assert reliable.retransmissions > 0
+        assert reliable.messages_sent > lossless.messages_sent

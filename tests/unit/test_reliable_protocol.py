@@ -1,0 +1,162 @@
+"""Unit tests for the ack/retransmit reliable-delivery wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkGraph
+from repro.runtime.faults import CrashSpec, DelaySpec, FaultPlan
+from repro.runtime.protocols import (
+    MinLabelProtocol,
+    ReliableProtocol,
+    RetryPolicy,
+    TTLFloodProtocol,
+    reliable_stats,
+    run_grouping_distributed,
+    run_iff_distributed,
+)
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def grid_graph():
+    pts = [[0.9 * x, 0.9 * y, 0.0] for x in range(6) for y in range(6)]
+    return NetworkGraph(np.array(pts), radio_range=1.0)
+
+
+@pytest.fixture
+def chain():
+    pts = np.array([[0.9 * i, 0, 0] for i in range(6)])
+    return NetworkGraph(pts, radio_range=1.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(rto=0)
+
+
+class TestLosslessTransparency:
+    def test_states_match_raw_protocol(self, grid_graph):
+        """Over a perfect channel the wrapper changes nothing observable."""
+        raw = Simulator(grid_graph).run(TTLFloodProtocol(3))
+        rel = Simulator(grid_graph).run(ReliableProtocol(TTLFloodProtocol(3)))
+        for node in raw.states:
+            assert raw.states[node]["heard"] == rel.states[node]["heard"]
+        stats = reliable_stats(rel)
+        assert stats.retransmissions == 0 and stats.gave_up == 0
+
+    def test_ack_overhead_counted(self, grid_graph):
+        raw = Simulator(grid_graph).run(TTLFloodProtocol(3))
+        rel = Simulator(grid_graph).run(ReliableProtocol(TTLFloodProtocol(3)))
+        # One ack per data message: exactly double the traffic, no retries.
+        assert rel.messages_sent == 2 * raw.messages_sent
+
+
+class TestLossRecovery:
+    def test_exact_heard_sets_at_moderate_loss(self, grid_graph):
+        """Acceptance: the wrapper restores exact heard-sets at 10% loss
+        within its retry budget."""
+        base = Simulator(grid_graph).run(TTLFloodProtocol(3))
+        rel = Simulator(
+            grid_graph,
+            fault_plan=FaultPlan(loss_rate=0.1),
+            rng=np.random.default_rng(1),
+        ).run(ReliableProtocol(TTLFloodProtocol(3), RetryPolicy(max_retries=8)))
+        for node in base.states:
+            assert base.states[node]["heard"] == rel.states[node]["heard"]
+        stats = reliable_stats(rel)
+        assert stats.gave_up == 0
+        assert stats.retransmissions > 0  # the budget was actually exercised
+
+    def test_recovery_under_delay_and_duplication(self, grid_graph):
+        base = Simulator(grid_graph).run(TTLFloodProtocol(3))
+        plan = FaultPlan(
+            loss_rate=0.1, duplicate_rate=0.1, delay=DelaySpec(rate=0.2, max_delay=2)
+        )
+        rel = Simulator(
+            grid_graph, fault_plan=plan, rng=np.random.default_rng(2)
+        ).run(ReliableProtocol(TTLFloodProtocol(3), RetryPolicy(max_retries=8)))
+        for node in base.states:
+            assert base.states[node]["heard"] == rel.states[node]["heard"]
+        assert reliable_stats(rel).duplicates_suppressed > 0
+
+    def test_min_label_recovery(self, grid_graph):
+        rel = Simulator(
+            grid_graph,
+            fault_plan=FaultPlan(loss_rate=0.2),
+            rng=np.random.default_rng(3),
+        ).run(ReliableProtocol(MinLabelProtocol(), RetryPolicy(max_retries=8)))
+        assert all(s["label"] == 0 for s in rel.states.values())
+
+
+class TestRetryBudget:
+    def test_gave_up_on_dead_link(self, chain):
+        """A link that never delivers exhausts the budget and is counted."""
+        plan = FaultPlan(link_loss={(0, 1): 1.0})
+        policy = RetryPolicy(max_retries=2)
+        result = Simulator(
+            chain,
+            participants={0, 1},
+            fault_plan=plan,
+            rng=np.random.default_rng(0),
+        ).run(ReliableProtocol(TTLFloodProtocol(2), policy))
+        stats = reliable_stats(result)
+        assert stats.gave_up >= 1
+        # Node 1 never hears node 0's flood.
+        assert result.states[1]["heard"] == {1}
+        assert result.quiesced  # bounded retries guarantee quiescence
+
+    def test_retry_budget_bounded(self, chain):
+        """Retransmissions per message never exceed max_retries."""
+        plan = FaultPlan(loss_rate=1.0)
+        policy = RetryPolicy(max_retries=3)
+        result = Simulator(
+            chain, fault_plan=plan, rng=np.random.default_rng(0)
+        ).run(ReliableProtocol(TTLFloodProtocol(2), policy))
+        stats = reliable_stats(result)
+        n_data = sum(len(c) for c in [chain.neighbors(i) for i in range(6)])
+        assert stats.retransmissions <= policy.max_retries * n_data
+        assert stats.gave_up == n_data  # every initial broadcast abandoned
+        assert result.quiesced
+
+
+class TestDistributedDriversWithFaults:
+    def test_run_iff_distributed_reliable_matches_ideal(self, grid_graph):
+        nodes = range(grid_graph.n_nodes)
+        ideal, _ = run_iff_distributed(grid_graph, nodes, theta=10, ttl=2)
+        lossy, result = run_iff_distributed(
+            grid_graph,
+            nodes,
+            theta=10,
+            ttl=2,
+            fault_plan=FaultPlan(loss_rate=0.1),
+            retry_policy=RetryPolicy(max_retries=8),
+            rng=np.random.default_rng(4),
+        )
+        assert lossy == ideal
+        assert result.messages_dropped > 0
+
+    def test_crashed_from_start_cannot_survive_iff(self, grid_graph):
+        plan = FaultPlan(crashes=(CrashSpec(0, crash_round=0),))
+        survivors, result = run_iff_distributed(
+            grid_graph,
+            range(grid_graph.n_nodes),
+            theta=1,
+            ttl=2,
+            fault_plan=plan,
+            rng=np.random.default_rng(0),
+        )
+        assert 0 not in survivors
+        assert "heard" not in result.states[0]  # on_start never ran
+
+    def test_run_grouping_distributed_omits_dead_nodes(self, chain):
+        plan = FaultPlan(crashes=(CrashSpec(2, crash_round=0),))
+        labels, _ = run_grouping_distributed(
+            chain, range(6), fault_plan=plan, rng=np.random.default_rng(0)
+        )
+        assert 2 not in labels
+        # The crashed node partitions the chain's label propagation.
+        assert labels[0] == labels[1] == 0
+        assert labels[3] == labels[4] == labels[5] == 3

@@ -1,0 +1,124 @@
+"""Unit tests for the fault-injection degradation experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig, IFFConfig
+from repro.evaluation.robustness import (
+    RobustnessPoint,
+    precision_recall_f1,
+    render_robustness_table,
+    run_robustness_sweep,
+)
+from repro.network.generator import DeploymentConfig, generate_network
+from repro.runtime.protocols import RetryPolicy
+from repro.shapes.library import scenario_by_name
+
+
+@pytest.fixture(scope="module")
+def small_sphere():
+    return generate_network(
+        scenario_by_name("sphere"),
+        DeploymentConfig(n_surface=120, n_interior=200, target_degree=14, seed=0),
+        scenario="sphere",
+    )
+
+
+#: theta scaled down with the deployment so lossless detection is healthy.
+SMALL_CONFIG = DetectorConfig(iff=IFFConfig(theta=10, ttl=3))
+
+
+class TestScores:
+    def test_perfect_detection(self):
+        assert precision_recall_f1({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)
+
+    def test_disjoint_detection(self):
+        p, r, f1 = precision_recall_f1({1}, {2})
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_partial(self):
+        p, r, f1 = precision_recall_f1({1, 2, 3, 4}, {3, 4, 5, 6})
+        assert p == 0.5 and r == 0.5 and f1 == 0.5
+
+    def test_empty_conventions(self):
+        assert precision_recall_f1(set(), set()) == (1.0, 1.0, 1.0)
+        assert precision_recall_f1(set(), {1})[0] == 0.0
+        assert precision_recall_f1({1}, set())[1] == 1.0
+
+
+class TestSweepDriver:
+    def test_grid_shape_and_order(self, small_sphere):
+        points = run_robustness_sweep(
+            small_sphere,
+            loss_rates=(0.0, 0.3),
+            crash_fractions=(0.0, 0.2),
+            detector_config=SMALL_CONFIG,
+            seed=0,
+        )
+        assert [(p.crash_fraction, p.loss_rate) for p in points] == [
+            (0.0, 0.0), (0.0, 0.3), (0.2, 0.0), (0.2, 0.3),
+        ]
+        assert all(isinstance(p, RobustnessPoint) for p in points)
+        assert all(p.quiesced for p in points)
+
+    def test_sweep_is_seeded(self, small_sphere):
+        kwargs = dict(
+            loss_rates=(0.1,),
+            crash_fractions=(0.1,),
+            detector_config=SMALL_CONFIG,
+            seed=7,
+        )
+        a = run_robustness_sweep(small_sphere, **kwargs)
+        b = run_robustness_sweep(small_sphere, **kwargs)
+        assert a == b
+
+    def test_f1_declines_with_loss(self, small_sphere):
+        """Without the reliability layer, F1 declines monotonically with
+        loss.  Tiny loss rates can nudge F1 *up* by dropping borderline
+        false positives below theta, so the grid starts at 0.2 where the
+        degradation signal dominates the noise."""
+        points = run_robustness_sweep(
+            small_sphere,
+            loss_rates=(0.0, 0.2, 0.45, 0.6),
+            detector_config=SMALL_CONFIG,
+            seed=0,
+        )
+        f1s = [p.f1 for p in points]
+        assert f1s == sorted(f1s, reverse=True)
+        assert f1s[-1] < f1s[0] - 0.05
+
+    def test_crashes_hurt_recall(self, small_sphere):
+        healthy, crashed = run_robustness_sweep(
+            small_sphere,
+            loss_rates=(0.0,),
+            crash_fractions=(0.0, 0.3),
+            detector_config=SMALL_CONFIG,
+            seed=0,
+        )
+        assert crashed.recall < healthy.recall
+        assert crashed.messages_dropped > 0
+
+    def test_reliable_wrapper_restores_lossless_result(self, small_sphere):
+        ideal, lossy = run_robustness_sweep(
+            small_sphere,
+            loss_rates=(0.0, 0.1),
+            detector_config=SMALL_CONFIG,
+            retry_policy=RetryPolicy(max_retries=8),
+            seed=0,
+        )
+        assert lossy.n_found == ideal.n_found
+        assert lossy.f1 == ideal.f1
+        assert lossy.retransmissions > 0
+        assert lossy.gave_up == 0
+
+    def test_render_table(self, small_sphere):
+        points = run_robustness_sweep(
+            small_sphere,
+            loss_rates=(0.0,),
+            detector_config=SMALL_CONFIG,
+            seed=0,
+        )
+        table = render_robustness_table(points)
+        for header in ("loss", "crash", "precision", "recall", "F1", "msgs"):
+            assert header in table
+        assert "0%" in table

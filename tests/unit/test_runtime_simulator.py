@@ -1,11 +1,19 @@
 """Unit tests for the message-passing simulator and basic protocols."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.network.graph import NetworkGraph
+from repro.runtime.faults import FaultPlan
 from repro.runtime.protocols import MinLabelProtocol, TTLFloodProtocol
-from repro.runtime.simulator import NodeContext, Protocol, Simulator
+from repro.runtime.simulator import (
+    NodeContext,
+    NonQuiescentTermination,
+    Protocol,
+    Simulator,
+)
 
 
 @pytest.fixture
@@ -64,9 +72,96 @@ class TestSimulatorMechanics:
             def on_message(self, ctx, sender, payload):
                 ctx.broadcast("hi")  # never stops
 
-        result = Simulator(chain).run(Chatter(), max_rounds=5)
+        with pytest.warns(NonQuiescentTermination, match="round cap"):
+            result = Simulator(chain).run(Chatter(), max_rounds=5)
         assert result.rounds == 5
         assert not result.quiesced
+
+    def test_quiescent_run_does_not_warn(self, chain):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", NonQuiescentTermination)
+            result = Simulator(chain).run(EchoOnce())
+        assert result.quiesced
+
+    def test_cap_landing_on_last_round_still_quiesces(self, chain):
+        """A cap equal to the natural round count is not a failure."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", NonQuiescentTermination)
+            result = Simulator(chain).run(EchoOnce(), max_rounds=1)
+        assert result.quiesced and result.rounds == 1
+
+    def test_no_faults_counters_zero(self, chain):
+        result = Simulator(chain).run(EchoOnce())
+        assert result.messages_dropped == 0
+        assert result.messages_duplicated == 0
+        assert result.timers_fired == 0
+
+    def test_loss_rate_and_fault_plan_mutually_exclusive(self, chain):
+        with pytest.raises(ValueError):
+            Simulator(chain, loss_rate=0.5, fault_plan=FaultPlan(loss_rate=0.5))
+
+    def test_delivery_order_stable_for_same_link_copies(self, chain):
+        """Two same-link messages in one round arrive in send order."""
+
+        class TwoSends(Protocol):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, "first")
+                    ctx.send(1, "second")
+
+            def on_message(self, ctx, sender, payload):
+                ctx.state.setdefault("log", []).append(payload)
+
+        result = Simulator(chain).run(TwoSends())
+        assert result.states[1]["log"] == ["first", "second"]
+
+
+class TestTimers:
+    def test_timer_fires_after_delay(self, chain):
+        class OneTimer(Protocol):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.set_timer(3)
+
+            def on_message(self, ctx, sender, payload):
+                pass
+
+            def on_timer(self, ctx):
+                ctx.state["fired_at"] = ctx._round
+
+        result = Simulator(chain).run(OneTimer())
+        assert result.states[0]["fired_at"] == 3
+        assert result.timers_fired == 1
+        assert result.rounds == 3 and result.quiesced
+
+    def test_timer_keeps_simulation_alive_past_empty_outbox(self, chain):
+        """Quiescence waits for the timer queue to drain."""
+
+        class LateSender(Protocol):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.set_timer(2)
+
+            def on_message(self, ctx, sender, payload):
+                ctx.state["got"] = payload
+
+            def on_timer(self, ctx):
+                ctx.send(1, "late")
+
+        result = Simulator(chain).run(LateSender())
+        assert result.states[1]["got"] == "late"
+        assert result.quiesced
+
+    def test_timer_delay_must_be_positive(self, chain):
+        class BadTimer(Protocol):
+            def on_start(self, ctx):
+                ctx.set_timer(0)
+
+            def on_message(self, ctx, sender, payload):
+                pass
+
+        with pytest.raises(ValueError):
+            Simulator(chain).run(BadTimer())
 
 
 class TestTTLFlood:

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.network.graph import NetworkGraph
-from repro.runtime.protocols import MinLabelProtocol, TTLFloodProtocol
+from repro.runtime.faults import FaultPlan, GilbertElliott
+from repro.runtime.protocols import (
+    MinLabelProtocol,
+    ReliableProtocol,
+    RetryPolicy,
+    TTLFloodProtocol,
+)
 from repro.runtime.simulator import Simulator
 
 
@@ -41,6 +47,26 @@ class TestLossMechanics:
         ).run(TTLFloodProtocol(ttl=3))
         assert a.states == b.states
 
+    def test_legacy_loss_rate_equals_uniform_fault_plan(self, grid_graph):
+        """The loss_rate float is a shim over FaultPlan(loss_rate=...)."""
+        a = Simulator(
+            grid_graph, loss_rate=0.3, rng=np.random.default_rng(5)
+        ).run(TTLFloodProtocol(ttl=3))
+        b = Simulator(
+            grid_graph,
+            fault_plan=FaultPlan(loss_rate=0.3),
+            rng=np.random.default_rng(5),
+        ).run(TTLFloodProtocol(ttl=3))
+        assert a == b
+
+    def test_dropped_messages_are_counted(self, grid_graph):
+        result = Simulator(
+            grid_graph, loss_rate=0.5, rng=np.random.default_rng(0)
+        ).run(TTLFloodProtocol(ttl=3))
+        assert result.messages_dropped > 0
+        # Every queued message was either delivered or observably dropped.
+        assert result.messages_dropped <= result.messages_sent
+
 
 class TestProtocolRobustness:
     def test_flood_counts_degrade_monotonically(self, grid_graph):
@@ -64,3 +90,41 @@ class TestProtocolRobustness:
         labels = [s["label"] for s in result.states.values()]
         # The overwhelming majority agrees on the component minimum.
         assert labels.count(0) >= 0.9 * len(labels)
+
+    def test_flood_degrades_monotonically_under_fault_plans(self, grid_graph):
+        """Seeded fault plans: heard-counts never grow as loss grows."""
+        totals = []
+        for loss in (0.0, 0.2, 0.5, 0.9):
+            result = Simulator(
+                grid_graph,
+                fault_plan=FaultPlan(loss_rate=loss),
+                rng=np.random.default_rng(11),
+            ).run(TTLFloodProtocol(ttl=3))
+            totals.append(sum(len(s["heard"]) for s in result.states.values()))
+        assert totals == sorted(totals, reverse=True)
+        assert totals[0] > totals[-1]
+
+    def test_burst_loss_degrades_flood(self, grid_graph):
+        clean = Simulator(grid_graph).run(TTLFloodProtocol(ttl=3))
+        bursty = Simulator(
+            grid_graph,
+            fault_plan=FaultPlan(
+                burst=GilbertElliott(p_bad=0.3, p_recover=0.3, loss_bad=1.0)
+            ),
+            rng=np.random.default_rng(4),
+        ).run(TTLFloodProtocol(ttl=3))
+        n_clean = sum(len(s["heard"]) for s in clean.states.values())
+        n_bursty = sum(len(s["heard"]) for s in bursty.states.values())
+        assert n_bursty < n_clean
+        assert bursty.messages_dropped > 0
+
+    def test_reliable_wrapper_restores_exact_heard_sets(self, grid_graph):
+        """The ack/retransmit wrapper undoes moderate loss completely."""
+        base = Simulator(grid_graph).run(TTLFloodProtocol(ttl=3))
+        rel = Simulator(
+            grid_graph,
+            fault_plan=FaultPlan(loss_rate=0.2),
+            rng=np.random.default_rng(6),
+        ).run(ReliableProtocol(TTLFloodProtocol(ttl=3), RetryPolicy(max_retries=8)))
+        for node in base.states:
+            assert base.states[node]["heard"] == rel.states[node]["heard"]
