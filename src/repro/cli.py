@@ -8,14 +8,18 @@ Subcommands::
     repro-boundary scenario  --scenario one_hole
     repro-boundary sweep     --scenario sphere --levels 0,0.2,0.4
     repro-boundary robustness --scenario sphere --loss 0,0.1,0.3
+    repro-boundary bench     --stages ubf,iff --check-regression
 
 ``generate`` writes a network JSON; ``detect`` runs the UBF+IFF pipeline
-on it; ``surface`` builds and exports the triangular boundary meshes;
-``scenario`` runs one of the Figs. 6-10 scenarios end to end and prints the
-summary; ``sweep`` prints the Fig. 1(g)-style error-sweep table;
-``robustness`` sweeps message loss and node crashes over the message-level
-IFF flood + grouping protocols and prints the degradation table (see
-docs/ROBUSTNESS.md).
+on it (``--workers N`` shards UBF across processes); ``surface`` builds and
+exports the triangular boundary meshes; ``scenario`` runs one of the
+Figs. 6-10 scenarios end to end and prints the summary; ``sweep`` prints
+the Fig. 1(g)-style error-sweep table; ``robustness`` sweeps message loss
+and node crashes over the message-level IFF flood + grouping protocols and
+prints the degradation table (see docs/ROBUSTNESS.md); ``bench`` times the
+pipeline stages on pinned scenarios, writes ``BENCH_<stage>.json``
+artifacts, and optionally gates against the committed baseline (see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -70,9 +74,10 @@ def _deployment_from_args(args) -> DeploymentConfig:
 def _detector_from_args(args) -> DetectorConfig:
     model = NoError() if args.error == 0 else UniformAbsoluteError(args.error)
     return DetectorConfig(
-        ubf=UBFConfig(epsilon=args.epsilon),
+        ubf=UBFConfig(epsilon=args.epsilon, kernel=getattr(args, "kernel", "vectorized")),
         iff=IFFConfig(theta=args.theta, ttl=args.ttl),
         error_model=model,
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -148,6 +153,45 @@ def cmd_scenario(args) -> int:
         surface_config=SurfaceConfig(k=args.k),
     )
     print(render_scenario_result(result))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run repro-bench and optionally gate against the committed baseline."""
+    from repro.evaluation.bench import (
+        STAGES,
+        check_regression,
+        render_bench_table,
+        run_bench,
+        write_artifacts,
+    )
+
+    stages = [s for s in args.stages.split(",") if s] if args.stages else list(STAGES)
+    results = run_bench(
+        stages,
+        scenario_id=args.scenario_id,
+        repeat=args.repeat,
+        time_naive=not args.skip_naive,
+    )
+    print(render_bench_table(results))
+    if args.out_dir:
+        paths = write_artifacts(results, args.out_dir)
+        for path in paths:
+            print(f"wrote {path}")
+    if args.check_regression:
+        issues = check_regression(
+            results,
+            args.baseline_dir,
+            time_factor=args.time_factor,
+            counter_rtol=args.counter_rtol,
+            min_speedup=args.min_speedup,
+        )
+        if issues:
+            print("\nPERF REGRESSION:")
+            for issue in issues:
+                print(f"  - {issue}")
+            return 1
+        print("\nregression check: OK (baseline " + str(args.baseline_dir) + ")")
     return 0
 
 
@@ -248,6 +292,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta", type=int, default=20)
     p.add_argument("--ttl", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the UBF stage (deterministic for any N)",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=("naive", "vectorized"),
+        default="vectorized",
+        help="UBF emptiness-search kernel (naive is the slow oracle)",
+    )
     p.add_argument("--out", default=None)
     p.set_defaults(func=cmd_detect)
 
@@ -265,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta", type=int, default=20)
     p.add_argument("--ttl", type=int, default=3)
     p.add_argument("--k", type=int, default=4)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the UBF stage (deterministic for any N)",
+    )
     p.add_argument("--svg", default=None, help="also render the result to SVG")
     p.set_defaults(func=cmd_scenario)
 
@@ -300,6 +362,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", required=True)
     p.add_argument("--result", required=True)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "bench",
+        help="time pipeline stages, write BENCH_<stage>.json, gate regressions",
+    )
+    p.add_argument(
+        "--stages",
+        default=None,
+        help="comma-separated subset of ubf,iff,grouping,mesh (default: all)",
+    )
+    p.add_argument("--scenario-id", default="ubf_2k", help="pinned bench scenario")
+    p.add_argument("--repeat", type=int, default=5, help="median-of-k repetitions")
+    p.add_argument(
+        "--skip-naive",
+        action="store_true",
+        help="skip timing the naive oracle (faster; omits the speedup gate)",
+    )
+    p.add_argument("--out-dir", default=None, help="write BENCH_<stage>.json here")
+    p.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="compare against the committed baseline; nonzero exit on regression",
+    )
+    p.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="directory holding the committed BENCH_<stage>.json baselines",
+    )
+    p.add_argument("--time-factor", type=float, default=3.0)
+    p.add_argument("--counter-rtol", type=float, default=0.02)
+    p.add_argument("--min-speedup", type=float, default=2.0)
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -29,11 +29,22 @@ class UBFConfig:
         so the default is 2; setting 1 reproduces the most literal reading
         of Algorithm 1 and is kept for the ablation bench (it floods the
         interior with false positives at realistic densities).
+    kernel:
+        Emptiness-search implementation: ``"vectorized"`` (default) batches
+        all Eq.-1 candidate centers and checks emptiness via chunked
+        broadcasted distance matrices; ``"naive"`` is the per-pair Python
+        oracle the vectorized kernel is differentially tested against (see
+        docs/PERFORMANCE.md).  Both produce identical results and counters.
+    chunk_size:
+        Candidate balls per distance-matrix batch in the vectorized kernel;
+        the knob behind its early-exit strategy.  Ignored by ``"naive"``.
     """
 
     epsilon: float = 1e-3
     ball_radius: Optional[float] = None
     collection_hops: int = 2
+    kernel: str = "vectorized"
+    chunk_size: int = 64
 
     def __post_init__(self):
         if self.epsilon < 0:
@@ -42,6 +53,10 @@ class UBFConfig:
             raise ValueError("ball_radius must be positive")
         if self.collection_hops < 1:
             raise ValueError("collection_hops must be at least 1")
+        if self.kernel not in ("naive", "vectorized"):
+            raise ValueError("kernel must be 'naive' or 'vectorized'")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
 
     @property
     def radius(self) -> float:
@@ -88,18 +103,27 @@ class DetectorConfig:
         :mod:`repro.network.trilateration`);
         ``"true"`` -- nodes know their coordinates, step (I) skipped;
         ``"auto"`` -- ``"true"`` under :class:`NoError`, else ``"mds"``.
+    workers:
+        Worker processes for the UBF candidacy stage.  ``1`` (default) runs
+        in-process; larger values shard nodes across a process pool (each
+        node's test touches only its own local frame, so the stage is
+        embarrassingly parallel) and merge deterministically -- results are
+        byte-identical to the sequential path for any worker count.
     """
 
     ubf: UBFConfig = field(default_factory=UBFConfig)
     iff: IFFConfig = field(default_factory=IFFConfig)
     error_model: DistanceErrorModel = field(default_factory=NoError)
     localization: str = "auto"
+    workers: int = 1
 
     def __post_init__(self):
         if self.localization not in ("mds", "true", "auto", "trilateration"):
             raise ValueError(
                 "localization must be 'mds', 'trilateration', 'true', or 'auto'"
             )
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
     def resolved_localization(self) -> str:
         """The concrete localization mode ('mds' or 'true')."""

@@ -1,0 +1,128 @@
+"""Process-parallel sharding of the UBF candidacy stage.
+
+UBF is embarrassingly parallel by construction: Theorem 1's per-node test
+reads nothing but the node's own local frame (its collection neighborhood
+and the measured distances inside it), so the node set can be partitioned
+arbitrarily across workers without any coordination.  This module does
+exactly that -- it shards node IDs into contiguous slices, runs the
+unmodified :func:`repro.core.ubf.run_ubf` on each slice in a worker
+process, and concatenates the per-shard outcome lists back into node order.
+
+Determinism contract
+--------------------
+The driver adds no randomness and no order-dependence: each worker computes
+the same per-node outcomes the sequential path would (same kernel, same
+counters), shards are contiguous slices of the requested node order, and
+``ProcessPoolExecutor.map`` returns them in submission order.  The merged
+result is therefore *identical* -- not just equivalent -- to
+``run_ubf(network, ...)`` for any worker count, which
+``tests/property/test_prop_parallel_determinism.py`` pins down to the
+serialized byte level.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.config import UBFConfig
+from repro.core.ubf import UBFNodeOutcome, run_ubf
+from repro.network.generator import Network
+from repro.network.measurement import MeasuredDistances
+
+#: Below this many nodes the pool start-up cost dwarfs the work; the driver
+#: silently degrades to the in-process path (same results either way).
+MIN_PARALLEL_NODES = 64
+
+#: Worker-process state installed once per worker by the pool initializer,
+#: so the (potentially large) network is pickled once per worker instead of
+#: once per shard.
+_WORKER_STATE: dict = {}
+
+
+def shard_nodes(node_ids: Sequence[int], workers: int) -> List[List[int]]:
+    """Partition ``node_ids`` into up to ``workers`` contiguous slices.
+
+    Slices differ in length by at most one and concatenate back to the
+    input order; empty slices are dropped (fewer nodes than workers).
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    ids = [int(n) for n in node_ids]
+    n = len(ids)
+    base, extra = divmod(n, workers)
+    shards: List[List[int]] = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        if size == 0:
+            continue
+        shards.append(ids[start : start + size])
+        start += size
+    return shards
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits the network); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _init_worker(network, config, measured, localization, find_first) -> None:
+    _WORKER_STATE["args"] = (network, config, measured, localization, find_first)
+
+
+def _run_shard(node_ids: List[int]) -> List[UBFNodeOutcome]:
+    network, config, measured, localization, find_first = _WORKER_STATE["args"]
+    return run_ubf(
+        network,
+        config,
+        measured=measured,
+        localization=localization,
+        find_first=find_first,
+        nodes=node_ids,
+    )
+
+
+def run_ubf_parallel(
+    network: Network,
+    config: UBFConfig = UBFConfig(),
+    *,
+    measured: Optional[MeasuredDistances] = None,
+    localization: str = "true",
+    find_first: bool = True,
+    workers: int = 1,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[UBFNodeOutcome]:
+    """Phase 1 over the whole network, sharded across worker processes.
+
+    Drop-in replacement for :func:`repro.core.ubf.run_ubf` with a
+    ``workers`` knob; see the module docstring for the determinism
+    contract.  ``workers=1`` (and small networks, see
+    :data:`MIN_PARALLEL_NODES`) run in-process with zero overhead.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    node_ids = (
+        list(range(network.graph.n_nodes)) if nodes is None else [int(n) for n in nodes]
+    )
+    if workers == 1 or len(node_ids) < MIN_PARALLEL_NODES:
+        return run_ubf(
+            network,
+            config,
+            measured=measured,
+            localization=localization,
+            find_first=find_first,
+            nodes=node_ids,
+        )
+
+    shards = shard_nodes(node_ids, workers)
+    with ProcessPoolExecutor(
+        max_workers=len(shards),
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(network, config, measured, localization, find_first),
+    ) as pool:
+        shard_outcomes = list(pool.map(_run_shard, shards))
+    return [outcome for shard in shard_outcomes for outcome in shard]

@@ -10,7 +10,8 @@ import numpy as np
 from repro.core.config import DetectorConfig
 from repro.core.grouping import group_boundary_nodes
 from repro.core.iff import run_iff
-from repro.core.ubf import UBFNodeOutcome, candidates_from_outcomes, run_ubf
+from repro.core.parallel import run_ubf_parallel
+from repro.core.ubf import UBFNodeOutcome, candidates_from_outcomes
 from repro.network.generator import Network
 from repro.network.measurement import (
     MeasuredDistances,
@@ -98,11 +99,12 @@ class BoundaryDetector:
                 rng = np.random.default_rng(0)
             measured = measure_distances(network.graph, self.config.error_model, rng)
 
-        outcomes = run_ubf(
+        outcomes = run_ubf_parallel(
             network,
             self.config.ubf,
             measured=measured,
             localization=mode,
+            workers=self.config.workers,
         )
         candidates = candidates_from_outcomes(outcomes)
         boundary = run_iff(network.graph, candidates, self.config.iff)

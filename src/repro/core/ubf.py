@@ -12,12 +12,16 @@ pair enumeration is exhaustive; Theorem 1 bounds the per-node work at
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import UBFConfig
-from repro.geometry.ballfit import BallFitResult, empty_ball_exists
+from repro.geometry.ballfit import (
+    DEFAULT_CHUNK_SIZE,
+    BallFitResult,
+    empty_ball_exists,
+)
 from repro.network.generator import Network
 from repro.network.graph import NetworkGraph
 from repro.network.localization import (
@@ -42,21 +46,33 @@ class UBFNodeOutcome:
         Candidate balls examined before the search stopped.
     neighborhood_size:
         ``|N(node)| - 1``, the node's degree when the test ran.
+    points_checked:
+        Point probes performed across the tested balls (per-ball early
+        exit); the Theta(rho^3) observable of Theorem 1.
     """
 
     node: int
     is_candidate: bool
     balls_tested: int
     neighborhood_size: int
+    points_checked: int = 0
 
 
-def ubf_classify_frame(frame: LocalFrame, radius: float, *, find_first: bool = True) -> BallFitResult:
+def ubf_classify_frame(
+    frame: LocalFrame,
+    radius: float,
+    *,
+    find_first: bool = True,
+    kernel: str = "vectorized",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> BallFitResult:
     """Run the UBF emptiness search inside one node's local frame.
 
     This is the node-level primitive: the frame contains everything the
     node knows (its own embedded position, its one-hop neighbors as pair
     candidates, and its full collection as the emptiness-check set), so the
-    call is localized by construction.
+    call is localized by construction.  ``kernel`` selects the naive oracle
+    or the vectorized implementation; both yield identical results.
     """
     return empty_ball_exists(
         frame.origin_coordinates,
@@ -64,6 +80,8 @@ def ubf_classify_frame(frame: LocalFrame, radius: float, *, find_first: bool = T
         radius,
         check_points=frame.collection_coordinates,
         find_first=find_first,
+        kernel=kernel,
+        chunk_size=chunk_size,
     )
 
 
@@ -74,6 +92,7 @@ def run_ubf(
     measured: Optional[MeasuredDistances] = None,
     localization: str = "true",
     find_first: bool = True,
+    nodes: Optional[Sequence[int]] = None,
 ) -> List[UBFNodeOutcome]:
     """Phase 1 over the whole network.
 
@@ -95,10 +114,14 @@ def run_ubf(
     find_first:
         Stop each node's search at its first empty ball (Algorithm 1's
         break).  Benches pass False to count the full candidate set.
+    nodes:
+        Node IDs to test; all nodes when None.  The shard driver in
+        :mod:`repro.core.parallel` passes each worker's slice here, which
+        is sound because every node's test reads only its own local frame.
 
     Returns
     -------
-    list of UBFNodeOutcome, indexed by node ID.
+    list of UBFNodeOutcome, ordered as ``nodes`` (node-ID order by default).
     """
     if localization not in ("true", "mds", "trilateration"):
         raise ValueError("localization must be 'true', 'mds', or 'trilateration'")
@@ -108,8 +131,9 @@ def run_ubf(
     graph = network.graph
     radius = config.radius
     hops = config.collection_hops
+    node_ids = range(graph.n_nodes) if nodes is None else [int(n) for n in nodes]
     outcomes: List[UBFNodeOutcome] = []
-    for node in range(graph.n_nodes):
+    for node in node_ids:
         if localization == "mds":
             frame = establish_local_frame(graph, measured, node, hops=hops)
         elif localization == "trilateration":
@@ -118,13 +142,20 @@ def run_ubf(
             frame = trilateration_local_frame(graph, measured, node, hops=hops)
         else:
             frame = true_local_frame(graph, node, hops=hops)
-        fit = ubf_classify_frame(frame, radius, find_first=find_first)
+        fit = ubf_classify_frame(
+            frame,
+            radius,
+            find_first=find_first,
+            kernel=config.kernel,
+            chunk_size=config.chunk_size,
+        )
         outcomes.append(
             UBFNodeOutcome(
                 node=node,
                 is_candidate=fit.is_boundary,
                 balls_tested=fit.balls_tested,
                 neighborhood_size=len(frame.members) - 1,
+                points_checked=fit.points_checked,
             )
         )
     return outcomes
@@ -138,9 +169,12 @@ def candidates_from_outcomes(outcomes: List[UBFNodeOutcome]) -> set:
 def balls_tested_profile(outcomes: List[UBFNodeOutcome]) -> Dict[str, float]:
     """Aggregate ball-testing statistics (Theorem 1 observables)."""
     tested = np.array([o.balls_tested for o in outcomes], dtype=float)
+    checked = np.array([o.points_checked for o in outcomes], dtype=float)
     degrees = np.array([o.neighborhood_size for o in outcomes], dtype=float)
     return {
         "mean_balls_tested": float(tested.mean()) if tested.size else 0.0,
         "max_balls_tested": float(tested.max()) if tested.size else 0.0,
+        "mean_points_checked": float(checked.mean()) if checked.size else 0.0,
+        "max_points_checked": float(checked.max()) if checked.size else 0.0,
         "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
     }

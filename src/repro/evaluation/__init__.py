@@ -12,8 +12,18 @@
 * :mod:`repro.evaluation.robustness` -- degradation sweeps under injected
   channel faults (message loss, crashes), with and without the reliable
   ack/retransmit wrapper; see ``docs/ROBUSTNESS.md``.
+* :mod:`repro.evaluation.bench` -- ``repro-bench``: stage wall-time +
+  Theorem-1 counter benchmarking with ``BENCH_<stage>.json`` artifacts and
+  a baseline regression gate; see ``docs/PERFORMANCE.md``.
 """
 
+from repro.evaluation.bench import (
+    BENCH_SCENARIOS,
+    check_regression,
+    render_bench_table,
+    run_bench,
+    write_artifacts,
+)
 from repro.evaluation.metrics import (
     DetectionStats,
     evaluate_detection,
@@ -46,6 +56,11 @@ from repro.evaluation.robustness import (
 )
 
 __all__ = [
+    "BENCH_SCENARIOS",
+    "check_regression",
+    "render_bench_table",
+    "run_bench",
+    "write_artifacts",
     "RobustnessPoint",
     "precision_recall_f1",
     "render_robustness_table",

@@ -1,0 +1,459 @@
+"""``repro-bench``: stage benchmarking with a perf-regression gate.
+
+The repo's north star says every PR makes a hot path measurably faster --
+which is only enforceable with a recorded performance trajectory.  This
+module produces that record: it times the pipeline stages (UBF candidacy,
+IFF, grouping, mesh construction) on pinned seeded scenarios, captures the
+Theorem-1 work counters alongside the wall times, writes one
+``BENCH_<stage>.json`` artifact per stage, and compares a fresh run against
+a committed baseline.
+
+Two kinds of observables with two kinds of tolerance:
+
+* **Counters** (candidate balls tested, point probes, candidate/boundary
+  set sizes, mesh sizes) are deterministic on a pinned scenario and are
+  compared tightly -- they catch *algorithmic* regressions (more work per
+  node, lost early exits) on any hardware, with no timing flakiness.
+* **Wall times** vary across machines, so the absolute check uses a wide
+  multiplicative band; the portable speed gate is the *relative* speedup of
+  the vectorized UBF kernel over the in-repo naive oracle, which a CI
+  runner measures locally in one process.
+
+Artifacts are plain JSON (schema below) so trend tooling can diff them
+across commits::
+
+    {
+      "format_version": 1,
+      "stage": "ubf",
+      "scenario": "ubf_2k",
+      "n_nodes": 2000, "mean_degree": ...,
+      "repeat": 5, "median_seconds": ..., "timings": [...],
+      "counters": {...},                  # stage-specific, deterministic
+      "naive_seconds": ..., "speedup_vs_naive": ...   # ubf stage only
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import IFFConfig, UBFConfig
+from repro.core.grouping import group_boundary_nodes
+from repro.core.iff import run_iff
+from repro.core.ubf import candidates_from_outcomes, ubf_classify_frame
+from repro.network.generator import DeploymentConfig, generate_network
+from repro.network.localization import true_local_frame
+from repro.shapes.library import scenario_by_name
+from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
+
+FORMAT_VERSION = 1
+
+#: Stages `repro-bench` knows how to time, in pipeline order.
+STAGES = ("ubf", "iff", "grouping", "mesh")
+
+#: Default multiplicative slack for absolute wall-time comparisons; wide on
+#: purpose -- cross-machine variance is absorbed here, while counters and
+#: the naive-relative speedup carry the strict checks.
+DEFAULT_TIME_FACTOR = 3.0
+
+#: Relative tolerance for deterministic counters.  Non-zero only to absorb
+#: float-ordering differences across numpy builds.
+DEFAULT_COUNTER_RTOL = 0.02
+
+#: Required vectorized-over-naive UBF kernel speedup (the PR acceptance
+#: criterion is 2x; the committed baseline is far above it).
+DEFAULT_MIN_SPEEDUP = 2.0
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """A pinned deployment the benches run on (fixed shape, sizes, seed)."""
+
+    name: str
+    shape: str
+    n_surface: int
+    n_interior: int
+    target_degree: float
+    seed: int
+
+    def deployment(self) -> DeploymentConfig:
+        return DeploymentConfig(
+            n_surface=self.n_surface,
+            n_interior=self.n_interior,
+            target_degree=self.target_degree,
+            seed=self.seed,
+        )
+
+
+#: The pinned benchmark scenarios.  ``ubf_2k`` is the 2000-node sphere the
+#: kernel-speedup acceptance criterion is measured on; ``small`` exists for
+#: quick local smoke runs.
+BENCH_SCENARIOS: Dict[str, BenchScenario] = {
+    "ubf_2k": BenchScenario(
+        name="ubf_2k",
+        shape="sphere",
+        n_surface=800,
+        n_interior=1200,
+        target_degree=24.0,
+        seed=11,
+    ),
+    "small": BenchScenario(
+        name="small",
+        shape="sphere",
+        n_surface=200,
+        n_interior=300,
+        target_degree=16.0,
+        seed=11,
+    ),
+}
+
+DEFAULT_SCENARIO = "ubf_2k"
+
+
+def _median_time(fn: Callable[[], object], repeat: int) -> Tuple[float, List[float], object]:
+    """Median-of-``repeat`` wall time of ``fn`` plus its last return value."""
+    timings: List[float] = []
+    result: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - start)
+    return float(np.median(timings)), timings, result
+
+
+@dataclass
+class BenchContext:
+    """Shared artifacts all stage benches reuse (built once per run)."""
+
+    scenario: BenchScenario
+    network: object
+    frames: List[object]
+    ubf_config: UBFConfig
+    iff_config: IFFConfig
+
+
+def build_context(
+    scenario: BenchScenario, ubf_config: Optional[UBFConfig] = None
+) -> BenchContext:
+    """Generate the pinned network and per-node frames for a bench run."""
+    cfg = ubf_config if ubf_config is not None else UBFConfig()
+    network = generate_network(
+        scenario_by_name(scenario.shape),
+        scenario.deployment(),
+        scenario=scenario.shape,
+    )
+    graph = network.graph
+    frames = [
+        true_local_frame(graph, node, hops=cfg.collection_hops)
+        for node in range(graph.n_nodes)
+    ]
+    return BenchContext(
+        scenario=scenario,
+        network=network,
+        frames=frames,
+        ubf_config=cfg,
+        iff_config=IFFConfig(),
+    )
+
+
+def _classify_all(ctx: BenchContext, kernel: str) -> List[object]:
+    cfg = ctx.ubf_config
+    return [
+        ubf_classify_frame(
+            frame,
+            cfg.radius,
+            find_first=True,
+            kernel=kernel,
+            chunk_size=cfg.chunk_size,
+        )
+        for frame in ctx.frames
+    ]
+
+
+def bench_ubf(ctx: BenchContext, repeat: int, *, time_naive: bool = True) -> dict:
+    """Time the UBF emptiness kernel over all node frames.
+
+    Frame construction is excluded -- it is shared by both kernels and by
+    every localization mode; what is timed is exactly the per-node
+    candidate-enumeration + emptiness-check work Theorem 1 bounds.
+    """
+    median, timings, fits = _median_time(lambda: _classify_all(ctx, "vectorized"), repeat)
+    balls = np.array([f.balls_tested for f in fits], dtype=float)
+    checks = np.array([f.points_checked for f in fits], dtype=float)
+    degrees = ctx.network.graph.degrees()
+    mean_degree = float(degrees.mean())
+    counters = {
+        "n_candidates": int(sum(1 for f in fits if f.is_boundary)),
+        "total_balls_tested": float(balls.sum()),
+        "mean_balls_tested": float(balls.mean()),
+        "max_balls_tested": float(balls.max()),
+        "total_points_checked": float(checks.sum()),
+        "mean_points_checked": float(checks.mean()),
+        # Theorem-1 curve constants: balls ~ rho^2, checks bounded by rho^3.
+        "balls_per_degree_sq": float(balls.mean() / mean_degree**2),
+        "checks_per_degree_cubed": float(checks.mean() / mean_degree**3),
+    }
+    doc = _artifact("ubf", ctx, repeat, median, timings, counters)
+    doc["kernel"] = "vectorized"
+    doc["chunk_size"] = ctx.ubf_config.chunk_size
+    if time_naive:
+        naive_seconds, _, naive_fits = _median_time(
+            lambda: _classify_all(ctx, "naive"), 1
+        )
+        doc["naive_seconds"] = naive_seconds
+        doc["speedup_vs_naive"] = naive_seconds / median if median > 0 else float("inf")
+        doc["kernels_agree"] = all(
+            a.is_boundary == b.is_boundary
+            and a.balls_tested == b.balls_tested
+            and a.points_checked == b.points_checked
+            and a.witness_pair == b.witness_pair
+            for a, b in zip(fits, naive_fits)
+        )
+    return doc
+
+
+def bench_iff(ctx: BenchContext, repeat: int) -> dict:
+    """Time Isolated Fragment Filtering on the UBF candidate set."""
+    fits = _classify_all(ctx, "vectorized")
+    candidates = {i for i, f in enumerate(fits) if f.is_boundary}
+    graph = ctx.network.graph
+    median, timings, boundary = _median_time(
+        lambda: run_iff(graph, candidates, ctx.iff_config), repeat
+    )
+    counters = {
+        "n_candidates": len(candidates),
+        "n_boundary": len(boundary),
+        "n_filtered": len(candidates) - len(boundary),
+    }
+    return _artifact("iff", ctx, repeat, median, timings, counters)
+
+
+def bench_grouping(ctx: BenchContext, repeat: int) -> dict:
+    """Time boundary grouping on the IFF-filtered boundary set."""
+    fits = _classify_all(ctx, "vectorized")
+    candidates = {i for i, f in enumerate(fits) if f.is_boundary}
+    graph = ctx.network.graph
+    boundary = run_iff(graph, candidates, ctx.iff_config)
+    median, timings, groups = _median_time(
+        lambda: group_boundary_nodes(graph, boundary), repeat
+    )
+    counters = {
+        "n_boundary": len(boundary),
+        "n_groups": len(groups),
+        "largest_group": max((len(g) for g in groups), default=0),
+    }
+    return _artifact("grouping", ctx, repeat, median, timings, counters)
+
+
+def bench_mesh(ctx: BenchContext, repeat: int) -> dict:
+    """Time triangular boundary-surface construction on the groups."""
+    fits = _classify_all(ctx, "vectorized")
+    candidates = {i for i, f in enumerate(fits) if f.is_boundary}
+    graph = ctx.network.graph
+    boundary = run_iff(graph, candidates, ctx.iff_config)
+    groups = group_boundary_nodes(graph, boundary)
+    builder = SurfaceBuilder(SurfaceConfig())
+    median, timings, meshes = _median_time(
+        lambda: builder.build(graph, groups), repeat
+    )
+    counters = {
+        "n_meshes": len(meshes),
+        "total_vertices": sum(len(m.vertices) for m in meshes),
+        "total_edges": sum(len(m.edges) for m in meshes),
+        "total_triangles": sum(len(m.triangles()) for m in meshes),
+    }
+    return _artifact("mesh", ctx, repeat, median, timings, counters)
+
+
+def _artifact(
+    stage: str,
+    ctx: BenchContext,
+    repeat: int,
+    median: float,
+    timings: List[float],
+    counters: Dict[str, float],
+) -> dict:
+    graph = ctx.network.graph
+    return {
+        "format_version": FORMAT_VERSION,
+        "stage": stage,
+        "scenario": ctx.scenario.name,
+        "n_nodes": graph.n_nodes,
+        "mean_degree": float(graph.degrees().mean()),
+        "repeat": repeat,
+        "median_seconds": median,
+        "timings": timings,
+        "counters": counters,
+    }
+
+
+_STAGE_RUNNERS: Dict[str, Callable[..., dict]] = {
+    "ubf": bench_ubf,
+    "iff": bench_iff,
+    "grouping": bench_grouping,
+    "mesh": bench_mesh,
+}
+
+
+def run_bench(
+    stages: Sequence[str] = STAGES,
+    *,
+    scenario_id: str = DEFAULT_SCENARIO,
+    repeat: int = 5,
+    time_naive: bool = True,
+) -> Dict[str, dict]:
+    """Run the requested stage benches on one pinned scenario."""
+    unknown = [s for s in stages if s not in _STAGE_RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown stages {unknown}; known: {list(_STAGE_RUNNERS)}")
+    if scenario_id not in BENCH_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario_id!r}; known: {sorted(BENCH_SCENARIOS)}"
+        )
+    ctx = build_context(BENCH_SCENARIOS[scenario_id])
+    results: Dict[str, dict] = {}
+    for stage in stages:
+        if stage == "ubf":
+            results[stage] = bench_ubf(ctx, repeat, time_naive=time_naive)
+        else:
+            results[stage] = _STAGE_RUNNERS[stage](ctx, repeat)
+    return results
+
+
+def artifact_path(directory, stage: str) -> Path:
+    """Canonical ``BENCH_<stage>.json`` location inside ``directory``."""
+    return Path(directory) / f"BENCH_{stage}.json"
+
+
+def write_artifacts(results: Dict[str, dict], out_dir) -> List[Path]:
+    """Write one ``BENCH_<stage>.json`` per stage; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for stage, doc in results.items():
+        path = artifact_path(out, stage)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_artifact(path) -> dict:
+    """Read one ``BENCH_<stage>.json`` document."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bench artifact version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return doc
+
+
+def compare_artifact(
+    current: dict,
+    baseline: dict,
+    *,
+    time_factor: float = DEFAULT_TIME_FACTOR,
+    counter_rtol: float = DEFAULT_COUNTER_RTOL,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> List[str]:
+    """Regression findings for one stage (empty list when clean)."""
+    issues: List[str] = []
+    stage = current.get("stage", "?")
+    if current.get("scenario") != baseline.get("scenario"):
+        issues.append(
+            f"{stage}: scenario mismatch "
+            f"({current.get('scenario')!r} vs baseline {baseline.get('scenario')!r})"
+        )
+        return issues
+
+    base_counters = baseline.get("counters", {})
+    cur_counters = current.get("counters", {})
+    for key, base_value in base_counters.items():
+        if key not in cur_counters:
+            issues.append(f"{stage}: counter {key!r} missing from current run")
+            continue
+        cur_value = float(cur_counters[key])
+        base_value = float(base_value)
+        scale = max(abs(base_value), 1.0)
+        if abs(cur_value - base_value) > counter_rtol * scale:
+            issues.append(
+                f"{stage}: counter {key} drifted: {cur_value:.6g} "
+                f"vs baseline {base_value:.6g} (rtol {counter_rtol})"
+            )
+
+    base_time = float(baseline.get("median_seconds", 0.0))
+    cur_time = float(current.get("median_seconds", 0.0))
+    if base_time > 0 and cur_time > base_time * time_factor:
+        issues.append(
+            f"{stage}: median wall time regressed: {cur_time:.4f}s vs "
+            f"baseline {base_time:.4f}s (allowed factor {time_factor})"
+        )
+
+    if "speedup_vs_naive" in baseline:
+        cur_speedup = float(current.get("speedup_vs_naive", 0.0))
+        if cur_speedup < min_speedup:
+            issues.append(
+                f"{stage}: vectorized kernel speedup over naive oracle is "
+                f"{cur_speedup:.2f}x, below the required {min_speedup}x"
+            )
+        if current.get("kernels_agree") is False:
+            issues.append(f"{stage}: kernels disagree on the bench scenario")
+    return issues
+
+
+def check_regression(
+    results: Dict[str, dict],
+    baseline_dir,
+    *,
+    time_factor: float = DEFAULT_TIME_FACTOR,
+    counter_rtol: float = DEFAULT_COUNTER_RTOL,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> List[str]:
+    """Compare a bench run against the committed baseline directory."""
+    issues: List[str] = []
+    for stage, doc in results.items():
+        path = artifact_path(baseline_dir, stage)
+        if not path.exists():
+            issues.append(f"{stage}: no baseline at {path}")
+            continue
+        issues.extend(
+            compare_artifact(
+                doc,
+                load_artifact(path),
+                time_factor=time_factor,
+                counter_rtol=counter_rtol,
+                min_speedup=min_speedup,
+            )
+        )
+    return issues
+
+
+def render_bench_table(results: Dict[str, dict]) -> str:
+    """ASCII summary of a bench run, one row per stage."""
+    lines = [
+        f"{'stage':<10} {'nodes':>6} {'median_s':>10} {'key counters'}",
+        "-" * 72,
+    ]
+    for stage in STAGES:
+        if stage not in results:
+            continue
+        doc = results[stage]
+        counters = doc["counters"]
+        head = ", ".join(
+            f"{k}={counters[k]:.4g}" if isinstance(counters[k], float) else f"{k}={counters[k]}"
+            for k in list(counters)[:3]
+        )
+        extra = ""
+        if "speedup_vs_naive" in doc:
+            extra = f"  [{doc['speedup_vs_naive']:.1f}x vs naive]"
+        lines.append(
+            f"{stage:<10} {doc['n_nodes']:>6} {doc['median_seconds']:>10.4f} {head}{extra}"
+        )
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from repro.network.measurement import (
     UniformAbsoluteError,
     measure_distances,
 )
+from repro.network.localization import true_local_frame
 from repro.network.stats import NetworkStats, compute_network_stats
 from repro.shapes.library import scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
@@ -216,6 +217,14 @@ class ComplexityPoint:
     mean_degree: float
     mean_balls_tested: float
     max_balls_tested: float
+    mean_points_checked: float = 0.0
+    max_points_checked: float = 0.0
+    mean_collection_size: float = 0.0
+    #: Exhaustive probe bound ``balls_tested * collection_size`` per node:
+    #: Theorem 1's Theta(rho^3) total-work observable.  The realized
+    #: ``points_checked`` counter early-exits per ball at the first inside
+    #: point and empirically grows only ~Theta(rho^2).
+    mean_probe_bound: float = 0.0
 
 
 def run_ubf_complexity(
@@ -246,6 +255,16 @@ def run_ubf_complexity(
         )
         outcomes = run_ubf(network, UBFConfig(), find_first=False)
         tested = np.array([o.balls_tested for o in outcomes], dtype=float)
+        checked = np.array([o.points_checked for o in outcomes], dtype=float)
+        # Probes per candidate ball without early exit: the node's own
+        # position plus its full 2-hop collection.
+        collection = np.array(
+            [
+                len(true_local_frame(network.graph, n).collection_coordinates) + 1
+                for n in range(network.graph.n_nodes)
+            ],
+            dtype=float,
+        )
         degrees = network.graph.degrees()
         points.append(
             ComplexityPoint(
@@ -253,6 +272,10 @@ def run_ubf_complexity(
                 mean_degree=float(degrees.mean()),
                 mean_balls_tested=float(tested.mean()),
                 max_balls_tested=float(tested.max()),
+                mean_points_checked=float(checked.mean()),
+                max_points_checked=float(checked.max()),
+                mean_collection_size=float(collection.mean()),
+                mean_probe_bound=float((tested * collection).mean()),
             )
         )
     return points

@@ -16,11 +16,40 @@ A candidate ball is *empty* when no other node of the one-hop neighborhood
 lies strictly inside it; by Lemma 1 an empty candidate ball certifies that
 the node can construct an empty unit ball touching itself, i.e. that it is a
 boundary node.
+
+Kernels
+-------
+The emptiness search ships in two interchangeable implementations selected
+by the ``kernel`` argument of :func:`empty_ball_exists`:
+
+``"naive"``
+    The literal per-pair reading of Algorithm 1: a Python loop over neighbor
+    pairs, the scalar Eq.-1 solver per pair, and a point-by-point probe loop
+    per candidate ball.  Slow by design -- it is the differential-test
+    oracle the vectorized kernel is checked against, and the baseline the
+    ``repro-bench`` speedup criterion is measured from.
+
+``"vectorized"``
+    All candidate centers for the node are produced in one batched Eq.-1
+    evaluation (:func:`balls_through_point_pairs`) and emptiness is decided
+    from broadcasted distance matrices, processed in chunks of
+    ``chunk_size`` candidates so the common "an empty ball appears early"
+    case exits before touching the remaining candidates.
+
+Both kernels enumerate candidates in the same canonical order (lexicographic
+neighbor pairs, the ``+offset`` center before the ``-offset`` center) and
+report identical observables: the same boundary verdict, the same witness
+ball, and the same ``balls_tested`` / ``points_checked`` counters.  The
+counters are *semantic* work counts -- the number of candidate balls and
+point probes the sequential algorithm performs, with per-ball early exit at
+the first strictly-inside point -- so they are hardware- and
+implementation-independent observables of Theorem 1's ``Theta(rho^2)``
+candidate bound and ``Theta(rho^3)`` total probe bound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +60,15 @@ from repro.geometry.primitives import DEGENERACY_TOL, as_point, as_points
 #: The three defining nodes sit numerically *on* the sphere; the slack keeps
 #: them (and any other exactly-on-sphere node) from counting as inside.
 INSIDE_TOL = 1e-7
+
+#: Kernel names accepted by :func:`empty_ball_exists`.
+KERNELS = ("naive", "vectorized")
+
+#: Candidate balls processed per distance-matrix batch in the vectorized
+#: kernel.  Small enough that a boundary node whose first empty ball sits
+#: among the early pairs never materializes the full candidate family,
+#: large enough that interior nodes amortize the numpy dispatch overhead.
+DEFAULT_CHUNK_SIZE = 64
 
 
 def balls_through_three_points(p1, p2, p3, radius: float) -> List[np.ndarray]:
@@ -50,7 +88,10 @@ def balls_through_three_points(p1, p2, p3, radius: float) -> List[np.ndarray]:
         Zero, one, or two center points.  Collinear (degenerate) triples
         yield an empty list: a line has infinite circumradius, so no ball of
         finite radius passes through it in a well-defined way, matching
-        Definition 3's exclusion of degenerate line segments.
+        Definition 3's exclusion of degenerate line segments.  Two-solution
+        cases list the ``+offset`` center (along ``cross(p2-p1, p3-p1)``)
+        first -- the canonical enumeration order shared with
+        :func:`balls_through_point_pairs`.
     """
     p1 = as_point(p1)
     a = as_point(p2) - p1
@@ -79,7 +120,7 @@ def balls_through_point_pairs(
 
     Computes, for every unordered pair ``(j, k)`` of points in ``others``,
     the centers of the balls of radius ``radius`` through
-    ``(origin, others[j], others[k])``.
+    ``(origin, others[j], others[k])`` in one batched evaluation of Eq. (1).
 
     Parameters
     ----------
@@ -97,6 +138,13 @@ def balls_through_point_pairs(
         ``pair_indices`` a ``(K, 2)`` integer array giving, for each center,
         the indices into ``others`` of the two neighbors that define it.
         Both are empty when fewer than two neighbors are supplied.
+
+        Ordering is canonical and matches a per-pair loop over
+        :func:`balls_through_three_points`: pairs enumerate
+        lexicographically (``(0,1), (0,2), ..., (1,2), ...``) and
+        two-solution pairs list the ``+offset`` center before the
+        ``-offset`` center.  Tangent pairs (circumradius numerically equal
+        to ``radius``) contribute their single circumcenter once.
     """
     origin = as_point(origin)
     pts = as_points(others) if len(others) else np.empty((0, 3))
@@ -129,20 +177,21 @@ def balls_through_point_pairs(
     center0, n, n2, h_sq = center0[fits], n[fits], n2[fits], h_sq[fits]
     j_idx, k_idx = j_idx[fits], k_idx[fits]
 
+    tangent = h_sq <= (INSIDE_TOL * radius) ** 2
     h = np.sqrt(np.clip(h_sq, 0.0, None))
     unit_n = n / np.sqrt(n2)[:, None]
     offset = h[:, None] * unit_n
-    centers = np.vstack([center0 + offset, center0 - offset])
-    pairs = np.vstack(
-        [np.column_stack([j_idx, k_idx]), np.column_stack([j_idx, k_idx])]
-    )
 
-    # Tangent balls (h == 0) produce the same center twice; drop duplicates.
-    tangent = h <= INSIDE_TOL * radius
-    if np.any(tangent):
-        keep = np.ones(centers.shape[0], dtype=bool)
-        keep[center0.shape[0] :][tangent] = False
-        centers, pairs = centers[keep], pairs[keep]
+    # Interleave pair-major: each pair contributes [center+, center-] (or
+    # just the circumcenter when tangent), preserving the naive loop order.
+    counts = np.where(tangent, 1, 2)
+    starts = np.cumsum(counts) - counts
+    total = int(counts.sum())
+    centers = np.empty((total, 3))
+    centers[starts] = np.where(tangent[:, None], center0, center0 + offset)
+    minus_rows = starts[~tangent] + 1
+    centers[minus_rows] = (center0 - offset)[~tangent]
+    pairs = np.repeat(np.column_stack([j_idx, k_idx]), counts, axis=0)
     return centers, pairs
 
 
@@ -162,12 +211,146 @@ class BallFitResult:
     balls_tested:
         Number of candidate balls examined before the search stopped; a
         direct observable for the Theta(rho^2) bound of Theorem 1.
+    points_checked:
+        Number of point probes performed across the tested balls, with
+        per-ball early exit at the first strictly-inside point; the
+        observable behind Theorem 1's Theta(rho) checks per ball /
+        Theta(rho^3) total bound.  Identical for both kernels by contract.
     """
 
     is_boundary: bool
     empty_center: Optional[np.ndarray] = None
     witness_pair: Optional[Tuple[int, int]] = None
     balls_tested: int = 0
+    points_checked: int = 0
+
+
+def _inside_threshold(radius: float) -> float:
+    """Squared strict-inside threshold shared by both kernels."""
+    return (radius * (1.0 - INSIDE_TOL)) ** 2
+
+
+def _naive_search(
+    origin: np.ndarray,
+    pts: np.ndarray,
+    check: np.ndarray,
+    radius: float,
+    find_first: bool,
+) -> BallFitResult:
+    """Per-pair Python oracle: scalar Eq.-1 solver, point-by-point probes."""
+    threshold = _inside_threshold(radius)
+    probe_rows: List[Tuple[float, float, float]] = [
+        (float(origin[0]), float(origin[1]), float(origin[2]))
+    ]
+    probe_rows.extend((float(p[0]), float(p[1]), float(p[2])) for p in check)
+
+    tested = 0
+    checked = 0
+    witness: Optional[Tuple[np.ndarray, Tuple[int, int]]] = None
+    m = pts.shape[0]
+    for j in range(m - 1):
+        for k in range(j + 1, m):
+            for center in balls_through_three_points(origin, pts[j], pts[k], radius):
+                tested += 1
+                cx = float(center[0])
+                cy = float(center[1])
+                cz = float(center[2])
+                inside = False
+                for px, py, pz in probe_rows:
+                    checked += 1
+                    dx = cx - px
+                    dy = cy - py
+                    dz = cz - pz
+                    if dx * dx + dy * dy + dz * dz < threshold:
+                        inside = True
+                        break
+                if not inside and witness is None:
+                    witness = (center.copy(), (j, k))
+                    if find_first:
+                        return BallFitResult(
+                            is_boundary=True,
+                            empty_center=witness[0],
+                            witness_pair=witness[1],
+                            balls_tested=tested,
+                            points_checked=checked,
+                        )
+    if tested == 0:
+        # No candidate ball fits through any neighbor pair: every triangle's
+        # circumradius exceeds r.  Such a node sits against empty space.
+        return BallFitResult(is_boundary=True, balls_tested=0, points_checked=0)
+    if witness is None:
+        return BallFitResult(
+            is_boundary=False, balls_tested=tested, points_checked=checked
+        )
+    return BallFitResult(
+        is_boundary=True,
+        empty_center=witness[0],
+        witness_pair=witness[1],
+        balls_tested=tested,
+        points_checked=checked,
+    )
+
+
+def _vectorized_search(
+    origin: np.ndarray,
+    pts: np.ndarray,
+    check: np.ndarray,
+    radius: float,
+    find_first: bool,
+    chunk_size: int,
+) -> BallFitResult:
+    """Batched kernel: one Eq.-1 evaluation, chunked distance matrices."""
+    centers, pairs = balls_through_point_pairs(origin, pts, radius)
+    n_candidates = centers.shape[0]
+    if n_candidates == 0:
+        return BallFitResult(is_boundary=True, balls_tested=0, points_checked=0)
+
+    all_points = np.vstack([origin[None, :], check])
+    n_points = all_points.shape[0]
+    threshold = _inside_threshold(radius)
+
+    tested = 0
+    checked = 0
+    witness_idx = -1
+    for start in range(0, n_candidates, chunk_size):
+        chunk = centers[start : start + chunk_size]
+        diff = chunk[:, None, :] - all_points[None, :, :]
+        dist_sq = np.einsum("ijk,ijk->ij", diff, diff)
+        inside = dist_sq < threshold
+        inside_any = inside.any(axis=1)
+        # Semantic probe count per ball: index of the first inside point
+        # plus one, or the full point set when the ball is empty -- exactly
+        # what the naive per-point loop performs.
+        probes = np.where(inside_any, inside.argmax(axis=1) + 1, n_points)
+        empty_local = np.flatnonzero(~inside_any)
+        if find_first and empty_local.size:
+            first = int(empty_local[0])
+            tested += first + 1
+            checked += int(probes[: first + 1].sum())
+            hit = start + first
+            return BallFitResult(
+                is_boundary=True,
+                empty_center=centers[hit].copy(),
+                witness_pair=(int(pairs[hit, 0]), int(pairs[hit, 1])),
+                balls_tested=tested,
+                points_checked=checked,
+            )
+        tested += chunk.shape[0]
+        checked += int(probes.sum())
+        if witness_idx < 0 and empty_local.size:
+            witness_idx = start + int(empty_local[0])
+
+    if witness_idx < 0:
+        return BallFitResult(
+            is_boundary=False, balls_tested=tested, points_checked=checked
+        )
+    return BallFitResult(
+        is_boundary=True,
+        empty_center=centers[witness_idx].copy(),
+        witness_pair=(int(pairs[witness_idx, 0]), int(pairs[witness_idx, 1])),
+        balls_tested=tested,
+        points_checked=checked,
+    )
 
 
 def empty_ball_exists(
@@ -177,6 +360,8 @@ def empty_ball_exists(
     *,
     check_points=None,
     find_first: bool = True,
+    kernel: str = "vectorized",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> BallFitResult:
     """Search the candidate balls at ``origin`` for an empty one.
 
@@ -204,6 +389,13 @@ def empty_ball_exists(
         would (Algorithm 1 breaks on success).  When False, scan every
         candidate and report the total count tested, which benches use to
         measure Theorem 1's complexity.
+    kernel:
+        ``"vectorized"`` (default) for the batched chunked-early-exit
+        implementation, ``"naive"`` for the per-pair Python oracle.  Both
+        return identical results and counters (see the module docstring).
+    chunk_size:
+        Candidates per distance-matrix batch in the vectorized kernel;
+        ignored by the naive kernel.
 
     Returns
     -------
@@ -216,36 +408,19 @@ def empty_ball_exists(
     encountered anyway we conservatively declare it a boundary node, since a
     node that sparsely connected is certainly adjacent to empty space.
     """
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
     origin = as_point(origin)
     pts = as_points(neighbors) if len(neighbors) else np.empty((0, 3))
     if pts.shape[0] < 2:
-        return BallFitResult(is_boundary=True, balls_tested=0)
+        return BallFitResult(is_boundary=True, balls_tested=0, points_checked=0)
     if check_points is None:
         check = pts
     else:
         check = as_points(check_points) if len(check_points) else np.empty((0, 3))
 
-    centers, pairs = balls_through_point_pairs(origin, pts, radius)
-    if centers.shape[0] == 0:
-        # No candidate ball fits through any neighbor pair: every triangle's
-        # circumradius exceeds r.  Such a node sits against empty space.
-        return BallFitResult(is_boundary=True, balls_tested=0)
-
-    all_points = np.vstack([origin[None, :], check])
-    diff = centers[:, None, :] - all_points[None, :, :]
-    dist_sq = np.einsum("ijk,ijk->ij", diff, diff)
-    threshold = (radius * (1.0 - INSIDE_TOL)) ** 2
-    inside_any = (dist_sq < threshold).any(axis=1)
-
-    empty_idx = np.flatnonzero(~inside_any)
-    if empty_idx.size == 0:
-        return BallFitResult(is_boundary=False, balls_tested=centers.shape[0])
-
-    first = int(empty_idx[0])
-    tested = first + 1 if find_first else centers.shape[0]
-    return BallFitResult(
-        is_boundary=True,
-        empty_center=centers[first].copy(),
-        witness_pair=(int(pairs[first, 0]), int(pairs[first, 1])),
-        balls_tested=tested,
-    )
+    if kernel == "naive":
+        return _naive_search(origin, pts, check, radius, find_first)
+    return _vectorized_search(origin, pts, check, radius, find_first, chunk_size)

@@ -1,0 +1,95 @@
+"""Theorem 1 as a statistical test: counter scaling versus nodal density.
+
+Theorem 1 bounds the exhaustive per-node UBF work at ``Theta(rho^2)``
+candidate balls, each probed against the ``Theta(rho)``-sized 2-hop
+collection, for ``Theta(rho^3)`` total point checks.  Because the kernels
+report *semantic* work counters (hardware- and implementation-independent),
+the bound is testable: sweep the target degree, fit log-log slopes of the
+mean counters against the realized mean degree, and pin the exponents.
+
+Two probe observables are distinguished:
+
+* ``mean_probe_bound`` -- candidate balls times collection size, the
+  exhaustive cost Theorem 1 bounds.  Must grow ~cubically.
+* ``mean_points_checked`` -- the realized counter with per-ball early exit
+  at the first strictly-inside point.  A dense ball is rejected after O(1)
+  expected probes, so the realized cost tracks the *ball* count
+  (~quadratic), a full Theta(rho) factor below the worst case.  The test
+  locks in that saving too -- it is why ``find_first=False`` benches stay
+  affordable.
+
+Slope bands are calibrated against real deployment geometry: boundary
+effects flatten the small-degree end, so the bands are wider than the
+ideal exponents but still cleanly separate quadratic from cubic growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import run_ubf_complexity
+
+TARGET_DEGREES = (10.0, 14.0, 19.0, 25.0)
+
+
+@pytest.fixture(scope="module")
+def complexity_points():
+    return run_ubf_complexity(
+        target_degrees=TARGET_DEGREES, n_surface=300, n_interior=600, seed=0
+    )
+
+
+def _loglog_slope(x, y) -> float:
+    return float(np.polyfit(np.log(np.asarray(x)), np.log(np.asarray(y)), 1)[0])
+
+
+class TestTheorem1CounterScaling:
+    def test_balls_scale_quadratically_in_degree(self, complexity_points):
+        degrees = [p.mean_degree for p in complexity_points]
+        balls = [p.mean_balls_tested for p in complexity_points]
+        slope = _loglog_slope(degrees, balls)
+        assert 1.5 < slope < 2.6, (
+            f"candidate-ball count grows like degree^{slope:.2f}; "
+            "Theorem 1 predicts Theta(rho^2)"
+        )
+
+    def test_probe_bound_scales_cubically_in_degree(self, complexity_points):
+        degrees = [p.mean_degree for p in complexity_points]
+        bound = [p.mean_probe_bound for p in complexity_points]
+        slope = _loglog_slope(degrees, bound)
+        assert 2.4 < slope < 3.6, (
+            f"exhaustive probe bound grows like degree^{slope:.2f}; "
+            "Theorem 1 predicts Theta(rho^3)"
+        )
+
+    def test_collection_size_scales_linearly_in_degree(self, complexity_points):
+        """The Theta(rho) factor between the two bounds, on its own."""
+        degrees = [p.mean_degree for p in complexity_points]
+        coll = [p.mean_collection_size for p in complexity_points]
+        slope = _loglog_slope(degrees, coll)
+        assert 0.7 < slope < 1.5, (
+            f"2-hop collection grows like degree^{slope:.2f}; "
+            "density scaling predicts Theta(rho)"
+        )
+
+    def test_probe_bound_grows_strictly_faster_than_balls(self, complexity_points):
+        degrees = [p.mean_degree for p in complexity_points]
+        balls = [p.mean_balls_tested for p in complexity_points]
+        bound = [p.mean_probe_bound for p in complexity_points]
+        assert _loglog_slope(degrees, bound) > _loglog_slope(degrees, balls) + 0.4
+
+    def test_early_exit_saves_the_linear_factor(self, complexity_points):
+        """Realized (early-exit) probes track the ball count, not the bound."""
+        degrees = [p.mean_degree for p in complexity_points]
+        checked = [p.mean_points_checked for p in complexity_points]
+        slope = _loglog_slope(degrees, checked)
+        assert 1.5 < slope < 2.6
+        # And the realized cost sits strictly below the exhaustive bound.
+        for p in complexity_points:
+            assert p.mean_points_checked < p.mean_probe_bound
+
+    def test_counters_monotone_in_density(self, complexity_points):
+        for attr in ("mean_balls_tested", "mean_points_checked", "mean_probe_bound"):
+            values = np.array([getattr(p, attr) for p in complexity_points])
+            assert (np.diff(values) > 0).all(), f"{attr} not monotone in density"

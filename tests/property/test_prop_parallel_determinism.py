@@ -1,0 +1,88 @@
+"""Determinism properties of the process-parallel UBF shard driver.
+
+Two properties pin the parallel path to the sequential semantics:
+
+* **Worker-count invariance** -- the serialized detection result must be
+  *byte-identical* for ``workers`` in {1, 2, 4}.  Sharding, worker
+  processes, and the merge must leave no trace in the output.
+* **Node-relabeling invariance** -- permuting node IDs (same geometry,
+  new labels) must permute the detected boundary set and nothing else.
+  UBF is a per-node geometric predicate; its verdict cannot depend on the
+  ID a node happens to carry or the shard it lands in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BoundaryDetector, DetectorConfig
+from repro.core.parallel import run_ubf_parallel, shard_nodes
+from repro.core.ubf import run_ubf
+from repro.io.serialization import save_detection_result
+from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+class TestWorkerCountInvariance:
+    def test_serialized_result_is_byte_identical(self, sphere_network, tmp_path):
+        payloads = {}
+        for workers in WORKER_COUNTS:
+            detector = BoundaryDetector(DetectorConfig(workers=workers))
+            result = detector.detect(sphere_network)
+            path = tmp_path / f"result_w{workers}.json"
+            save_detection_result(result, path)
+            payloads[workers] = path.read_bytes()
+        reference = payloads[WORKER_COUNTS[0]]
+        for workers, payload in payloads.items():
+            assert payload == reference, (
+                f"workers={workers} produced different serialized bytes"
+            )
+
+    def test_outcomes_match_sequential(self, sphere_network):
+        sequential = run_ubf(sphere_network)
+        for workers in WORKER_COUNTS[1:]:
+            parallel = run_ubf_parallel(sphere_network, workers=workers)
+            assert parallel == sequential
+
+    def test_shards_partition_nodes_in_order(self):
+        nodes = list(range(103))
+        for workers in (1, 2, 4, 7):
+            shards = shard_nodes(nodes, workers)
+            assert [n for shard in shards for n in shard] == nodes
+            sizes = [len(s) for s in shards]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestNodeRelabelingInvariance:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_boundary_set_maps_through_permutation(self, sphere_network, workers):
+        graph = sphere_network.graph
+        rng = np.random.default_rng(42)
+        perm = rng.permutation(graph.n_nodes)  # perm[new_id] = old_id
+
+        permuted = Network(
+            graph=NetworkGraph(
+                graph.positions[perm], radio_range=graph.radio_range
+            ),
+            truth_boundary=sphere_network.truth_boundary[perm],
+            scenario=sphere_network.scenario,
+            scale=sphere_network.scale,
+            config=sphere_network.config,
+        )
+
+        detector = BoundaryDetector(DetectorConfig(workers=workers))
+        base = detector.detect(sphere_network)
+        relabeled = detector.detect(permuted)
+
+        # old boundary IDs, mapped into the permuted labeling
+        old_to_new = np.empty(graph.n_nodes, dtype=int)
+        old_to_new[perm] = np.arange(graph.n_nodes)
+        expected_boundary = {int(old_to_new[v]) for v in base.boundary}
+        expected_candidates = {int(old_to_new[v]) for v in base.candidates}
+
+        assert relabeled.boundary == expected_boundary
+        assert relabeled.candidates == expected_candidates
+        assert sorted(map(len, relabeled.groups)) == sorted(map(len, base.groups))

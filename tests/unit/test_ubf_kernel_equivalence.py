@@ -1,0 +1,229 @@
+"""Differential tests: the vectorized UBF kernel against the naive oracle.
+
+The two kernels of :mod:`repro.geometry.ballfit` promise *identical*
+observables -- same boundary verdict, same witness ball, same
+``balls_tested`` / ``points_checked`` counters -- on every input.  These
+tests enforce that contract on:
+
+* deployed networks across the paper's shape library and both ``eps``
+  regimes, in both ``find_first`` modes;
+* randomized synthetic neighborhoods sweeping neighbor counts, radii and
+  chunk sizes;
+* degenerate geometry: exactly collinear and near-collinear neighbor
+  pairs, tangent (circumradius == radius) balls, and under-connected nodes;
+* the candidate enumeration order itself, which the counter equality
+  silently depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DeploymentConfig, generate_network, scenario_by_name
+from repro.core.ubf import ubf_classify_frame
+from repro.geometry.ballfit import (
+    BallFitResult,
+    balls_through_point_pairs,
+    balls_through_three_points,
+    empty_ball_exists,
+)
+from repro.network.localization import true_local_frame
+
+SCENARIOS = ("sphere", "bent_pipe", "two_holes", "underwater")
+
+#: Small but non-trivial deployments -- enough geometry for two-solution,
+#: tangent-adjacent, and no-candidate nodes to all occur.
+DEPLOYS = {
+    "sphere": DeploymentConfig(n_surface=150, n_interior=250, target_degree=18, seed=11),
+    "bent_pipe": DeploymentConfig(n_surface=150, n_interior=200, target_degree=18, seed=12),
+    "two_holes": DeploymentConfig(n_surface=150, n_interior=250, target_degree=18, seed=13),
+    "underwater": DeploymentConfig(n_surface=150, n_interior=250, target_degree=18, seed=14),
+}
+
+EPS_VALUES = (1e-3, 0.2)
+
+
+def assert_results_equal(vec: BallFitResult, naive: BallFitResult) -> None:
+    """Full observable equality between the two kernels' results."""
+    assert vec.is_boundary == naive.is_boundary
+    assert vec.balls_tested == naive.balls_tested
+    assert vec.points_checked == naive.points_checked
+    assert vec.witness_pair == naive.witness_pair
+    if naive.empty_center is None:
+        assert vec.empty_center is None
+    else:
+        np.testing.assert_allclose(vec.empty_center, naive.empty_center, atol=1e-9)
+
+
+@pytest.fixture(scope="module", params=SCENARIOS)
+def scenario_network(request):
+    name = request.param
+    return generate_network(scenario_by_name(name), DEPLOYS[name], scenario=name)
+
+
+class TestNetworkDifferential:
+    """Kernel equality over real deployed local frames."""
+
+    @pytest.mark.parametrize("eps", EPS_VALUES)
+    @pytest.mark.parametrize("find_first", [True, False])
+    def test_kernels_agree_on_network(self, scenario_network, eps, find_first):
+        graph = scenario_network.graph
+        radius = 1.0 + eps
+        # Every 3rd node keeps the sweep exhaustive in spirit but fast.
+        nodes = range(0, graph.n_nodes, 3)
+        for node in nodes:
+            frame = true_local_frame(graph, node)
+            vec = ubf_classify_frame(
+                frame, radius, find_first=find_first, kernel="vectorized"
+            )
+            naive = ubf_classify_frame(
+                frame, radius, find_first=find_first, kernel="naive"
+            )
+            assert_results_equal(vec, naive)
+
+    def test_chunk_size_is_observably_invisible(self, scenario_network):
+        """Any chunking must yield the same observables (incl. early exit)."""
+        graph = scenario_network.graph
+        radius = 1.0 + 0.2
+        frame = true_local_frame(graph, 0)
+        reference = ubf_classify_frame(frame, radius, kernel="naive")
+        for chunk_size in (1, 2, 7, 64, 4096):
+            vec = ubf_classify_frame(
+                frame, radius, kernel="vectorized", chunk_size=chunk_size
+            )
+            assert_results_equal(vec, reference)
+
+
+class TestRandomizedDifferential:
+    """Property-style sweep over synthetic neighborhoods."""
+
+    def test_random_configurations(self):
+        rng = np.random.default_rng(1234)
+        for trial in range(150):
+            m = int(rng.integers(2, 22))
+            origin = rng.normal(size=3)
+            neighbors = origin + rng.normal(scale=0.6, size=(m, 3))
+            extra = int(rng.integers(0, 8))
+            check = np.vstack(
+                [neighbors, origin + rng.normal(scale=1.2, size=(extra, 3))]
+            )
+            radius = float(rng.uniform(0.8, 1.6))
+            chunk_size = int(rng.integers(1, 40))
+            find_first = bool(rng.integers(0, 2))
+            vec = empty_ball_exists(
+                origin,
+                neighbors,
+                radius,
+                check_points=check,
+                find_first=find_first,
+                kernel="vectorized",
+                chunk_size=chunk_size,
+            )
+            naive = empty_ball_exists(
+                origin,
+                neighbors,
+                radius,
+                check_points=check,
+                find_first=find_first,
+                kernel="naive",
+            )
+            assert_results_equal(vec, naive)
+
+
+class TestDegenerateGeometry:
+    """Edge cases where Eq. 1 has 0 or 1 solutions, or no pairs at all."""
+
+    @pytest.mark.parametrize("kernel", ["naive", "vectorized"])
+    def test_fewer_than_two_neighbors_is_conservative_boundary(self, kernel):
+        out = empty_ball_exists(
+            [0.0, 0.0, 0.0], [[0.5, 0.0, 0.0]], 1.0, kernel=kernel
+        )
+        assert out.is_boundary
+        assert out.balls_tested == 0
+        assert out.points_checked == 0
+
+    def test_exactly_collinear_neighbors_yield_no_candidates(self):
+        origin = np.zeros(3)
+        neighbors = np.array([[0.3, 0.0, 0.0], [0.6, 0.0, 0.0], [0.9, 0.0, 0.0]])
+        vec = empty_ball_exists(origin, neighbors, 1.0, kernel="vectorized")
+        naive = empty_ball_exists(origin, neighbors, 1.0, kernel="naive")
+        assert_results_equal(vec, naive)
+        # All triples are collinear: zero candidate balls, conservative True.
+        assert vec.is_boundary and vec.balls_tested == 0
+
+    @pytest.mark.parametrize("jitter", [1e-12, 1e-9, 1e-6, 1e-4])
+    def test_near_collinear_pairs(self, jitter):
+        """Both kernels must cross the degeneracy threshold identically."""
+        origin = np.zeros(3)
+        neighbors = np.array(
+            [
+                [0.4, 0.0, 0.0],
+                [0.8, jitter, 0.0],
+                [0.2, 0.3, 0.1],
+            ]
+        )
+        for find_first in (True, False):
+            vec = empty_ball_exists(
+                origin, neighbors, 1.05, find_first=find_first, kernel="vectorized"
+            )
+            naive = empty_ball_exists(
+                origin, neighbors, 1.05, find_first=find_first, kernel="naive"
+            )
+            assert_results_equal(vec, naive)
+
+    def test_tangent_pair_counts_single_candidate(self):
+        """Circumradius == radius: one center, counted once by both kernels."""
+        radius = 1.0
+        # Equilateral-ish triangle inscribed so its circumradius equals r.
+        theta = np.array([0.0, 2.0 * np.pi / 3.0, 4.0 * np.pi / 3.0])
+        ring = np.column_stack(
+            [radius * np.cos(theta), radius * np.sin(theta), np.zeros(3)]
+        )
+        origin, neighbors = ring[0], ring[1:]
+        centers = balls_through_three_points(origin, neighbors[0], neighbors[1], radius)
+        assert len(centers) == 1  # tangent: the circumcenter only
+        vec = empty_ball_exists(
+            origin, neighbors, radius, find_first=False, kernel="vectorized"
+        )
+        naive = empty_ball_exists(
+            origin, neighbors, radius, find_first=False, kernel="naive"
+        )
+        assert_results_equal(vec, naive)
+        assert vec.balls_tested == 1
+
+    def test_circumradius_exceeding_radius_yields_no_ball(self):
+        origin = np.array([0.0, 0.0, 0.0])
+        neighbors = np.array([[3.0, 0.0, 0.0], [0.0, 3.0, 0.0]])
+        vec = empty_ball_exists(origin, neighbors, 1.0, kernel="vectorized")
+        naive = empty_ball_exists(origin, neighbors, 1.0, kernel="naive")
+        assert_results_equal(vec, naive)
+        assert vec.balls_tested == 0 and vec.is_boundary
+
+
+class TestEnumerationOrder:
+    """The batched Eq.-1 solver must enumerate exactly like a per-pair loop."""
+
+    def test_candidate_order_matches_scalar_loop(self):
+        rng = np.random.default_rng(77)
+        for _ in range(50):
+            m = int(rng.integers(2, 15))
+            origin = rng.normal(size=3)
+            pts = origin + rng.normal(scale=0.5, size=(m, 3))
+            radius = float(rng.uniform(0.8, 1.4))
+
+            centers, pairs = balls_through_point_pairs(origin, pts, radius)
+
+            expected_centers, expected_pairs = [], []
+            for j in range(m - 1):
+                for k in range(j + 1, m):
+                    for c in balls_through_three_points(origin, pts[j], pts[k], radius):
+                        expected_centers.append(c)
+                        expected_pairs.append((j, k))
+
+            assert centers.shape[0] == len(expected_centers)
+            assert [tuple(p) for p in pairs] == expected_pairs
+            if expected_centers:
+                np.testing.assert_allclose(
+                    centers, np.asarray(expected_centers), atol=1e-12
+                )
