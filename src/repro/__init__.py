@@ -83,6 +83,14 @@ if TYPE_CHECKING:  # eager imports for type checkers only
         two_hole_scenario,
         underwater_scenario,
     )
+    from repro.observability import (
+        NULL_TRACER,
+        MetricsRegistry,
+        Tracer,
+        load_trace,
+        validate_trace_lines,
+        write_trace,
+    )
     from repro.surface import SurfaceBuilder, SurfaceConfig, TriangularMesh
 
 __version__ = "1.0.0"
@@ -152,6 +160,14 @@ _EXPORT_MODULES = {
         "SurfaceBuilder",
         "SurfaceConfig",
         "TriangularMesh",
+    ),
+    "repro.observability": (
+        "MetricsRegistry",
+        "NULL_TRACER",
+        "Tracer",
+        "load_trace",
+        "validate_trace_lines",
+        "write_trace",
     ),
 }
 

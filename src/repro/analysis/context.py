@@ -28,7 +28,11 @@ from repro.analysis.suppressions import collect_suppressions
 #: The consumer layers -- applications, evaluation, io, events -- sit side
 #: by side above with no lateral edges, so any of them can be deleted
 #: without touching the others.  ``cli`` and the lint subsystem are topmost.
+#: ``observability`` (stdlib-only tracing/metrics) ranks *below* the whole
+#: spine: every layer may emit spans and metrics, so the one legal position
+#: for the subsystem is underneath ``geometry``, importing nothing.
 LAYER_RANKS: Dict[str, int] = {
+    "observability": -1,
     "geometry": 0,
     "shapes": 1,
     "network": 2,

@@ -9,6 +9,7 @@ Subcommands::
     repro-boundary sweep     --scenario sphere --levels 0,0.2,0.4
     repro-boundary robustness --scenario sphere --loss 0,0.1,0.3
     repro-boundary bench     --stages ubf,iff --check-regression
+    repro-boundary trace     result.trace.jsonl
 
 ``generate`` writes a network JSON; ``detect`` runs the UBF+IFF pipeline
 on it (``--workers N`` shards UBF across processes); ``surface`` builds and
@@ -20,6 +21,12 @@ prints the degradation table (see docs/ROBUSTNESS.md); ``bench`` times the
 pipeline stages on pinned scenarios, writes ``BENCH_<stage>.json``
 artifacts, and optionally gates against the committed baseline (see
 docs/PERFORMANCE.md).
+
+``detect``, ``robustness``, and ``bench`` accept ``--trace PATH`` to
+record a structured JSONL execution trace (nested stage spans with wall
+times and counters; see docs/OBSERVABILITY.md); ``trace`` validates such
+a file against the trace schema (``--validate``) or pretty-prints it as
+an ASCII span tree.
 """
 
 from __future__ import annotations
@@ -50,8 +57,31 @@ from repro.io.serialization import (
 from repro.network.generator import DeploymentConfig, generate_network
 from repro.network.measurement import NoError, UniformAbsoluteError
 from repro.network.stats import compute_network_stats
+from repro.observability.export import write_trace
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.shapes.library import SCENARIOS, scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL execution trace here "
+        "(see docs/OBSERVABILITY.md)",
+    )
+
+
+def _tracer_from_args(args) -> "Tracer":
+    """A live tracer when ``--trace`` was given, else the no-op singleton."""
+    return Tracer() if getattr(args, "trace", None) else NULL_TRACER
+
+
+def _write_trace_if_requested(args, tracer) -> None:
+    if tracer.enabled and getattr(args, "trace", None):
+        write_trace(tracer.roots, args.trace)
+        print(f"wrote {args.trace}")
 
 
 def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
@@ -95,16 +125,36 @@ def cmd_generate(args) -> int:
 
 
 def cmd_detect(args) -> int:
-    """Run boundary detection on a saved network."""
+    """Run boundary detection on a saved network.
+
+    With ``--trace``, the surface stage is additionally run (meshes
+    discarded) so the trace covers every per-group construction attempt,
+    not just detection.
+    """
     network = load_network(args.network)
     detector = BoundaryDetector(_detector_from_args(args))
-    result = detector.detect(network, rng=np.random.default_rng(args.seed))
+    tracer = _tracer_from_args(args)
+    with tracer.span(
+        "cli.detect",
+        network=args.network,
+        seed=args.seed,
+        workers=args.workers,
+        kernel=args.kernel,
+    ):
+        result = detector.detect(
+            network, rng=np.random.default_rng(args.seed), tracer=tracer
+        )
+        if tracer.enabled:
+            SurfaceBuilder(SurfaceConfig(), tracer=tracer).build_records(
+                network.graph, result.groups
+            )
     stats = evaluate_detection(network, result)
     print(stats.as_row())
     print(f"groups: {[len(g) for g in result.groups]}")
     if args.out:
         save_detection_result(result, args.out)
         print(f"wrote {args.out}")
+    _write_trace_if_requested(args, tracer)
     return 0
 
 
@@ -167,17 +217,23 @@ def cmd_bench(args) -> int:
     )
 
     stages = [s for s in args.stages.split(",") if s] if args.stages else list(STAGES)
-    results = run_bench(
-        stages,
-        scenario_id=args.scenario_id,
-        repeat=args.repeat,
-        time_naive=not args.skip_naive,
-    )
+    tracer = _tracer_from_args(args)
+    with tracer.span(
+        "cli.bench", scenario_id=args.scenario_id, repeat=args.repeat
+    ):
+        results = run_bench(
+            stages,
+            scenario_id=args.scenario_id,
+            repeat=args.repeat,
+            time_naive=not args.skip_naive,
+            tracer=tracer,
+        )
     print(render_bench_table(results))
     if args.out_dir:
         paths = write_artifacts(results, args.out_dir)
         for path in paths:
             print(f"wrote {path}")
+    _write_trace_if_requested(args, tracer)
     if args.check_regression:
         issues = check_regression(
             results,
@@ -239,6 +295,7 @@ def cmd_robustness(args) -> int:
     loss_rates = [float(x) for x in args.loss.split(",")]
     crash_fractions = [float(x) for x in args.crash.split(",")]
     detector_config = _detector_from_args(args)
+    tracer = _tracer_from_args(args)
     common = dict(
         deployment=_deployment_from_args(args),
         loss_rates=loss_rates,
@@ -246,29 +303,59 @@ def cmd_robustness(args) -> int:
         detector_config=detector_config,
         seed=args.seed,
         max_rounds=args.max_rounds,
+        tracer=tracer,
     )
     sections = []
-    if args.mode in ("raw", "both"):
-        points = run_scenario_robustness(args.scenario, **common)
-        sections.append(
-            "[robustness] raw protocols (no reliability layer)\n"
-            + render_robustness_table(points)
-        )
-    if args.mode in ("reliable", "both"):
-        policy = RetryPolicy(max_retries=args.max_retries, rto=args.rto)
-        points = run_scenario_robustness(
-            args.scenario, retry_policy=policy, **common
-        )
-        sections.append(
-            f"[robustness] reliable wrapper (max_retries={policy.max_retries}, "
-            f"rto={policy.rto})\n" + render_robustness_table(points)
-        )
+    with tracer.span(
+        "cli.robustness", scenario=args.scenario, mode=args.mode, seed=args.seed
+    ):
+        if args.mode in ("raw", "both"):
+            points = run_scenario_robustness(args.scenario, **common)
+            sections.append(
+                "[robustness] raw protocols (no reliability layer)\n"
+                + render_robustness_table(points)
+            )
+        if args.mode in ("reliable", "both"):
+            policy = RetryPolicy(max_retries=args.max_retries, rto=args.rto)
+            points = run_scenario_robustness(
+                args.scenario, retry_policy=policy, **common
+            )
+            sections.append(
+                f"[robustness] reliable wrapper (max_retries={policy.max_retries}, "
+                f"rto={policy.rto})\n" + render_robustness_table(points)
+            )
     report = "\n\n".join(sections)
     print(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
         print(f"wrote {args.out}")
+    _write_trace_if_requested(args, tracer)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Validate a JSONL trace file and pretty-print its span tree."""
+    from repro.observability.export import (
+        parse_trace,
+        render_trace_tree,
+        validate_trace_lines,
+    )
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    errors = validate_trace_lines(lines)
+    if errors:
+        print(f"{args.path}: INVALID ({len(errors)} schema errors)")
+        for error in errors[:20]:
+            print(f"  - {error}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return 1
+    if args.validate:
+        print(f"{args.path}: OK ({len(lines) - 1} spans)")
+        return 0
+    print(render_trace_tree(parse_trace(lines)))
     return 0
 
 
@@ -305,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="UBF emptiness-search kernel (naive is the slow oracle)",
     )
     p.add_argument("--out", default=None)
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_detect)
 
     p = sub.add_parser("surface", help="build boundary meshes")
@@ -356,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rto", type=int, default=2)
     p.add_argument("--max-rounds", type=int, default=10_000)
     p.add_argument("--out", default=None, help="also write the tables to a file")
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_robustness)
 
     p = sub.add_parser("analyze", help="report detected holes")
@@ -393,7 +482,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-factor", type=float, default=3.0)
     p.add_argument("--counter-rtol", type=float, default=0.02)
     p.add_argument("--min-speedup", type=float, default=2.0)
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="validate / pretty-print a JSONL execution trace",
+    )
+    p.add_argument("path", help="trace file written by --trace")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check only; exit 1 with the error list when invalid",
+    )
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

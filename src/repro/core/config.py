@@ -126,7 +126,12 @@ class DetectorConfig:
             raise ValueError("workers must be at least 1")
 
     def resolved_localization(self) -> str:
-        """The concrete localization mode ('mds' or 'true')."""
+        """The concrete localization mode UBF will run with.
+
+        Returns ``"mds"``, ``"trilateration"``, or ``"true"`` -- i.e. any
+        accepted ``localization`` value except ``"auto"``, which resolves
+        to ``"true"`` under :class:`NoError` and ``"mds"`` otherwise.
+        """
         if self.localization != "auto":
             return self.localization
         return "true" if isinstance(self.error_model, NoError) else "mds"

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Set
 
 from repro.core.config import IFFConfig
 from repro.network.graph import NetworkGraph
+from repro.observability.tracer import ensure_tracer
 
 
 def iff_fragment_sizes(
@@ -44,6 +45,8 @@ def run_iff(
     graph: NetworkGraph,
     candidates: Iterable[int],
     config: IFFConfig = IFFConfig(),
+    *,
+    tracer=None,
 ) -> Set[int]:
     """Filter UBF candidates, keeping nodes in fragments of size >= theta.
 
@@ -56,13 +59,36 @@ def run_iff(
     config:
         ``theta`` (minimum flood count) and ``ttl`` (flood TTL).  With
         ``enabled=False`` the candidate set passes through unchanged.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; wraps the filter in
+        an ``iff`` span recording the kept/demoted counts and the flood
+        count distribution.
 
     Returns
     -------
     set of node IDs surviving the filter.
     """
+    tracer = ensure_tracer(tracer)
     candidate_set = set(int(c) for c in candidates)
-    if not config.enabled:
-        return candidate_set
-    sizes = iff_fragment_sizes(graph, candidate_set, config.ttl)
-    return {node for node, size in sizes.items() if size >= config.theta}
+    with tracer.span(
+        "iff",
+        theta=config.theta,
+        ttl=config.ttl,
+        enabled=config.enabled,
+        n_candidates=len(candidate_set),
+    ) as span:
+        if not config.enabled:
+            span.set("n_kept", len(candidate_set))
+            span.set("n_demoted", 0)
+            return candidate_set
+        sizes = iff_fragment_sizes(graph, candidate_set, config.ttl)
+        kept = {node for node, size in sizes.items() if size >= config.theta}
+        if tracer.enabled:
+            span.set("n_kept", len(kept))
+            span.set("n_demoted", len(candidate_set) - len(kept))
+            if sizes:
+                counts = sorted(sizes.values())
+                span.set("flood_count_min", counts[0])
+                span.set("flood_count_max", counts[-1])
+                span.set("flood_count_mean", sum(counts) / len(counts))
+    return kept

@@ -18,22 +18,41 @@ result is therefore *identical* -- not just equivalent -- to
 ``run_ubf(network, ...)`` for any worker count, which
 ``tests/property/test_prop_parallel_determinism.py`` pins down to the
 serialized byte level.
+
+Tracing contract
+----------------
+With a :class:`repro.observability.Tracer` attached, the stage emits one
+``ubf`` span with one ``ubf.shard`` child per shard (node range, wall
+time, Theorem-1 work counters).  Shard boundaries come from the *fixed*
+:data:`SHARD_SIZE`, never from the worker count, and each shard is timed
+by a fresh clock from the tracer's ``shard_clock`` factory -- so the span
+forest (and, under a deterministic injected clock, the exported JSONL
+bytes) is identical for any ``workers`` value.  Worker processes return
+their shard spans as plain dicts; the parent grafts them in shard order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import UBFConfig
-from repro.core.ubf import UBFNodeOutcome, run_ubf
+from repro.core.ubf import UBFNodeOutcome, run_ubf, ubf_span_counters
 from repro.network.generator import Network
 from repro.network.measurement import MeasuredDistances
+from repro.observability.tracer import ensure_tracer
 
 #: Below this many nodes the pool start-up cost dwarfs the work; the driver
 #: silently degrades to the in-process path (same results either way).
 MIN_PARALLEL_NODES = 64
+
+#: Nodes per shard.  Fixed (rather than derived from the worker count) so
+#: shard boundaries -- and the ``ubf.shard`` spans they emit -- are a
+#: property of the input alone; workers then pull shards from a common
+#: queue, which also keeps uneven per-node costs balanced.
+SHARD_SIZE = 128
 
 #: Worker-process state installed once per worker by the pool initializer,
 #: so the (potentially large) network is pickled once per worker instead of
@@ -63,26 +82,87 @@ def shard_nodes(node_ids: Sequence[int], workers: int) -> List[List[int]]:
     return shards
 
 
+def shard_nodes_by_size(
+    node_ids: Sequence[int], shard_size: int = SHARD_SIZE
+) -> List[List[int]]:
+    """Partition ``node_ids`` into contiguous slices of ``shard_size``.
+
+    The partition depends only on the input (not on the worker count), so
+    per-shard observables are stable across any process distribution.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be at least 1")
+    ids = [int(n) for n in node_ids]
+    return [ids[i : i + shard_size] for i in range(0, len(ids), shard_size)]
+
+
 def _pool_context():
     """Fork where available (cheap, inherits the network); spawn otherwise."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _init_worker(network, config, measured, localization, find_first) -> None:
+def _shard_clock(factory: Optional[Callable[[], Callable[[], float]]]):
+    """A fresh per-shard clock (wall clock unless a factory is injected)."""
+    return factory() if factory is not None else time.perf_counter
+
+
+def _shard_span_dict(
+    index: int,
+    node_ids: List[int],
+    outcomes: List[UBFNodeOutcome],
+    start: float,
+    end: float,
+) -> Dict[str, Any]:
+    """One ``ubf.shard`` span as a plain dict (picklable, graftable)."""
+    attrs: Dict[str, Any] = {
+        "shard_index": index,
+        "n_nodes": len(node_ids),
+        "node_first": node_ids[0],
+        "node_last": node_ids[-1],
+    }
+    attrs.update(ubf_span_counters(outcomes))
+    return {
+        "name": "ubf.shard",
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+        "events": [],
+        "children": [],
+    }
+
+
+def _init_worker(
+    network, config, measured, localization, find_first, trace, clock_factory
+) -> None:
     _WORKER_STATE["args"] = (network, config, measured, localization, find_first)
+    _WORKER_STATE["trace"] = trace
+    _WORKER_STATE["clock_factory"] = clock_factory
 
 
-def _run_shard(node_ids: List[int]) -> List[UBFNodeOutcome]:
+def _run_shard(
+    shard: Tuple[int, List[int]]
+) -> Tuple[List[UBFNodeOutcome], Optional[Dict[str, Any]]]:
+    index, node_ids = shard
     network, config, measured, localization, find_first = _WORKER_STATE["args"]
-    return run_ubf(
-        network,
-        config,
-        measured=measured,
-        localization=localization,
-        find_first=find_first,
-        nodes=node_ids,
-    )
+
+    def run() -> List[UBFNodeOutcome]:
+        return run_ubf(
+            network,
+            config,
+            measured=measured,
+            localization=localization,
+            find_first=find_first,
+            nodes=node_ids,
+        )
+
+    if not _WORKER_STATE["trace"]:
+        return run(), None
+    clock = _shard_clock(_WORKER_STATE["clock_factory"])
+    start = clock()
+    outcomes = run()
+    end = clock()
+    return outcomes, _shard_span_dict(index, node_ids, outcomes, start, end)
 
 
 def run_ubf_parallel(
@@ -94,20 +174,27 @@ def run_ubf_parallel(
     find_first: bool = True,
     workers: int = 1,
     nodes: Optional[Sequence[int]] = None,
+    tracer=None,
 ) -> List[UBFNodeOutcome]:
     """Phase 1 over the whole network, sharded across worker processes.
 
     Drop-in replacement for :func:`repro.core.ubf.run_ubf` with a
-    ``workers`` knob; see the module docstring for the determinism
-    contract.  ``workers=1`` (and small networks, see
+    ``workers`` knob; see the module docstring for the determinism and
+    tracing contracts.  ``workers=1`` (and small networks, see
     :data:`MIN_PARALLEL_NODES`) run in-process with zero overhead.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    tracer = ensure_tracer(tracer)
     node_ids = (
         list(range(network.graph.n_nodes)) if nodes is None else [int(n) for n in nodes]
     )
-    if workers == 1 or len(node_ids) < MIN_PARALLEL_NODES:
+    shards = shard_nodes_by_size(node_ids)
+    in_process = (
+        workers == 1 or len(node_ids) < MIN_PARALLEL_NODES or len(shards) <= 1
+    )
+    if not tracer.enabled and in_process:
+        # The untraced sequential fast path: one call, no shard bookkeeping.
         return run_ubf(
             network,
             config,
@@ -117,12 +204,65 @@ def run_ubf_parallel(
             nodes=node_ids,
         )
 
-    shards = shard_nodes(node_ids, workers)
-    with ProcessPoolExecutor(
-        max_workers=len(shards),
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(network, config, measured, localization, find_first),
-    ) as pool:
-        shard_outcomes = list(pool.map(_run_shard, shards))
-    return [outcome for shard in shard_outcomes for outcome in shard]
+    with tracer.span(
+        "ubf",
+        n_nodes=len(node_ids),
+        n_shards=len(shards),
+        kernel=config.kernel,
+        localization=localization,
+    ) as span:
+        if in_process:
+            results = [
+                _run_shard_in_process(
+                    index, shard, network, config, measured, localization,
+                    find_first, tracer,
+                )
+                for index, shard in enumerate(shards)
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(
+                    network, config, measured, localization, find_first,
+                    tracer.enabled, tracer.shard_clock if tracer.enabled else None,
+                ),
+            ) as pool:
+                results = list(pool.map(_run_shard, enumerate(shards)))
+        outcomes = [outcome for shard_outcomes, _ in results for outcome in shard_outcomes]
+        if tracer.enabled:
+            tracer.attach([doc for _, doc in results if doc is not None])
+            span.set_many(ubf_span_counters(outcomes))
+    return outcomes
+
+
+def _run_shard_in_process(
+    index: int,
+    node_ids: List[int],
+    network: Network,
+    config: UBFConfig,
+    measured: Optional[MeasuredDistances],
+    localization: str,
+    find_first: bool,
+    tracer,
+) -> Tuple[List[UBFNodeOutcome], Optional[Dict[str, Any]]]:
+    """One shard on the calling process, timed exactly like a worker would."""
+
+    def run() -> List[UBFNodeOutcome]:
+        return run_ubf(
+            network,
+            config,
+            measured=measured,
+            localization=localization,
+            find_first=find_first,
+            nodes=node_ids,
+        )
+
+    if not tracer.enabled:
+        return run(), None
+    clock = _shard_clock(tracer.shard_clock)
+    start = clock()
+    outcomes = run()
+    end = clock()
+    return outcomes, _shard_span_dict(index, node_ids, outcomes, start, end)

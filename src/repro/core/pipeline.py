@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
@@ -18,6 +19,9 @@ from repro.network.measurement import (
     NoError,
     measure_distances,
 )
+from repro.observability.tracer import config_snapshot, ensure_tracer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -35,7 +39,10 @@ class BoundaryDetectionResult:
     ubf_outcomes:
         Per-node UBF observables (ball counts etc.), indexed by node ID.
     localization_used:
-        ``"true"`` or ``"mds"`` -- which coordinate source UBF consumed.
+        ``"true"``, ``"mds"``, or ``"trilateration"`` -- which coordinate
+        source UBF consumed (every concrete mode
+        :meth:`repro.core.config.DetectorConfig.resolved_localization`
+        can return).
     """
 
     candidates: Set[int]
@@ -50,9 +57,26 @@ class BoundaryDetectionResult:
         return len(self.boundary)
 
     def boundary_mask(self, n_nodes: int) -> np.ndarray:
-        """Boolean detection mask over ``n_nodes`` node IDs."""
+        """Boolean detection mask over ``n_nodes`` node IDs.
+
+        Raises
+        ------
+        ValueError
+            When any boundary node ID falls outside ``[0, n_nodes)`` --
+            the usual cause is passing the node count of a *different*
+            network than the one this result was detected on.
+        """
         mask = np.zeros(n_nodes, dtype=bool)
-        mask[sorted(self.boundary)] = True
+        if self.boundary:
+            ids = sorted(self.boundary)
+            if ids[0] < 0 or ids[-1] >= n_nodes:
+                bad = ids[0] if ids[0] < 0 else ids[-1]
+                raise ValueError(
+                    f"boundary node id {bad} is outside [0, {n_nodes}); "
+                    "boundary_mask(n_nodes) must be called with the node "
+                    "count of the network this result was detected on"
+                )
+            mask[ids] = True
         return mask
 
 
@@ -78,6 +102,7 @@ class BoundaryDetector:
         *,
         measured: Optional[MeasuredDistances] = None,
         rng: Optional[np.random.Generator] = None,
+        tracer=None,
     ) -> BoundaryDetectionResult:
         """Run localization, UBF, IFF, and grouping on ``network``.
 
@@ -87,28 +112,74 @@ class BoundaryDetector:
             The deployed network.
         measured:
             Pre-computed one-hop distance measurements.  When omitted and
-            the config's localization resolves to ``"mds"``, measurements
-            are generated with the config's error model and ``rng``.
+            the config's localization resolves to ``"mds"`` or
+            ``"trilateration"``, measurements are generated with the
+            config's error model and ``rng``.  When supplied but the mode
+            resolves to ``"true"``, the measurements are *ignored* (UBF
+            runs on ground-truth coordinates); a warning is logged and a
+            ``measured_ignored`` trace event recorded so the mismatched
+            configuration is visible.
         rng:
             Randomness source for measurement generation (defaults to a
             fresh seed-0 generator for reproducibility).
+        tracer:
+            Optional :class:`repro.observability.Tracer`.  When given, the
+            run emits a ``detect`` root span (config snapshot, RNG seed
+            provenance) with nested ``localization``, ``ubf`` (per-shard),
+            ``iff``, and ``grouping`` stage spans.
         """
+        tracer = ensure_tracer(tracer)
         mode = self.config.resolved_localization()
-        if mode in ("mds", "trilateration") and measured is None:
-            if rng is None:
-                rng = np.random.default_rng(0)
-            measured = measure_distances(network.graph, self.config.error_model, rng)
-
-        outcomes = run_ubf_parallel(
-            network,
-            self.config.ubf,
-            measured=measured,
+        with tracer.span(
+            "detect",
             localization=mode,
-            workers=self.config.workers,
-        )
-        candidates = candidates_from_outcomes(outcomes)
-        boundary = run_iff(network.graph, candidates, self.config.iff)
-        groups = group_boundary_nodes(network.graph, boundary)
+            n_nodes=network.graph.n_nodes,
+            config=config_snapshot(self.config) if tracer.enabled else None,
+            rng="provided" if rng is not None else "default_seed_0",
+        ) as root:
+            if mode == "true" and measured is not None:
+                message = (
+                    "detect() received measured distances but localization "
+                    "resolved to 'true'; the measurements are ignored -- "
+                    "set DetectorConfig(localization='mds') (or "
+                    "'trilateration') to consume them"
+                )
+                logger.warning(message)
+                tracer.event("measured_ignored", reason=message)
+            with tracer.span("localization", mode=mode) as loc_span:
+                generated = False
+                if mode in ("mds", "trilateration") and measured is None:
+                    if rng is None:
+                        rng = np.random.default_rng(0)
+                    measured = measure_distances(
+                        network.graph, self.config.error_model, rng
+                    )
+                    generated = True
+                loc_span.set("measurements_generated", generated)
+
+            outcomes = run_ubf_parallel(
+                network,
+                self.config.ubf,
+                measured=measured,
+                localization=mode,
+                workers=self.config.workers,
+                tracer=tracer,
+            )
+            candidates = candidates_from_outcomes(outcomes)
+            boundary = run_iff(
+                network.graph, candidates, self.config.iff, tracer=tracer
+            )
+            with tracer.span("grouping", n_boundary=len(boundary)) as grp_span:
+                groups = group_boundary_nodes(network.graph, boundary)
+                if tracer.enabled:
+                    grp_span.set("n_groups", len(groups))
+                    grp_span.set(
+                        "group_sizes", [len(g) for g in groups[:32]]
+                    )
+            if tracer.enabled:
+                root.set("n_candidates", len(candidates))
+                root.set("n_boundary", len(boundary))
+                root.set("n_groups", len(groups))
         return BoundaryDetectionResult(
             candidates=candidates,
             boundary=boundary,
@@ -124,6 +195,9 @@ def detect_boundary(
     *,
     measured: Optional[MeasuredDistances] = None,
     rng: Optional[np.random.Generator] = None,
+    tracer=None,
 ) -> BoundaryDetectionResult:
     """Functional one-shot form of :class:`BoundaryDetector`."""
-    return BoundaryDetector(config).detect(network, measured=measured, rng=rng)
+    return BoundaryDetector(config).detect(
+        network, measured=measured, rng=rng, tracer=tracer
+    )

@@ -30,6 +30,7 @@ from repro.network.localization import (
     true_local_frame,
 )
 from repro.network.measurement import MeasuredDistances
+from repro.observability.tracer import ensure_tracer
 
 
 @dataclass
@@ -93,6 +94,7 @@ def run_ubf(
     localization: str = "true",
     find_first: bool = True,
     nodes: Optional[Sequence[int]] = None,
+    tracer=None,
 ) -> List[UBFNodeOutcome]:
     """Phase 1 over the whole network.
 
@@ -118,6 +120,10 @@ def run_ubf(
         Node IDs to test; all nodes when None.  The shard driver in
         :mod:`repro.core.parallel` passes each worker's slice here, which
         is sound because every node's test reads only its own local frame.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; when given, the run
+        is wrapped in a ``ubf.run`` span carrying the Theorem-1 work
+        counters.  The default no-op tracer adds no per-node work.
 
     Returns
     -------
@@ -128,10 +134,36 @@ def run_ubf(
     if localization in ("mds", "trilateration") and measured is None:
         raise ValueError(f"localization={localization!r} requires measured distances")
 
+    tracer = ensure_tracer(tracer)
     graph = network.graph
     radius = config.radius
     hops = config.collection_hops
     node_ids = range(graph.n_nodes) if nodes is None else [int(n) for n in nodes]
+    with tracer.span(
+        "ubf.run", n_nodes=len(node_ids), localization=localization
+    ) as span:
+        outcomes = _run_ubf_nodes(
+            network, config, node_ids,
+            measured=measured, localization=localization, find_first=find_first,
+        )
+        if tracer.enabled:
+            span.set_many(ubf_span_counters(outcomes))
+    return outcomes
+
+
+def _run_ubf_nodes(
+    network: Network,
+    config: UBFConfig,
+    node_ids,
+    *,
+    measured: Optional[MeasuredDistances],
+    localization: str,
+    find_first: bool,
+) -> List[UBFNodeOutcome]:
+    """The untraced per-node classification loop behind :func:`run_ubf`."""
+    graph = network.graph
+    radius = config.radius
+    hops = config.collection_hops
     outcomes: List[UBFNodeOutcome] = []
     for node in node_ids:
         if localization == "mds":
@@ -164,6 +196,20 @@ def run_ubf(
 def candidates_from_outcomes(outcomes: List[UBFNodeOutcome]) -> set:
     """Set of UBF-positive node IDs."""
     return {o.node for o in outcomes if o.is_candidate}
+
+
+def ubf_span_counters(outcomes: List[UBFNodeOutcome]) -> Dict[str, int]:
+    """Deterministic span counters summarizing a batch of UBF outcomes.
+
+    Shared by :func:`run_ubf`'s ``ubf.run`` span and the per-shard spans of
+    :mod:`repro.core.parallel` -- the values depend only on the outcomes,
+    never on sharding or timing.
+    """
+    return {
+        "n_candidates": sum(1 for o in outcomes if o.is_candidate),
+        "balls_tested": sum(o.balls_tested for o in outcomes),
+        "points_checked": sum(o.points_checked for o in outcomes),
+    }
 
 
 def balls_tested_profile(outcomes: List[UBFNodeOutcome]) -> Dict[str, float]:

@@ -49,6 +49,7 @@ from repro.core.iff import run_iff
 from repro.core.ubf import candidates_from_outcomes, ubf_classify_frame
 from repro.network.generator import DeploymentConfig, generate_network
 from repro.network.localization import true_local_frame
+from repro.observability.tracer import ensure_tracer
 from repro.shapes.library import scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
 
@@ -307,8 +308,15 @@ def run_bench(
     scenario_id: str = DEFAULT_SCENARIO,
     repeat: int = 5,
     time_naive: bool = True,
+    tracer=None,
 ) -> Dict[str, dict]:
-    """Run the requested stage benches on one pinned scenario."""
+    """Run the requested stage benches on one pinned scenario.
+
+    ``tracer`` (optional :class:`repro.observability.Tracer`) wraps the
+    run in a ``bench`` span with one ``bench.<stage>`` child per stage,
+    each carrying the stage's median wall time and deterministic counters
+    -- the traced twin of the ``BENCH_<stage>.json`` artifacts.
+    """
     unknown = [s for s in stages if s not in _STAGE_RUNNERS]
     if unknown:
         raise ValueError(f"unknown stages {unknown}; known: {list(_STAGE_RUNNERS)}")
@@ -316,13 +324,26 @@ def run_bench(
         raise ValueError(
             f"unknown scenario {scenario_id!r}; known: {sorted(BENCH_SCENARIOS)}"
         )
-    ctx = build_context(BENCH_SCENARIOS[scenario_id])
-    results: Dict[str, dict] = {}
-    for stage in stages:
-        if stage == "ubf":
-            results[stage] = bench_ubf(ctx, repeat, time_naive=time_naive)
-        else:
-            results[stage] = _STAGE_RUNNERS[stage](ctx, repeat)
+    tracer = ensure_tracer(tracer)
+    with tracer.span("bench", scenario=scenario_id, repeat=repeat) as root:
+        with tracer.span("bench.context") as ctx_span:
+            ctx = build_context(BENCH_SCENARIOS[scenario_id])
+            ctx_span.set("n_nodes", ctx.network.graph.n_nodes)
+        results: Dict[str, dict] = {}
+        for stage in stages:
+            with tracer.span(f"bench.{stage}") as stage_span:
+                if stage == "ubf":
+                    doc = bench_ubf(ctx, repeat, time_naive=time_naive)
+                else:
+                    doc = _STAGE_RUNNERS[stage](ctx, repeat)
+                results[stage] = doc
+                if tracer.enabled:
+                    stage_span.set("median_seconds", doc["median_seconds"])
+                    stage_span.set("counters", doc["counters"])
+                    if "speedup_vs_naive" in doc:
+                        stage_span.set("speedup_vs_naive", doc["speedup_vs_naive"])
+        if tracer.enabled:
+            root.set("stages", list(results))
     return results
 
 

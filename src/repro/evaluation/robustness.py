@@ -26,6 +26,7 @@ from repro.core.config import DetectorConfig
 from repro.core.ubf import candidates_from_outcomes, run_ubf
 from repro.evaluation.reporting import format_table
 from repro.network.generator import DeploymentConfig, Network, generate_network
+from repro.observability.tracer import ensure_tracer
 from repro.runtime.faults import FaultPlan, sample_crashes
 from repro.runtime.protocols import (
     RetryPolicy,
@@ -83,6 +84,7 @@ def run_robustness_sweep(
     retry_policy: Optional[RetryPolicy] = None,
     seed: int = 0,
     max_rounds: int = 10_000,
+    tracer=None,
 ) -> List[RobustnessPoint]:
     """Sweep channel faults over the communication phases of detection.
 
@@ -95,63 +97,101 @@ def run_robustness_sweep(
     then the IFF flood and min-label grouping run over the faulty channel;
     ``retry_policy`` switches the per-hop reliable wrapper on.
 
+    ``tracer`` (optional :class:`repro.observability.Tracer`) wraps the
+    sweep in a ``robustness.sweep`` span with one ``robustness.cell``
+    child per ``(loss, crash)`` cell carrying its fault knobs and the
+    point's detection/overhead observables.
+
     Returns one :class:`RobustnessPoint` per cell, in
     ``crash_fractions x loss_rates`` row-major order.
     """
-    outcomes = run_ubf(network, detector_config.ubf)
-    candidates = candidates_from_outcomes(outcomes)
-    truth = network.truth_boundary_set
-    theta = detector_config.iff.theta
-    ttl = detector_config.iff.ttl
+    tracer = ensure_tracer(tracer)
+    with tracer.span(
+        "robustness.sweep",
+        n_cells=len(crash_fractions) * len(loss_rates),
+        reliable=retry_policy is not None,
+        seed=seed,
+    ) as sweep_span:
+        outcomes = run_ubf(network, detector_config.ubf)
+        candidates = candidates_from_outcomes(outcomes)
+        truth = network.truth_boundary_set
+        theta = detector_config.iff.theta
+        ttl = detector_config.iff.ttl
+        if tracer.enabled:
+            sweep_span.set("n_candidates", len(candidates))
+            sweep_span.set("n_truth", len(truth))
 
-    points: List[RobustnessPoint] = []
-    for cell, (crash_fraction, loss) in enumerate(
-        (c, l) for c in crash_fractions for l in loss_rates
-    ):
-        rng = np.random.default_rng([seed, cell])
-        crashes = sample_crashes(candidates, crash_fraction, rng)
-        plan = FaultPlan(loss_rate=loss, crashes=crashes)
-        survivors, iff_result = run_iff_distributed(
-            network.graph,
-            candidates,
-            theta,
-            ttl,
-            fault_plan=plan,
-            retry_policy=retry_policy,
-            rng=rng,
-            max_rounds=max_rounds,
-        )
-        labels, grp_result = run_grouping_distributed(
-            network.graph,
-            survivors,
-            fault_plan=plan,
-            retry_policy=retry_policy,
-            rng=rng,
-            max_rounds=max_rounds,
-        )
-        precision, recall, f1 = precision_recall_f1(survivors, truth)
-        retry = reliable_stats(iff_result)
-        retry_grp = reliable_stats(grp_result)
-        points.append(
-            RobustnessPoint(
+        points: List[RobustnessPoint] = []
+        for cell, (crash_fraction, loss) in enumerate(
+            (c, l) for c in crash_fractions for l in loss_rates
+        ):
+            with tracer.span(
+                "robustness.cell",
                 loss_rate=loss,
                 crash_fraction=crash_fraction,
                 reliable=retry_policy is not None,
-                precision=precision,
-                recall=recall,
-                f1=f1,
-                n_found=len(survivors),
-                n_truth=len(truth),
-                n_groups=len(set(labels.values())),
-                messages_sent=iff_result.messages_sent + grp_result.messages_sent,
-                messages_dropped=iff_result.messages_dropped
-                + grp_result.messages_dropped,
-                retransmissions=retry.retransmissions + retry_grp.retransmissions,
-                gave_up=retry.gave_up + retry_grp.gave_up,
-                rounds=iff_result.rounds + grp_result.rounds,
-                quiesced=iff_result.quiesced and grp_result.quiesced,
-            )
-        )
+            ) as cell_span:
+                rng = np.random.default_rng([seed, cell])
+                crashes = sample_crashes(candidates, crash_fraction, rng)
+                plan = FaultPlan(loss_rate=loss, crashes=crashes)
+                survivors, iff_result = run_iff_distributed(
+                    network.graph,
+                    candidates,
+                    theta,
+                    ttl,
+                    fault_plan=plan,
+                    retry_policy=retry_policy,
+                    rng=rng,
+                    max_rounds=max_rounds,
+                )
+                labels, grp_result = run_grouping_distributed(
+                    network.graph,
+                    survivors,
+                    fault_plan=plan,
+                    retry_policy=retry_policy,
+                    rng=rng,
+                    max_rounds=max_rounds,
+                )
+                precision, recall, f1 = precision_recall_f1(survivors, truth)
+                retry = reliable_stats(iff_result)
+                retry_grp = reliable_stats(grp_result)
+                point = RobustnessPoint(
+                    loss_rate=loss,
+                    crash_fraction=crash_fraction,
+                    reliable=retry_policy is not None,
+                    precision=precision,
+                    recall=recall,
+                    f1=f1,
+                    n_found=len(survivors),
+                    n_truth=len(truth),
+                    n_groups=len(set(labels.values())),
+                    messages_sent=iff_result.messages_sent
+                    + grp_result.messages_sent,
+                    messages_dropped=iff_result.messages_dropped
+                    + grp_result.messages_dropped,
+                    retransmissions=retry.retransmissions
+                    + retry_grp.retransmissions,
+                    gave_up=retry.gave_up + retry_grp.gave_up,
+                    rounds=iff_result.rounds + grp_result.rounds,
+                    quiesced=iff_result.quiesced and grp_result.quiesced,
+                )
+                points.append(point)
+                if tracer.enabled:
+                    cell_span.set_many(
+                        {
+                            "precision": point.precision,
+                            "recall": point.recall,
+                            "f1": point.f1,
+                            "n_found": point.n_found,
+                            "n_groups": point.n_groups,
+                            "messages_sent": point.messages_sent,
+                            "messages_dropped": point.messages_dropped,
+                            "retransmissions": point.retransmissions,
+                            "gave_up": point.gave_up,
+                            "rounds": point.rounds,
+                            "quiesced": point.quiesced,
+                        }
+                    )
     return points
 
 
@@ -165,6 +205,7 @@ def run_scenario_robustness(
     retry_policy: Optional[RetryPolicy] = None,
     seed: int = 0,
     max_rounds: int = 10_000,
+    tracer=None,
 ) -> List[RobustnessPoint]:
     """Generate one scenario network and run the robustness sweep on it."""
     network = generate_network(
@@ -178,6 +219,7 @@ def run_scenario_robustness(
         retry_policy=retry_policy,
         seed=seed,
         max_rounds=max_rounds,
+        tracer=tracer,
     )
 
 

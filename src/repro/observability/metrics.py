@@ -1,0 +1,197 @@
+"""Named counters, gauges, and histograms for pipeline observables.
+
+The detection and surface pipelines already *compute* most of their
+interesting observables -- ``UBFNodeOutcome`` carries Theorem-1 work
+counters, ``SimulationResult`` counts rounds/messages/timers, and
+``SurfaceBuildRecord`` keeps the per-step mesh artifacts -- but each keeps
+them in its own ad-hoc shape.  A :class:`MetricsRegistry` gives them one
+queryable home with a deterministic, JSON-ready snapshot.
+
+The ``record_*`` absorbers are deliberately duck-typed: this package sits
+below every pipeline layer in the import DAG, so it reads the result
+objects through their attributes instead of importing their classes
+(which would be an upward edge under LAY002).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count (work done, items seen)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (sizes, fractions, settings)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Distribution of observed values with a summary snapshot.
+
+    Values are kept (the pipeline's cardinalities are small -- nodes,
+    groups, shards), so the summary can report exact order statistics via
+    the nearest-rank rule without any numeric dependency.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[Number] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(value)
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        self.values.extend(values)
+
+    @staticmethod
+    def _nearest_rank(ordered: List[Number], q: float) -> Number:
+        index = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, Number]:
+        """count/sum/min/max/mean/p50/p95 of everything observed so far."""
+        if not self.values:
+            return {"count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0.0,
+                    "p50": 0, "p95": 0}
+        ordered = sorted(self.values)
+        total = sum(ordered)
+        return {
+            "count": len(ordered),
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": self._nearest_rank(ordered, 0.50),
+            "p95": self._nearest_rank(ordered, 0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics in one flat namespace.
+
+    Asking for an existing name with a different metric kind is an error:
+    a silent type swap would corrupt whatever the first writer recorded.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic (name-sorted) JSON-ready snapshot of every metric."""
+        snapshot: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                snapshot["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                snapshot["gauges"][name] = metric.value
+            else:
+                snapshot["histograms"][name] = metric.summary()
+        return snapshot
+
+
+def record_ubf_outcomes(registry: MetricsRegistry, outcomes: Iterable[Any]) -> None:
+    """Absorb ``UBFNodeOutcome``-shaped records (duck-typed) into metrics.
+
+    Expects objects with ``is_candidate``, ``balls_tested``,
+    ``points_checked``, and ``neighborhood_size`` attributes.
+    """
+    candidates = registry.counter("ubf.candidates")
+    balls = registry.counter("ubf.balls_tested")
+    checks = registry.counter("ubf.points_checked")
+    nodes = registry.counter("ubf.nodes_tested")
+    degree = registry.histogram("ubf.neighborhood_size")
+    for outcome in outcomes:
+        nodes.inc()
+        if outcome.is_candidate:
+            candidates.inc()
+        balls.inc(outcome.balls_tested)
+        checks.inc(outcome.points_checked)
+        degree.observe(outcome.neighborhood_size)
+
+
+def record_simulation(registry: MetricsRegistry, result: Any, prefix: str = "sim") -> None:
+    """Absorb a ``SimulationResult``-shaped record (duck-typed) into metrics.
+
+    Expects ``rounds``, ``messages_sent``, ``messages_dropped``,
+    ``messages_duplicated``, ``timers_fired``, and ``quiesced`` attributes.
+    """
+    registry.counter(f"{prefix}.runs").inc()
+    registry.counter(f"{prefix}.messages_sent").inc(result.messages_sent)
+    registry.counter(f"{prefix}.messages_dropped").inc(result.messages_dropped)
+    registry.counter(f"{prefix}.messages_duplicated").inc(result.messages_duplicated)
+    registry.counter(f"{prefix}.timers_fired").inc(result.timers_fired)
+    if not result.quiesced:
+        registry.counter(f"{prefix}.non_quiescent_runs").inc()
+    registry.histogram(f"{prefix}.rounds").observe(result.rounds)
+
+
+def record_surface_build(registry: MetricsRegistry, record: Any) -> None:
+    """Absorb a ``SurfaceBuildRecord``-shaped object (duck-typed) into metrics.
+
+    Expects ``landmarks``, ``cdg_edges``, ``cdm_edges``, ``cdm_rejected``
+    and a ``mesh`` with ``edge_face_counts()``.
+    """
+    registry.counter("surface.meshes_built").inc()
+    registry.histogram("surface.landmarks").observe(len(record.landmarks))
+    registry.counter("surface.cdg_edges").inc(len(record.cdg_edges))
+    registry.counter("surface.cdm_edges").inc(len(record.cdm_edges))
+    registry.counter("surface.cdm_rejected").inc(len(record.cdm_rejected))
+    counts = record.mesh.edge_face_counts()
+    if counts:
+        two_faced = sum(1 for c in counts.values() if c == 2) / len(counts)
+        registry.histogram("surface.two_faced_fraction").observe(two_faced)

@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.network.graph import NetworkGraph
+from repro.observability.tracer import ensure_tracer
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.message import Message
 
@@ -193,8 +194,39 @@ class Simulator:
         else:
             self._participants = set(int(p) for p in participants)
 
-    def run(self, protocol: Protocol, *, max_rounds: int = 10_000) -> SimulationResult:
-        """Execute ``protocol`` to quiescence (or the round cap)."""
+    def run(
+        self,
+        protocol: Protocol,
+        *,
+        max_rounds: int = 10_000,
+        tracer=None,
+    ) -> SimulationResult:
+        """Execute ``protocol`` to quiescence (or the round cap).
+
+        ``tracer`` (optional :class:`repro.observability.Tracer`) wraps the
+        run in a ``simulator.run`` span recording the protocol name,
+        participant count, and the round/message/timer counters of the
+        returned :class:`SimulationResult`.
+        """
+        tracer = ensure_tracer(tracer)
+        with tracer.span(
+            "simulator.run",
+            protocol=type(protocol).__name__,
+            n_participants=len(self._participants),
+            max_rounds=max_rounds,
+            faulty=self.fault_plan is not None and not self.fault_plan.is_ideal,
+        ) as span:
+            result = self._run(protocol, max_rounds=max_rounds)
+            if tracer.enabled:
+                span.set("rounds", result.rounds)
+                span.set("messages_sent", result.messages_sent)
+                span.set("messages_dropped", result.messages_dropped)
+                span.set("messages_duplicated", result.messages_duplicated)
+                span.set("timers_fired", result.timers_fired)
+                span.set("quiesced", result.quiesced)
+        return result
+
+    def _run(self, protocol: Protocol, *, max_rounds: int) -> SimulationResult:
         outbox: List[Message] = []
         contexts: Dict[int, NodeContext] = {}
         timers: List[Tuple[int, int, int]] = []

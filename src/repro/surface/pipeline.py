@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.network.graph import NetworkGraph
+from repro.observability.tracer import ensure_tracer
 from repro.surface.cdg import build_cdg
 from repro.surface.cdm import build_cdm
 from repro.surface.edgeflip import edge_flip
@@ -85,7 +86,9 @@ class SurfaceBuildRecord:
 
     Keeping the intermediates allows the benches to report exactly what the
     paper's Figs. 1(c)-1(f) show: landmarks, CDG (with crossing edges),
-    CDM, and the final triangular mesh.
+    CDM, and the final triangular mesh.  ``effective_k`` is the landmark
+    spacing the mesh was actually built at -- after any ``adaptive_k``
+    decay from the requested spacing.
     """
 
     mesh: TriangularMesh
@@ -94,13 +97,22 @@ class SurfaceBuildRecord:
     cdg_edges: set
     cdm_edges: set
     cdm_rejected: set
+    effective_k: int = 0
 
 
 class SurfaceBuilder:
-    """Builds one triangular mesh per boundary group."""
+    """Builds one triangular mesh per boundary group.
 
-    def __init__(self, config: SurfaceConfig = SurfaceConfig()):
+    Pass a :class:`repro.observability.Tracer` to record one
+    ``surface.group`` span per group with one ``surface.attempt`` child
+    per spacing tried, each stating the requested and effective (post
+    ``adaptive_k`` decay) spacing and why it was built, skipped, or
+    rejected.
+    """
+
+    def __init__(self, config: SurfaceConfig = SurfaceConfig(), tracer=None):
         self.config = config
+        self._tracer = ensure_tracer(tracer)
 
     @staticmethod
     def _two_faced_fraction(record: "SurfaceBuildRecord") -> float:
@@ -117,78 +129,154 @@ class SurfaceBuilder:
         Returns None when the group is too small to carry a closed surface
         (fewer than ``min_landmarks`` landmarks elected).  With
         ``quality_retry`` enabled, coarser spacings are also attempted when
-        the first mesh does not close, and the best mesh wins.
+        the first mesh does not close, and the best mesh wins.  Each
+        *effective* spacing is constructed at most once per group: a retry
+        at ``k+1`` whose ``adaptive_k`` decay lands back on an
+        already-built spacing is skipped instead of silently rebuilding
+        the identical mesh.
         """
-        best = self._build_at_k(graph, group, self.config.k)
-        if not self.config.quality_retry:
-            return best
-        best_score = self._two_faced_fraction(best) if best else 0.0
-        k = self.config.k
-        while best_score < 1.0 and k < self.config.k + 2:
-            k += 1
-            candidate = self._build_at_k(graph, group, k)
-            if candidate is None:
-                continue
-            score = self._two_faced_fraction(candidate)
-            if score > best_score or best is None:
-                best, best_score = candidate, score
+        tracer = self._tracer
+        group = sorted(int(g) for g in group)
+        with tracer.span(
+            "surface.group", n_nodes=len(group), requested_k=self.config.k
+        ) as gspan:
+            tried: Set[int] = set()
+            election_cache: Dict[int, List[int]] = {}
+            best = self._build_at_k(
+                graph, group, self.config.k,
+                tried=tried, election_cache=election_cache,
+            )
+            if self.config.quality_retry:
+                best_score = self._two_faced_fraction(best) if best else 0.0
+                k = self.config.k
+                while best_score < 1.0 and k < self.config.k + 2:
+                    k += 1
+                    candidate = self._build_at_k(
+                        graph, group, k,
+                        tried=tried, election_cache=election_cache,
+                    )
+                    if candidate is None:
+                        continue
+                    score = self._two_faced_fraction(candidate)
+                    if score > best_score or best is None:
+                        tracer.event(
+                            "quality_retry_accepted",
+                            effective_k=candidate.effective_k,
+                            score=score,
+                            previous_score=best_score,
+                        )
+                        best, best_score = candidate, score
+                    else:
+                        tracer.event(
+                            "quality_retry_rejected",
+                            effective_k=candidate.effective_k,
+                            score=score,
+                            best_score=best_score,
+                        )
+            if tracer.enabled:
+                gspan.set("built", best is not None)
+                if best is not None:
+                    gspan.set("chosen_k", best.effective_k)
+                    gspan.set("two_faced_fraction", self._two_faced_fraction(best))
         return best
 
     def _build_at_k(
-        self, graph: NetworkGraph, group: Iterable[int], k: int
+        self,
+        graph: NetworkGraph,
+        group: Iterable[int],
+        k: int,
+        *,
+        tried: Optional[Set[int]] = None,
+        election_cache: Optional[Dict[int, List[int]]] = None,
     ) -> Optional[SurfaceBuildRecord]:
-        """One full construction attempt at landmark spacing ``k``."""
+        """One full construction attempt at landmark spacing ``k``.
+
+        ``tried`` collects the effective spacings already *constructed*
+        for this group; when the ``adaptive_k`` decay lands on one of
+        them, the attempt is skipped (the mesh would be identical).
+        ``election_cache`` memoizes ``elect_landmarks`` per spacing so the
+        decay walk never re-elects a spacing it has already seen.
+        """
         group = sorted(int(g) for g in group)
-        landmarks = elect_landmarks(graph, group, k)
-        while (
-            self.config.adaptive_k
-            and len(landmarks) < self.config.min_landmarks
-            and k > 2
-        ):
-            k -= 1
-            landmarks = elect_landmarks(graph, group, k)
-        if len(landmarks) < self.config.min_landmarks:
-            return None
-        cells = assign_voronoi_cells(graph, group, landmarks)
-        cdg_edges = build_cdg(graph, group, cells)
-        cdm = build_cdm(graph, group, cells, cdg_edges)
-        candidate_radius = (
-            self.config.candidate_radius
-            if self.config.candidate_radius is not None
-            else 2 * k
-        )
-        edges, paths = complete_triangulation(
-            graph,
-            group,
-            landmarks,
-            cdm,
-            candidate_radius=candidate_radius,
-        )
-
-        mesh = TriangularMesh(vertices=landmarks, group=list(group))
-        for u, v in sorted(edges):
-            mesh.add_edge(u, v, path=paths.get((u, v)))
-
-        for _ in range(self.config.finalize_rounds):
-            dirty = False
-            if self.config.apply_edge_flip and mesh.edges_with_face_count(3):
-                edge_flip(mesh, graph)
-                dirty = True
-            if self.config.apply_hole_patching and any(
-                c <= 1 for c in mesh.edge_face_counts().values()
+        with self._tracer.span("surface.attempt", requested_k=k) as span:
+            landmarks = self._elect(graph, group, k, election_cache)
+            while (
+                self.config.adaptive_k
+                and len(landmarks) < self.config.min_landmarks
+                and k > 2
             ):
-                patch_holes(mesh, graph)
-                dirty = True
-            if not dirty:
-                break
-        return SurfaceBuildRecord(
-            mesh=mesh,
-            landmarks=landmarks,
-            cells=cells,
-            cdg_edges=cdg_edges,
-            cdm_edges=set(cdm.edges),
-            cdm_rejected=set(cdm.rejected),
-        )
+                k -= 1
+                landmarks = self._elect(graph, group, k, election_cache)
+            span.set("effective_k", k)
+            span.set("n_landmarks", len(landmarks))
+            if len(landmarks) < self.config.min_landmarks:
+                span.set("outcome", "too_few_landmarks")
+                return None
+            if tried is not None:
+                if k in tried:
+                    span.set("outcome", "duplicate_spacing")
+                    return None
+                tried.add(k)
+            cells = assign_voronoi_cells(graph, group, landmarks)
+            cdg_edges = build_cdg(graph, group, cells)
+            cdm = build_cdm(graph, group, cells, cdg_edges)
+            candidate_radius = (
+                self.config.candidate_radius
+                if self.config.candidate_radius is not None
+                else 2 * k
+            )
+            edges, paths = complete_triangulation(
+                graph,
+                group,
+                landmarks,
+                cdm,
+                candidate_radius=candidate_radius,
+            )
+
+            mesh = TriangularMesh(vertices=landmarks, group=list(group))
+            for u, v in sorted(edges):
+                mesh.add_edge(u, v, path=paths.get((u, v)))
+
+            for _ in range(self.config.finalize_rounds):
+                dirty = False
+                if self.config.apply_edge_flip and mesh.edges_with_face_count(3):
+                    edge_flip(mesh, graph)
+                    dirty = True
+                if self.config.apply_hole_patching and any(
+                    c <= 1 for c in mesh.edge_face_counts().values()
+                ):
+                    patch_holes(mesh, graph)
+                    dirty = True
+                if not dirty:
+                    break
+            if self._tracer.enabled:
+                span.set("outcome", "built")
+                span.set("n_cdg_edges", len(cdg_edges))
+                span.set("n_cdm_edges", len(cdm.edges))
+                span.set("n_mesh_edges", len(mesh.edges))
+            return SurfaceBuildRecord(
+                mesh=mesh,
+                landmarks=landmarks,
+                cells=cells,
+                cdg_edges=cdg_edges,
+                cdm_edges=set(cdm.edges),
+                cdm_rejected=set(cdm.rejected),
+                effective_k=k,
+            )
+
+    @staticmethod
+    def _elect(
+        graph: NetworkGraph,
+        group: List[int],
+        k: int,
+        cache: Optional[Dict[int, List[int]]],
+    ) -> List[int]:
+        """Landmark election memoized per spacing (pure in graph/group/k)."""
+        if cache is None:
+            return elect_landmarks(graph, group, k)
+        if k not in cache:
+            cache[k] = elect_landmarks(graph, group, k)
+        return cache[k]
 
     def build(
         self, graph: NetworkGraph, groups: Iterable[Iterable[int]]

@@ -1,0 +1,62 @@
+"""Worker-count invariance of exported traces.
+
+The parallel UBF driver shards by the fixed :data:`SHARD_SIZE`, times each
+shard with a fresh clock from the tracer's ``shard_clock`` factory, and
+grafts worker-produced span dicts in shard order -- so under a
+deterministic injected clock the exported JSONL trace must be
+*byte-identical* for any worker count.  Process distribution is an
+execution detail; it must leave no trace in the trace.
+"""
+
+from __future__ import annotations
+
+from repro.core.parallel import SHARD_SIZE, run_ubf_parallel, shard_nodes_by_size
+from repro.observability.export import trace_lines, validate_trace_lines
+from repro.observability.tracer import TickClock, Tracer
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _traced_run(network, workers: int):
+    tracer = Tracer(clock=TickClock(), shard_clock=TickClock)
+    outcomes = run_ubf_parallel(network, workers=workers, tracer=tracer)
+    return outcomes, trace_lines(tracer.roots)
+
+
+class TestTraceWorkerCountInvariance:
+    def test_trace_bytes_identical_across_worker_counts(self, sphere_network):
+        assert sphere_network.graph.n_nodes > SHARD_SIZE  # multiple shards
+        reference_outcomes, reference_lines = _traced_run(sphere_network, 1)
+        assert validate_trace_lines(reference_lines) == []
+        for workers in WORKER_COUNTS[1:]:
+            outcomes, lines = _traced_run(sphere_network, workers)
+            assert outcomes == reference_outcomes
+            assert lines == reference_lines, (
+                f"workers={workers} produced a different trace"
+            )
+
+    def test_one_shard_span_per_fixed_size_shard(self, sphere_network):
+        tracer = Tracer(clock=TickClock(), shard_clock=TickClock)
+        run_ubf_parallel(sphere_network, workers=2, tracer=tracer)
+        (ubf_span,) = tracer.roots
+        assert ubf_span.name == "ubf"
+        shards = shard_nodes_by_size(range(sphere_network.graph.n_nodes))
+        shard_spans = [c for c in ubf_span.children if c.name == "ubf.shard"]
+        assert len(shard_spans) == len(shards)
+        for span, shard in zip(shard_spans, shards):
+            assert span.attrs["n_nodes"] == len(shard)
+            assert span.attrs["node_first"] == shard[0]
+            assert span.attrs["node_last"] == shard[-1]
+
+    def test_shard_counters_sum_to_stage_counters(self, sphere_network):
+        tracer = Tracer(clock=TickClock(), shard_clock=TickClock)
+        run_ubf_parallel(sphere_network, workers=4, tracer=tracer)
+        (ubf_span,) = tracer.roots
+        shard_spans = [c for c in ubf_span.children if c.name == "ubf.shard"]
+        for key in ("n_candidates", "balls_tested", "points_checked"):
+            assert ubf_span.attrs[key] == sum(s.attrs[key] for s in shard_spans)
+
+    def test_untraced_parallel_results_unchanged(self, sphere_network):
+        baseline = run_ubf_parallel(sphere_network, workers=1)
+        traced, _ = _traced_run(sphere_network, 2)
+        assert traced == baseline

@@ -44,6 +44,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["robustness", "--mode", "lossy"])
 
+    def test_trace_flag_default_off(self):
+        for argv in (
+            ["detect", "--network", "x.json"],
+            ["robustness"],
+            ["bench"],
+        ):
+            assert build_parser().parse_args(argv).trace is None
+
+    def test_trace_subcommand_args(self):
+        args = build_parser().parse_args(["trace", "t.jsonl", "--validate"])
+        assert args.path == "t.jsonl"
+        assert args.validate is True
+        assert args.func.__name__ == "cmd_trace"
+
 
 class TestEndToEnd:
     def test_generate_detect_surface(self, tmp_path):
@@ -172,6 +186,67 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "Fig. 1(g)" in out
         assert "30%" in out
+
+    def test_detect_trace_roundtrip(self, capsys, tmp_path):
+        from repro.observability.export import load_trace
+
+        net_path = str(tmp_path / "net.json")
+        trace_path = str(tmp_path / "run.trace.jsonl")
+        assert (
+            main(
+                [
+                    "generate",
+                    "--scenario",
+                    "sphere",
+                    "--surface-nodes",
+                    "250",
+                    "--interior-nodes",
+                    "450",
+                    "--degree",
+                    "26",
+                    "--seed",
+                    "4",
+                    "--out",
+                    net_path,
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(["detect", "--network", net_path, "--trace", trace_path]) == 0
+        )
+        assert f"wrote {trace_path}" in capsys.readouterr().out
+
+        roots = load_trace(trace_path)  # raises if schema-invalid
+        (cli_span,) = roots
+        assert cli_span.name == "cli.detect"
+
+        def names(span):
+            yield span.name
+            for child in span.children:
+                yield from names(child)
+
+        seen = set(names(cli_span))
+        for stage in ("detect", "localization", "ubf", "ubf.shard", "iff",
+                      "grouping", "surface.group", "surface.attempt"):
+            assert stage in seen
+
+        capsys.readouterr()
+        assert main(["trace", trace_path, "--validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert main(["trace", trace_path]) == 0
+        tree = capsys.readouterr().out
+        assert tree.lstrip().startswith("cli.detect")
+        assert "ubf.shard" in tree
+
+    def test_trace_subcommand_rejects_invalid_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "trace", "format_version": 99}\n')
+        assert main(["trace", str(bad), "--validate"]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "format_version" in out
 
     def test_robustness_runs_and_writes_report(self, capsys, tmp_path):
         report_path = str(tmp_path / "robustness.txt")

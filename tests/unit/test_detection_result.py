@@ -21,6 +21,24 @@ class TestResultHelpers:
         )
         assert result.n_found == 2
 
+    def test_boundary_mask_rejects_wrong_network_size(self):
+        result = BoundaryDetectionResult(
+            candidates={0, 7}, boundary={0, 7}, groups=[[0, 7]]
+        )
+        with pytest.raises(ValueError, match=r"outside \[0, 4\)"):
+            result.boundary_mask(4)
+
+    def test_boundary_mask_rejects_negative_id(self):
+        result = BoundaryDetectionResult(
+            candidates={-3}, boundary={-3}, groups=[[-3]]
+        )
+        with pytest.raises(ValueError, match="-3"):
+            result.boundary_mask(4)
+
+    def test_boundary_mask_empty_boundary(self):
+        result = BoundaryDetectionResult(candidates=set(), boundary=set(), groups=[])
+        assert result.boundary_mask(3).tolist() == [False, False, False]
+
 
 class TestDetectBoundaryFunction:
     def test_matches_class_api(self, sphere_network):

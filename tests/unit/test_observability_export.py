@@ -1,0 +1,184 @@
+"""Unit tests for JSONL trace export, validation, and parsing."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    parse_trace,
+    render_trace_tree,
+    trace_lines,
+    validate_trace_lines,
+    write_trace,
+)
+from repro.observability.tracer import TickClock, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("detect", n_nodes=10) as root:
+        with tracer.span("ubf") as ubf:
+            with tracer.span("ubf.shard", shard_index=0):
+                pass
+            ubf.set("n_candidates", 4)
+        with tracer.span("iff"):
+            tracer.event("demoted", node=3)
+        root.set("n_boundary", 3)
+    return tracer
+
+
+class TestTraceLines:
+    def test_header_first(self):
+        lines = trace_lines(_sample_tracer().roots)
+        header = json.loads(lines[0])
+        assert header == {"kind": "trace", "format_version": TRACE_FORMAT_VERSION}
+
+    def test_dfs_preorder_ids(self):
+        lines = trace_lines(_sample_tracer().roots)
+        spans = [json.loads(line) for line in lines[1:]]
+        assert [s["name"] for s in spans] == ["detect", "ubf", "ubf.shard", "iff"]
+        assert [s["span_id"] for s in spans] == [1, 2, 3, 4]
+        assert [s["parent_id"] for s in spans] == [None, 1, 2, 1]
+
+    def test_serialization_is_deterministic(self):
+        assert trace_lines(_sample_tracer().roots) == trace_lines(
+            _sample_tracer().roots
+        )
+
+    def test_open_span_exports_zero_duration(self):
+        tracer = Tracer(clock=TickClock())
+        ctx = tracer.span("open")
+        ctx.__enter__()  # never closed
+        (span_line,) = trace_lines(tracer.roots)[1:]
+        doc = json.loads(span_line)
+        assert doc["duration"] == 0.0
+        assert doc["end"] == doc["start"]
+
+
+class TestRoundTrip:
+    def test_lines_parse_back_to_identical_lines(self):
+        lines = trace_lines(_sample_tracer().roots)
+        assert trace_lines(parse_trace(lines)) == lines
+
+    def test_write_then_load(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_trace(tracer.roots, tmp_path / "trace.jsonl")
+        roots = load_trace(path)
+        assert trace_lines(roots) == trace_lines(tracer.roots)
+
+    def test_parse_rejects_unknown_parent(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[2])
+        doc["parent_id"] = 99
+        lines[2] = json.dumps(doc)
+        with pytest.raises(ValueError, match="unknown parent_id"):
+            parse_trace(lines)
+
+
+class TestValidation:
+    def test_valid_trace_has_no_findings(self):
+        assert validate_trace_lines(trace_lines(_sample_tracer().roots)) == []
+
+    def test_empty_input(self):
+        assert validate_trace_lines([]) == ["empty trace: missing header line"]
+
+    def test_invalid_json(self):
+        lines = trace_lines(_sample_tracer().roots)
+        lines[1] = "{not json"
+        assert any("invalid JSON" in e for e in validate_trace_lines(lines))
+
+    def test_bad_header_kind(self):
+        lines = trace_lines(_sample_tracer().roots)
+        lines[0] = json.dumps({"kind": "spans", "format_version": 1})
+        assert any("'kind' must be 'trace'" in e for e in validate_trace_lines(lines))
+
+    def test_unsupported_version(self):
+        lines = trace_lines(_sample_tracer().roots)
+        lines[0] = json.dumps({"kind": "trace", "format_version": 99})
+        assert any("format_version" in e for e in validate_trace_lines(lines))
+
+    def test_missing_key(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[1])
+        del doc["duration"]
+        lines[1] = json.dumps(doc)
+        assert any("missing required key 'duration'" in e
+                   for e in validate_trace_lines(lines))
+
+    def test_wrong_type(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[1])
+        doc["attrs"] = []
+        lines[1] = json.dumps(doc)
+        assert any("wrong type" in e for e in validate_trace_lines(lines))
+
+    def test_bool_is_not_a_number(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[1])
+        doc["start"] = True  # bool is an int subclass; schema rejects it
+        lines[1] = json.dumps(doc)
+        assert any("wrong type" in e for e in validate_trace_lines(lines))
+
+    def test_span_id_out_of_sequence(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[1])
+        doc["span_id"] = 5
+        lines[1] = json.dumps(doc)
+        assert any("out of sequence" in e for e in validate_trace_lines(lines))
+
+    def test_parent_must_precede(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[2])
+        doc["parent_id"] = 4  # refers to a later span
+        lines[2] = json.dumps(doc)
+        assert any("does not refer to an earlier span" in e
+                   for e in validate_trace_lines(lines))
+
+    def test_end_before_start(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[1])
+        doc["start"], doc["end"] = doc["end"], doc["start"]
+        lines[1] = json.dumps(doc)
+        errors = validate_trace_lines(lines)
+        assert any("ends" in e and "before it starts" in e for e in errors)
+
+    def test_duration_mismatch(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[1])
+        doc["duration"] = doc["duration"] + 1.0
+        lines[1] = json.dumps(doc)
+        assert any("duration does not equal" in e
+                   for e in validate_trace_lines(lines))
+
+    def test_event_without_name(self):
+        lines = trace_lines(_sample_tracer().roots)
+        doc = json.loads(lines[4])
+        doc["events"] = [{"node": 3}]
+        lines[4] = json.dumps(doc)
+        assert any("events must be objects with a 'name' key" in e
+                   for e in validate_trace_lines(lines))
+
+    def test_load_trace_raises_on_invalid(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "trace", "format_version": 99}\n')
+        with pytest.raises(ValueError, match="invalid trace file"):
+            load_trace(path)
+
+
+class TestRenderTree:
+    def test_tree_shows_nesting_and_events(self):
+        text = render_trace_tree(_sample_tracer().roots)
+        lines = text.splitlines()
+        assert lines[0].startswith("detect")
+        assert any(line.startswith("  ubf") for line in lines)
+        assert any(line.startswith("    ubf.shard") for line in lines)
+        assert any("! demoted" in line for line in lines)
+        assert "n_nodes=10" in text
+
+    def test_attr_overflow_is_elided(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("busy", a=1, b=2, c=3, d=4, e=5, f=6):
+            pass
+        assert "(+2)" in render_trace_tree(tracer.roots)

@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry and its duck-typed absorbers."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_simulation,
+    record_surface_build,
+    record_ubf_outcomes,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("work")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("work").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("size")
+        assert g.value is None
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        assert Histogram("h").summary()["count"] == 0
+
+    def test_summary_statistics(self):
+        h = Histogram("h")
+        h.observe_many([5, 1, 3, 2, 4])
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["sum"] == 15
+        assert (s["min"], s["max"]) == (1, 5)
+        assert s["mean"] == 3.0
+        assert s["p50"] == 3
+        assert s["p95"] == 5
+
+    def test_single_value(self):
+        h = Histogram("h")
+        h.observe(42)
+        s = h.summary()
+        assert s["p50"] == s["p95"] == s["min"] == s["max"] == 42
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_as_dict_is_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.gauge("a.size").set(9)
+        reg.histogram("m.dist").observe(1)
+        snap = reg.as_dict()
+        assert snap["counters"] == {"z.count": 2}
+        assert snap["gauges"] == {"a.size": 9}
+        assert snap["histograms"]["m.dist"]["count"] == 1
+        json.dumps(snap)  # must serialize without custom encoders
+
+    def test_as_dict_snapshots_are_equal_across_insertion_orders(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        a.counter("y").inc()
+        b.counter("y").inc()
+        b.counter("x").inc()
+        assert a.as_dict() == b.as_dict()
+
+
+class TestAbsorbers:
+    def test_record_ubf_outcomes(self, sphere_network):
+        from repro.core.ubf import run_ubf
+
+        outcomes = run_ubf(sphere_network, nodes=range(50))
+        reg = MetricsRegistry()
+        record_ubf_outcomes(reg, outcomes)
+        snap = reg.as_dict()
+        assert snap["counters"]["ubf.nodes_tested"] == 50
+        assert snap["counters"]["ubf.candidates"] == sum(
+            1 for o in outcomes if o.is_candidate
+        )
+        assert snap["counters"]["ubf.balls_tested"] == sum(
+            o.balls_tested for o in outcomes
+        )
+        assert snap["histograms"]["ubf.neighborhood_size"]["count"] == 50
+
+    def test_record_simulation(self):
+        from repro.runtime.simulator import SimulationResult
+
+        result = SimulationResult(
+            states={}, rounds=7, messages_sent=40, quiesced=False,
+            messages_dropped=3, messages_duplicated=1, timers_fired=2,
+        )
+        reg = MetricsRegistry()
+        record_simulation(reg, result)
+        record_simulation(reg, result)
+        snap = reg.as_dict()
+        assert snap["counters"]["sim.runs"] == 2
+        assert snap["counters"]["sim.messages_sent"] == 80
+        assert snap["counters"]["sim.messages_dropped"] == 6
+        assert snap["counters"]["sim.non_quiescent_runs"] == 2
+        assert snap["histograms"]["sim.rounds"]["p50"] == 7
+
+    def test_record_simulation_prefix(self):
+        from repro.runtime.simulator import SimulationResult
+
+        result = SimulationResult(
+            states={}, rounds=1, messages_sent=2, quiesced=True
+        )
+        reg = MetricsRegistry()
+        record_simulation(reg, result, prefix="iff")
+        assert "iff.messages_sent" in reg
+        assert "sim.messages_sent" not in reg
+
+    def test_record_surface_build(self, sphere_network, sphere_detection):
+        from repro.surface.pipeline import SurfaceBuilder
+
+        record = SurfaceBuilder().build_one(
+            sphere_network.graph, sphere_detection.groups[0]
+        )
+        assert record is not None
+        reg = MetricsRegistry()
+        record_surface_build(reg, record)
+        snap = reg.as_dict()
+        assert snap["counters"]["surface.meshes_built"] == 1
+        assert snap["histograms"]["surface.landmarks"]["min"] >= 4
+        assert snap["counters"]["surface.cdg_edges"] == len(record.cdg_edges)

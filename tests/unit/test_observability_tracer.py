@@ -1,0 +1,186 @@
+"""Unit tests for the span tracer (nesting, no-op default, determinism)."""
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TickClock,
+    Tracer,
+    config_snapshot,
+    ensure_tracer,
+)
+
+
+class TestTickClock:
+    def test_monotone_unit_steps(self):
+        clock = TickClock()
+        assert [clock() for _ in range(4)] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_independent_instances(self):
+        a, b = TickClock(), TickClock()
+        a()
+        a()
+        assert b() == 1.0
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert not tracer.current
+
+    def test_tick_clock_timings_are_deterministic(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        # outer opens at tick 1, inner spans ticks 2-3, outer closes at 4.
+        assert (outer.start, outer.end) == (1.0, 4.0)
+        assert (inner.start, inner.end) == (2.0, 3.0)
+        assert outer.duration == 3.0
+
+    def test_sibling_roots(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_attrs_and_events(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("stage", n=3) as span:
+            span.set("outcome", "ok")
+            span.set_many({"a": 1, "b": 2})
+            tracer.event("milestone", step=1)
+        assert span.attrs == {"n": 3, "outcome": "ok", "a": 1, "b": 2}
+        assert span.events == [{"name": "milestone", "step": 1}]
+
+    def test_event_outside_any_span_is_dropped(self):
+        tracer = Tracer(clock=TickClock())
+        tracer.event("orphan")
+        assert tracer.roots == []
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(clock=TickClock())
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        span = tracer.roots[0]
+        assert span.attrs["error"] == "ValueError"
+        assert span.end is not None
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer(clock=TickClock())
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+
+class TestAttach:
+    def test_attach_grafts_under_open_span(self):
+        tracer = Tracer(clock=TickClock())
+        doc = Span("shard", 1.0)
+        doc.end = 2.0
+        with tracer.span("parent") as parent:
+            tracer.attach([doc.to_dict()])
+        assert [c.name for c in parent.children] == ["shard"]
+
+    def test_attach_without_open_span_adds_roots(self):
+        tracer = Tracer(clock=TickClock())
+        doc = Span("orphan", 1.0)
+        doc.end = 2.0
+        tracer.attach([doc.to_dict()])
+        assert [s.name for s in tracer.roots] == ["orphan"]
+
+    def test_attach_preserves_order(self):
+        tracer = Tracer(clock=TickClock())
+        docs = []
+        for i in range(3):
+            span = Span(f"shard{i}", float(i))
+            span.end = float(i) + 1.0
+            docs.append(span.to_dict())
+        with tracer.span("parent") as parent:
+            tracer.attach(docs)
+        assert [c.name for c in parent.children] == ["shard0", "shard1", "shard2"]
+
+
+class TestSpanDictRoundTrip:
+    def test_to_from_dict(self):
+        span = Span("root", 1.0)
+        span.end = 5.0
+        span.set("k", 1)
+        span.event("e", detail="x")
+        child = Span("child", 2.0)
+        child.end = 3.0
+        span.children.append(child)
+
+        rebuilt = Span.from_dict(span.to_dict())
+        assert rebuilt.to_dict() == span.to_dict()
+
+
+class TestNullTracer:
+    def test_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert ensure_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert ensure_tracer(tracer) is tracer
+
+    def test_span_returns_shared_context(self):
+        a = NULL_TRACER.span("x", big_attr=list(range(100)))
+        b = NULL_TRACER.span("y")
+        assert a is b  # one preallocated no-op context manager
+
+    def test_span_writes_are_inert(self):
+        with NULL_TRACER.span("stage") as span:
+            span.set("k", 1)
+            span.set_many({"a": 2})
+            span.event("e")
+        assert span.attrs == {}
+        assert span.events == []
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.current is None
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("stage"):
+                raise RuntimeError("boom")
+
+    def test_attach_is_noop(self):
+        NullTracer().attach([{"name": "x", "start": 0.0, "end": 1.0}])
+        assert NULL_TRACER.roots == []
+
+
+class TestConfigSnapshot:
+    def test_dataclasses_become_dicts(self):
+        from repro.core.config import DetectorConfig
+
+        snap = config_snapshot(DetectorConfig())
+        assert snap["localization"] == "auto"
+        assert snap["ubf"]["epsilon"] == 1e-3
+        # Non-primitive leaves degrade to repr, never to object graphs.
+        assert isinstance(snap["error_model"], (dict, str))
+
+    def test_primitives_and_containers(self):
+        assert config_snapshot({"a": (1, 2), "b": None}) == {"a": [1, 2], "b": None}
+
+    def test_opaque_objects_become_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert config_snapshot(Opaque()) == "<opaque>"
