@@ -37,7 +37,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.config import DetectorConfig, IFFConfig, UBFConfig
+from repro.core.config import (
+    DetectorConfig,
+    IFFConfig,
+    LocalizationConfig,
+    UBFConfig,
+)
 from repro.core.pipeline import BoundaryDetector
 from repro.evaluation.experiments import run_error_sweep, run_scenario
 from repro.evaluation.metrics import evaluate_detection
@@ -106,7 +111,11 @@ def _detector_from_args(args) -> DetectorConfig:
     return DetectorConfig(
         ubf=UBFConfig(epsilon=args.epsilon, kernel=getattr(args, "kernel", "vectorized")),
         iff=IFFConfig(theta=args.theta, ttl=args.ttl),
+        localization_config=LocalizationConfig(
+            engine=getattr(args, "engine", "batch")
+        ),
         error_model=model,
+        localization=getattr(args, "localization", "auto"),
         workers=getattr(args, "workers", 1),
     )
 
@@ -241,6 +250,7 @@ def cmd_bench(args) -> int:
             time_factor=args.time_factor,
             counter_rtol=args.counter_rtol,
             min_speedup=args.min_speedup,
+            min_engine_speedup=args.min_engine_speedup,
         )
         if issues:
             print("\nPERF REGRESSION:")
@@ -383,13 +393,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for the UBF stage (deterministic for any N)",
+        help="worker processes for the per-node stages (deterministic for any N)",
     )
     p.add_argument(
         "--kernel",
         choices=("naive", "vectorized"),
         default="vectorized",
         help="UBF emptiness-search kernel (naive is the slow oracle)",
+    )
+    p.add_argument(
+        "--localization",
+        choices=("auto", "mds", "trilateration", "true"),
+        default="auto",
+        help="coordinate source for UBF (auto: true under zero error, else mds)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("batch", "pernode"),
+        default="batch",
+        help="MDS frame-construction engine (pernode is the slow oracle)",
     )
     p.add_argument("--out", default=None)
     _add_trace_arg(p)
@@ -459,7 +481,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stages",
         default=None,
-        help="comma-separated subset of ubf,iff,grouping,mesh (default: all)",
+        help="comma-separated subset of localization,ubf,iff,grouping,mesh "
+        "(default: all)",
     )
     p.add_argument("--scenario-id", default="ubf_2k", help="pinned bench scenario")
     p.add_argument("--repeat", type=int, default=5, help="median-of-k repetitions")
@@ -482,6 +505,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-factor", type=float, default=3.0)
     p.add_argument("--counter-rtol", type=float, default=0.02)
     p.add_argument("--min-speedup", type=float, default=2.0)
+    p.add_argument(
+        "--min-engine-speedup",
+        type=float,
+        default=3.0,
+        help="required batch-over-pernode localization speedup",
+    )
     _add_trace_arg(p)
     p.set_defaults(func=cmd_bench)
 

@@ -7,26 +7,40 @@
   flooding demotes candidates sitting in fragments smaller than ``theta``.
 * :mod:`repro.core.grouping` -- connected-component grouping of the
   surviving boundary nodes, one group per network boundary.
-* :mod:`repro.core.parallel` -- process-parallel sharding of the UBF
-  candidacy stage (deterministic merge, byte-identical to sequential).
+* :mod:`repro.core.parallel` -- process-parallel sharding of the per-node
+  stages (frame construction and UBF candidacy; deterministic merge,
+  byte-identical to sequential).
 * :mod:`repro.core.pipeline` -- :class:`BoundaryDetector`, the end-to-end
   localization -> UBF -> IFF -> grouping pipeline.
 """
 
-from repro.core.config import DetectorConfig, IFFConfig, UBFConfig
+from repro.core.config import (
+    DetectorConfig,
+    IFFConfig,
+    LocalizationConfig,
+    UBFConfig,
+)
 from repro.core.grouping import group_boundary_nodes
 from repro.core.iff import iff_fragment_sizes, run_iff
-from repro.core.parallel import run_ubf_parallel, shard_nodes
+from repro.core.parallel import (
+    run_frames_parallel,
+    run_sharded,
+    run_ubf_parallel,
+    shard_nodes,
+)
 from repro.core.pipeline import BoundaryDetectionResult, BoundaryDetector, detect_boundary
 from repro.core.ubf import UBFNodeOutcome, run_ubf, ubf_classify_frame
 
 __all__ = [
     "UBFConfig",
     "IFFConfig",
+    "LocalizationConfig",
     "DetectorConfig",
     "UBFNodeOutcome",
     "run_ubf",
     "run_ubf_parallel",
+    "run_frames_parallel",
+    "run_sharded",
     "shard_nodes",
     "ubf_classify_frame",
     "run_iff",

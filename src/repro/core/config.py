@@ -65,6 +65,29 @@ class UBFConfig:
 
 
 @dataclass(frozen=True)
+class LocalizationConfig:
+    """Step (I) parameters: how local frames are constructed.
+
+    Attributes
+    ----------
+    engine:
+        Frame-construction engine for MDS localization:
+        ``"batch"`` (default) builds every node's collection with one
+        multi-source BFS sweep and embeds equal-size frames as stacked
+        ``(B, m, m)`` MDS batches; ``"pernode"`` is the scalar per-node
+        oracle the batch engine is differentially tested against (exact
+        members and SMACOF step counts, coordinates within the documented
+        float tolerance -- see :mod:`repro.network.localization`).
+    """
+
+    engine: str = "batch"
+
+    def __post_init__(self):
+        if self.engine not in ("batch", "pernode"):
+            raise ValueError("engine must be 'batch' or 'pernode'")
+
+
+@dataclass(frozen=True)
 class IFFConfig:
     """Isolated Fragment Filtering parameters (Sec. II-B).
 
@@ -92,6 +115,10 @@ class DetectorConfig:
     ----------
     ubf, iff:
         Stage parameters.
+    localization_config:
+        Step (I) engine parameters (:class:`LocalizationConfig`); the
+        concrete coordinate *source* is still selected by ``localization``
+        below -- the engine only matters when that resolves to ``"mds"``.
     error_model:
         Ranging error model used when the caller does not supply measured
         distances; :class:`repro.network.measurement.NoError` by default.
@@ -104,15 +131,19 @@ class DetectorConfig:
         ``"true"`` -- nodes know their coordinates, step (I) skipped;
         ``"auto"`` -- ``"true"`` under :class:`NoError`, else ``"mds"``.
     workers:
-        Worker processes for the UBF candidacy stage.  ``1`` (default) runs
-        in-process; larger values shard nodes across a process pool (each
-        node's test touches only its own local frame, so the stage is
-        embarrassingly parallel) and merge deterministically -- results are
-        byte-identical to the sequential path for any worker count.
+        Worker processes for the per-node stages (frame construction and
+        UBF candidacy).  ``1`` (default) runs in-process; larger values
+        shard nodes across a process pool (each node's work touches only
+        its own local frame, so both stages are embarrassingly parallel)
+        and merge deterministically -- results are byte-identical to the
+        sequential path for any worker count.
     """
 
     ubf: UBFConfig = field(default_factory=UBFConfig)
     iff: IFFConfig = field(default_factory=IFFConfig)
+    localization_config: LocalizationConfig = field(
+        default_factory=LocalizationConfig
+    )
     error_model: DistanceErrorModel = field(default_factory=NoError)
     localization: str = "auto"
     workers: int = 1

@@ -1,34 +1,43 @@
-"""Process-parallel sharding of the UBF candidacy stage.
+"""Process-parallel sharding of the per-node pipeline stages.
 
-UBF is embarrassingly parallel by construction: Theorem 1's per-node test
-reads nothing but the node's own local frame (its collection neighborhood
-and the measured distances inside it), so the node set can be partitioned
-arbitrarily across workers without any coordination.  This module does
-exactly that -- it shards node IDs into contiguous slices, runs the
-unmodified :func:`repro.core.ubf.run_ubf` on each slice in a worker
-process, and concatenates the per-shard outcome lists back into node order.
+Both per-node stages of the pipeline are embarrassingly parallel by
+construction: Theorem 1's UBF test reads nothing but the node's own local
+frame, and step (I)'s frame construction reads nothing but the node's own
+``hops``-hop collection and the measured distances inside it.  The node
+set can therefore be partitioned arbitrarily across workers without any
+coordination.  This module provides one generic driver, :func:`run_sharded`,
+that shards node IDs into contiguous fixed-size slices, runs a picklable
+*shard task* on each slice in a worker process, and concatenates the
+per-shard result lists back into node order.  Two tasks use it:
+
+* :func:`run_ubf_parallel` -- the UBF candidacy stage (PR 3);
+* :func:`run_frames_parallel` -- batched local-frame construction, so the
+  pipeline computes every frame once and the UBF stage reuses them.
 
 Determinism contract
 --------------------
 The driver adds no randomness and no order-dependence: each worker computes
-the same per-node outcomes the sequential path would (same kernel, same
-counters), shards are contiguous slices of the requested node order, and
-``ProcessPoolExecutor.map`` returns them in submission order.  The merged
-result is therefore *identical* -- not just equivalent -- to
-``run_ubf(network, ...)`` for any worker count, which
+the same per-node results the sequential path would, shards are contiguous
+slices of the requested node order with boundaries fixed by the task's
+shard size (never by the worker count), and ``ProcessPoolExecutor.map``
+returns them in submission order.  The merged result is therefore
+*identical* -- not just equivalent -- for any worker count, which
 ``tests/property/test_prop_parallel_determinism.py`` pins down to the
-serialized byte level.
+serialized byte level for both tasks.  (For frames this leans on the batch
+engine being slice-independent: a frame's bits do not depend on which other
+frames share its MDS batch, so fixed shard boundaries are sufficient.)
 
 Tracing contract
 ----------------
-With a :class:`repro.observability.Tracer` attached, the stage emits one
-``ubf`` span with one ``ubf.shard`` child per shard (node range, wall
-time, Theorem-1 work counters).  Shard boundaries come from the *fixed*
-:data:`SHARD_SIZE`, never from the worker count, and each shard is timed
-by a fresh clock from the tracer's ``shard_clock`` factory -- so the span
-forest (and, under a deterministic injected clock, the exported JSONL
-bytes) is identical for any ``workers`` value.  Worker processes return
-their shard spans as plain dicts; the parent grafts them in shard order.
+With a :class:`repro.observability.Tracer` attached, each stage emits one
+parent span (``ubf`` / ``localization.frames``) with one child span per
+shard (``ubf.shard`` / ``localization.shard``: node range, wall time, work
+counters).  Shard boundaries come from the task's fixed shard size, and
+each shard is timed by a fresh clock from the tracer's ``shard_clock``
+factory -- so the span forest (and, under a deterministic injected clock,
+the exported JSONL bytes) is identical for any ``workers`` value.  Worker
+processes return their shard spans as plain dicts; the parent grafts them
+in shard order.
 """
 
 from __future__ import annotations
@@ -36,11 +45,19 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import UBFConfig
 from repro.core.ubf import UBFNodeOutcome, run_ubf, ubf_span_counters
 from repro.network.generator import Network
+from repro.network.localization import (
+    DEFAULT_COLLECTION_HOPS,
+    DEFAULT_ENGINE,
+    LocalFrame,
+    build_frames,
+    true_local_frame,
+)
 from repro.network.measurement import MeasuredDistances
 from repro.observability.tracer import ensure_tracer
 
@@ -48,15 +65,20 @@ from repro.observability.tracer import ensure_tracer
 #: silently degrades to the in-process path (same results either way).
 MIN_PARALLEL_NODES = 64
 
-#: Nodes per shard.  Fixed (rather than derived from the worker count) so
-#: shard boundaries -- and the ``ubf.shard`` spans they emit -- are a
+#: Nodes per UBF shard.  Fixed (rather than derived from the worker count)
+#: so shard boundaries -- and the ``ubf.shard`` spans they emit -- are a
 #: property of the input alone; workers then pull shards from a common
 #: queue, which also keeps uneven per-node costs balanced.
 SHARD_SIZE = 128
 
+#: Nodes per localization shard.  Larger than :data:`SHARD_SIZE` because
+#: the batch engine amortizes its numpy call overhead across the frames of
+#: a shard -- too-small shards would starve the size-grouped MDS batches.
+FRAME_SHARD_SIZE = 512
+
 #: Worker-process state installed once per worker by the pool initializer,
-#: so the (potentially large) network is pickled once per worker instead of
-#: once per shard.
+#: so the (potentially large) task payload is pickled once per worker
+#: instead of once per shard.
 _WORKER_STATE: dict = {}
 
 
@@ -96,8 +118,104 @@ def shard_nodes_by_size(
     return [ids[i : i + shard_size] for i in range(0, len(ids), shard_size)]
 
 
+@dataclass(frozen=True)
+class _UBFShardTask:
+    """Picklable UBF stage task for :func:`run_sharded`."""
+
+    network: Network
+    config: UBFConfig
+    measured: Optional[MeasuredDistances]
+    localization: str
+    find_first: bool
+    frames: Optional[Dict[int, LocalFrame]] = None
+
+    span_name = "ubf"
+    shard_span_name = "ubf.shard"
+    shard_size = SHARD_SIZE
+
+    def span_attrs(self, node_ids: List[int]) -> Dict[str, Any]:
+        return {
+            "n_nodes": len(node_ids),
+            "kernel": self.config.kernel,
+            "localization": self.localization,
+        }
+
+    def run(self, node_ids: List[int]) -> List[UBFNodeOutcome]:
+        return run_ubf(
+            self.network,
+            self.config,
+            measured=self.measured,
+            localization=self.localization,
+            find_first=self.find_first,
+            nodes=node_ids,
+            frames=self.frames,
+        )
+
+    def counters(self, results: List[UBFNodeOutcome]) -> Dict[str, Any]:
+        return ubf_span_counters(results)
+
+
+def frame_span_counters(frames: List[LocalFrame]) -> Dict[str, int]:
+    """Deterministic span counters summarizing a batch of local frames.
+
+    Shared by the ``localization.frames`` parent span and the per-shard
+    ``localization.shard`` spans -- the values depend only on the frames,
+    never on sharding or timing.
+    """
+    return {
+        "n_frames": len(frames),
+        "total_members": sum(len(f.members) for f in frames),
+        "total_smacof_iterations": sum(f.smacof_iterations for f in frames),
+    }
+
+
+@dataclass(frozen=True)
+class _FrameShardTask:
+    """Picklable frame-construction task for :func:`run_sharded`."""
+
+    network: Network
+    measured: Optional[MeasuredDistances]
+    mode: str
+    hops: int
+    engine: str
+
+    span_name = "localization.frames"
+    shard_span_name = "localization.shard"
+    shard_size = FRAME_SHARD_SIZE
+
+    def span_attrs(self, node_ids: List[int]) -> Dict[str, Any]:
+        return {
+            "n_nodes": len(node_ids),
+            "mode": self.mode,
+            "engine": self.engine,
+            "hops": self.hops,
+        }
+
+    def run(self, node_ids: List[int]) -> List[LocalFrame]:
+        graph = self.network.graph
+        if self.mode == "mds":
+            return build_frames(
+                graph,
+                self.measured,
+                hops=self.hops,
+                engine=self.engine,
+                nodes=node_ids,
+            )
+        if self.mode == "trilateration":
+            from repro.network.trilateration import trilateration_local_frame
+
+            return [
+                trilateration_local_frame(graph, self.measured, n, hops=self.hops)
+                for n in node_ids
+            ]
+        return [true_local_frame(graph, n, hops=self.hops) for n in node_ids]
+
+    def counters(self, results: List[LocalFrame]) -> Dict[str, Any]:
+        return frame_span_counters(results)
+
+
 def _pool_context():
-    """Fork where available (cheap, inherits the network); spawn otherwise."""
+    """Fork where available (cheap, inherits the payload); spawn otherwise."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
@@ -108,22 +226,23 @@ def _shard_clock(factory: Optional[Callable[[], Callable[[], float]]]):
 
 
 def _shard_span_dict(
+    task,
     index: int,
     node_ids: List[int],
-    outcomes: List[UBFNodeOutcome],
+    results: list,
     start: float,
     end: float,
 ) -> Dict[str, Any]:
-    """One ``ubf.shard`` span as a plain dict (picklable, graftable)."""
+    """One per-shard span as a plain dict (picklable, graftable)."""
     attrs: Dict[str, Any] = {
         "shard_index": index,
         "n_nodes": len(node_ids),
         "node_first": node_ids[0],
         "node_last": node_ids[-1],
     }
-    attrs.update(ubf_span_counters(outcomes))
+    attrs.update(task.counters(results))
     return {
-        "name": "ubf.shard",
+        "name": task.shard_span_name,
         "start": start,
         "end": end,
         "attrs": attrs,
@@ -132,37 +251,92 @@ def _shard_span_dict(
     }
 
 
-def _init_worker(
-    network, config, measured, localization, find_first, trace, clock_factory
-) -> None:
-    _WORKER_STATE["args"] = (network, config, measured, localization, find_first)
+def _init_worker(task, trace, clock_factory) -> None:
+    _WORKER_STATE["task"] = task
     _WORKER_STATE["trace"] = trace
     _WORKER_STATE["clock_factory"] = clock_factory
 
 
 def _run_shard(
     shard: Tuple[int, List[int]]
-) -> Tuple[List[UBFNodeOutcome], Optional[Dict[str, Any]]]:
+) -> Tuple[list, Optional[Dict[str, Any]]]:
     index, node_ids = shard
-    network, config, measured, localization, find_first = _WORKER_STATE["args"]
-
-    def run() -> List[UBFNodeOutcome]:
-        return run_ubf(
-            network,
-            config,
-            measured=measured,
-            localization=localization,
-            find_first=find_first,
-            nodes=node_ids,
-        )
-
+    task = _WORKER_STATE["task"]
     if not _WORKER_STATE["trace"]:
-        return run(), None
+        return task.run(node_ids), None
     clock = _shard_clock(_WORKER_STATE["clock_factory"])
     start = clock()
-    outcomes = run()
+    results = task.run(node_ids)
     end = clock()
-    return outcomes, _shard_span_dict(index, node_ids, outcomes, start, end)
+    return results, _shard_span_dict(task, index, node_ids, results, start, end)
+
+
+def _run_shard_in_process(
+    task, index: int, node_ids: List[int], tracer
+) -> Tuple[list, Optional[Dict[str, Any]]]:
+    """One shard on the calling process, timed exactly like a worker would."""
+    if not tracer.enabled:
+        return task.run(node_ids), None
+    clock = _shard_clock(tracer.shard_clock)
+    start = clock()
+    results = task.run(node_ids)
+    end = clock()
+    return results, _shard_span_dict(task, index, node_ids, results, start, end)
+
+
+def run_sharded(
+    task,
+    node_ids: Sequence[int],
+    *,
+    workers: int = 1,
+    tracer=None,
+) -> list:
+    """Run a per-node shard task over ``node_ids``, optionally in parallel.
+
+    ``task`` is a picklable object providing ``run(node_ids) -> list``,
+    ``counters(results) -> dict``, ``span_attrs(node_ids) -> dict``, and
+    the class attributes ``span_name``, ``shard_span_name``, and
+    ``shard_size`` (see :class:`_UBFShardTask` / :class:`_FrameShardTask`).
+    Results concatenate in ``node_ids`` order; see the module docstring for
+    the determinism and tracing contracts.  ``workers=1`` (and small
+    inputs, see :data:`MIN_PARALLEL_NODES`) run in-process; the untraced
+    sequential case short-circuits to a single ``task.run`` call with zero
+    shard bookkeeping.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    tracer = ensure_tracer(tracer)
+    ids = [int(n) for n in node_ids]
+    shards = shard_nodes_by_size(ids, task.shard_size)
+    in_process = workers == 1 or len(ids) < MIN_PARALLEL_NODES or len(shards) <= 1
+    if not tracer.enabled and in_process:
+        return task.run(ids)
+
+    with tracer.span(
+        task.span_name, n_shards=len(shards), **task.span_attrs(ids)
+    ) as span:
+        if in_process:
+            results = [
+                _run_shard_in_process(task, index, shard, tracer)
+                for index, shard in enumerate(shards)
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(
+                    task,
+                    tracer.enabled,
+                    tracer.shard_clock if tracer.enabled else None,
+                ),
+            ) as pool:
+                results = list(pool.map(_run_shard, enumerate(shards)))
+        merged = [item for shard_results, _ in results for item in shard_results]
+        if tracer.enabled:
+            tracer.attach([doc for _, doc in results if doc is not None])
+            span.set_many(task.counters(merged))
+    return merged
 
 
 def run_ubf_parallel(
@@ -174,95 +348,59 @@ def run_ubf_parallel(
     find_first: bool = True,
     workers: int = 1,
     nodes: Optional[Sequence[int]] = None,
+    frames: Optional[Dict[int, LocalFrame]] = None,
     tracer=None,
 ) -> List[UBFNodeOutcome]:
     """Phase 1 over the whole network, sharded across worker processes.
 
     Drop-in replacement for :func:`repro.core.ubf.run_ubf` with a
     ``workers`` knob; see the module docstring for the determinism and
-    tracing contracts.  ``workers=1`` (and small networks, see
-    :data:`MIN_PARALLEL_NODES`) run in-process with zero overhead.
+    tracing contracts.  ``frames`` passes precomputed local frames through
+    to :func:`run_ubf` so the stage classifies instead of re-localizing.
     """
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
-    tracer = ensure_tracer(tracer)
     node_ids = (
         list(range(network.graph.n_nodes)) if nodes is None else [int(n) for n in nodes]
     )
-    shards = shard_nodes_by_size(node_ids)
-    in_process = (
-        workers == 1 or len(node_ids) < MIN_PARALLEL_NODES or len(shards) <= 1
-    )
-    if not tracer.enabled and in_process:
-        # The untraced sequential fast path: one call, no shard bookkeeping.
-        return run_ubf(
-            network,
-            config,
-            measured=measured,
-            localization=localization,
-            find_first=find_first,
-            nodes=node_ids,
-        )
-
-    with tracer.span(
-        "ubf",
-        n_nodes=len(node_ids),
-        n_shards=len(shards),
-        kernel=config.kernel,
+    task = _UBFShardTask(
+        network=network,
+        config=config,
+        measured=measured,
         localization=localization,
-    ) as span:
-        if in_process:
-            results = [
-                _run_shard_in_process(
-                    index, shard, network, config, measured, localization,
-                    find_first, tracer,
-                )
-                for index, shard in enumerate(shards)
-            ]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(shards)),
-                mp_context=_pool_context(),
-                initializer=_init_worker,
-                initargs=(
-                    network, config, measured, localization, find_first,
-                    tracer.enabled, tracer.shard_clock if tracer.enabled else None,
-                ),
-            ) as pool:
-                results = list(pool.map(_run_shard, enumerate(shards)))
-        outcomes = [outcome for shard_outcomes, _ in results for outcome in shard_outcomes]
-        if tracer.enabled:
-            tracer.attach([doc for _, doc in results if doc is not None])
-            span.set_many(ubf_span_counters(outcomes))
-    return outcomes
+        find_first=find_first,
+        frames=frames,
+    )
+    return run_sharded(task, node_ids, workers=workers, tracer=tracer)
 
 
-def _run_shard_in_process(
-    index: int,
-    node_ids: List[int],
+def run_frames_parallel(
     network: Network,
-    config: UBFConfig,
-    measured: Optional[MeasuredDistances],
-    localization: str,
-    find_first: bool,
-    tracer,
-) -> Tuple[List[UBFNodeOutcome], Optional[Dict[str, Any]]]:
-    """One shard on the calling process, timed exactly like a worker would."""
+    measured: Optional[MeasuredDistances] = None,
+    *,
+    mode: str = "mds",
+    hops: int = DEFAULT_COLLECTION_HOPS,
+    engine: str = DEFAULT_ENGINE,
+    workers: int = 1,
+    nodes: Optional[Sequence[int]] = None,
+    tracer=None,
+) -> List[LocalFrame]:
+    """Step (I) over the whole network, sharded across worker processes.
 
-    def run() -> List[UBFNodeOutcome]:
-        return run_ubf(
-            network,
-            config,
-            measured=measured,
-            localization=localization,
-            find_first=find_first,
-            nodes=node_ids,
-        )
-
-    if not tracer.enabled:
-        return run(), None
-    clock = _shard_clock(tracer.shard_clock)
-    start = clock()
-    outcomes = run()
-    end = clock()
-    return outcomes, _shard_span_dict(index, node_ids, outcomes, start, end)
+    Builds every node's local frame once -- through the batched
+    localization engine by default -- so downstream stages (UBF, quality
+    diagnostics) reuse them instead of re-localizing per node.  Output is
+    ordered as ``nodes`` (node-ID order by default) and byte-identical for
+    any worker count (see the module docstring).  ``mode`` mirrors the
+    pipeline's resolved localization: ``"mds"`` (honors ``engine``),
+    ``"trilateration"``, or ``"true"``.
+    """
+    if mode not in ("mds", "trilateration", "true"):
+        raise ValueError("mode must be 'mds', 'trilateration', or 'true'")
+    if mode in ("mds", "trilateration") and measured is None:
+        raise ValueError(f"mode={mode!r} requires measured distances")
+    node_ids = (
+        list(range(network.graph.n_nodes)) if nodes is None else [int(n) for n in nodes]
+    )
+    task = _FrameShardTask(
+        network=network, measured=measured, mode=mode, hops=hops, engine=engine
+    )
+    return run_sharded(task, node_ids, workers=workers, tracer=tracer)

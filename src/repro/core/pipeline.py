@@ -11,7 +11,11 @@ import numpy as np
 from repro.core.config import DetectorConfig
 from repro.core.grouping import group_boundary_nodes
 from repro.core.iff import run_iff
-from repro.core.parallel import run_ubf_parallel
+from repro.core.parallel import (
+    frame_span_counters,
+    run_frames_parallel,
+    run_ubf_parallel,
+)
 from repro.core.ubf import UBFNodeOutcome, candidates_from_outcomes
 from repro.network.generator import Network
 from repro.network.measurement import (
@@ -146,7 +150,8 @@ class BoundaryDetector:
                 )
                 logger.warning(message)
                 tracer.event("measured_ignored", reason=message)
-            with tracer.span("localization", mode=mode) as loc_span:
+            engine = self.config.localization_config.engine
+            with tracer.span("localization", mode=mode, engine=engine) as loc_span:
                 generated = False
                 if mode in ("mds", "trilateration") and measured is None:
                     if rng is None:
@@ -156,6 +161,20 @@ class BoundaryDetector:
                     )
                     generated = True
                 loc_span.set("measurements_generated", generated)
+                # Step (I) once for every node; the UBF stage below reuses
+                # these frames instead of re-localizing per node.
+                frame_list = run_frames_parallel(
+                    network,
+                    measured,
+                    mode=mode,
+                    hops=self.config.ubf.collection_hops,
+                    engine=engine,
+                    workers=self.config.workers,
+                    tracer=tracer,
+                )
+                frames = {f.node: f for f in frame_list}
+                if tracer.enabled:
+                    loc_span.set_many(frame_span_counters(frame_list))
 
             outcomes = run_ubf_parallel(
                 network,
@@ -163,6 +182,7 @@ class BoundaryDetector:
                 measured=measured,
                 localization=mode,
                 workers=self.config.workers,
+                frames=frames,
                 tracer=tracer,
             )
             candidates = candidates_from_outcomes(outcomes)

@@ -94,6 +94,7 @@ def run_ubf(
     localization: str = "true",
     find_first: bool = True,
     nodes: Optional[Sequence[int]] = None,
+    frames: Optional[Dict[int, LocalFrame]] = None,
     tracer=None,
 ) -> List[UBFNodeOutcome]:
     """Phase 1 over the whole network.
@@ -120,6 +121,13 @@ def run_ubf(
         Node IDs to test; all nodes when None.  The shard driver in
         :mod:`repro.core.parallel` passes each worker's slice here, which
         is sound because every node's test reads only its own local frame.
+    frames:
+        Precomputed local frames keyed by node ID (e.g. from
+        :func:`repro.core.parallel.run_frames_parallel`).  When given,
+        the per-node frame construction is skipped entirely and
+        ``measured``/``localization`` only label the run -- the pipeline
+        computes frames once in its localization stage and reuses them
+        here instead of rebuilding one per node.
     tracer:
         Optional :class:`repro.observability.Tracer`; when given, the run
         is wrapped in a ``ubf.run`` span carrying the Theorem-1 work
@@ -131,7 +139,11 @@ def run_ubf(
     """
     if localization not in ("true", "mds", "trilateration"):
         raise ValueError("localization must be 'true', 'mds', or 'trilateration'")
-    if localization in ("mds", "trilateration") and measured is None:
+    if (
+        localization in ("mds", "trilateration")
+        and measured is None
+        and frames is None
+    ):
         raise ValueError(f"localization={localization!r} requires measured distances")
 
     tracer = ensure_tracer(tracer)
@@ -145,6 +157,7 @@ def run_ubf(
         outcomes = _run_ubf_nodes(
             network, config, node_ids,
             measured=measured, localization=localization, find_first=find_first,
+            frames=frames,
         )
         if tracer.enabled:
             span.set_many(ubf_span_counters(outcomes))
@@ -159,6 +172,7 @@ def _run_ubf_nodes(
     measured: Optional[MeasuredDistances],
     localization: str,
     find_first: bool,
+    frames: Optional[Dict[int, LocalFrame]] = None,
 ) -> List[UBFNodeOutcome]:
     """The untraced per-node classification loop behind :func:`run_ubf`."""
     graph = network.graph
@@ -166,7 +180,9 @@ def _run_ubf_nodes(
     hops = config.collection_hops
     outcomes: List[UBFNodeOutcome] = []
     for node in node_ids:
-        if localization == "mds":
+        if frames is not None:
+            frame = frames[node]
+        elif localization == "mds":
             frame = establish_local_frame(graph, measured, node, hops=hops)
         elif localization == "trilateration":
             from repro.network.trilateration import trilateration_local_frame

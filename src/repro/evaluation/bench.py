@@ -2,9 +2,10 @@
 
 The repo's north star says every PR makes a hot path measurably faster --
 which is only enforceable with a recorded performance trajectory.  This
-module produces that record: it times the pipeline stages (UBF candidacy,
-IFF, grouping, mesh construction) on pinned seeded scenarios, captures the
-Theorem-1 work counters alongside the wall times, writes one
+module produces that record: it times the pipeline stages (measured-mode
+MDS localization, UBF candidacy, IFF, grouping, mesh construction) on
+pinned seeded scenarios, captures the work counters alongside the wall
+times, writes one
 ``BENCH_<stage>.json`` artifact per stage, and compares a fresh run against
 a committed baseline.
 
@@ -15,9 +16,10 @@ Two kinds of observables with two kinds of tolerance:
   compared tightly -- they catch *algorithmic* regressions (more work per
   node, lost early exits) on any hardware, with no timing flakiness.
 * **Wall times** vary across machines, so the absolute check uses a wide
-  multiplicative band; the portable speed gate is the *relative* speedup of
-  the vectorized UBF kernel over the in-repo naive oracle, which a CI
-  runner measures locally in one process.
+  multiplicative band; the portable speed gates are *relative* speedups
+  measured locally in one process -- the vectorized UBF kernel over the
+  in-repo naive oracle, and the batched localization engine over the
+  per-node oracle.
 
 Artifacts are plain JSON (schema below) so trend tooling can diff them
 across commits::
@@ -29,7 +31,8 @@ across commits::
       "n_nodes": 2000, "mean_degree": ...,
       "repeat": 5, "median_seconds": ..., "timings": [...],
       "counters": {...},                  # stage-specific, deterministic
-      "naive_seconds": ..., "speedup_vs_naive": ...   # ubf stage only
+      "naive_seconds": ..., "speedup_vs_naive": ...,      # ubf stage only
+      "pernode_seconds": ..., "speedup_vs_pernode": ...   # localization only
     }
 """
 
@@ -47,8 +50,10 @@ from repro.core.config import IFFConfig, UBFConfig
 from repro.core.grouping import group_boundary_nodes
 from repro.core.iff import run_iff
 from repro.core.ubf import candidates_from_outcomes, ubf_classify_frame
+from repro.geometry.mds import SMACOF_BATCH_COORD_TOL
 from repro.network.generator import DeploymentConfig, generate_network
-from repro.network.localization import true_local_frame
+from repro.network.localization import build_frames, true_local_frame
+from repro.network.measurement import UniformAbsoluteError, measure_distances
 from repro.observability.tracer import ensure_tracer
 from repro.shapes.library import scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
@@ -56,7 +61,7 @@ from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
 FORMAT_VERSION = 1
 
 #: Stages `repro-bench` knows how to time, in pipeline order.
-STAGES = ("ubf", "iff", "grouping", "mesh")
+STAGES = ("localization", "ubf", "iff", "grouping", "mesh")
 
 #: Default multiplicative slack for absolute wall-time comparisons; wide on
 #: purpose -- cross-machine variance is absorbed here, while counters and
@@ -70,6 +75,14 @@ DEFAULT_COUNTER_RTOL = 0.02
 #: Required vectorized-over-naive UBF kernel speedup (the PR acceptance
 #: criterion is 2x; the committed baseline is far above it).
 DEFAULT_MIN_SPEEDUP = 2.0
+
+#: Required batch-over-pernode localization engine speedup (the PR 5
+#: acceptance criterion).
+DEFAULT_MIN_ENGINE_SPEEDUP = 3.0
+
+#: Measurement noise of the localization bench: the paper's measured-mode
+#: setting (30% of the radio range, uniform absolute error).
+BENCH_MEASUREMENT_ERROR = 0.3
 
 
 @dataclass(frozen=True)
@@ -219,6 +232,62 @@ def bench_ubf(ctx: BenchContext, repeat: int, *, time_naive: bool = True) -> dic
     return doc
 
 
+def bench_localization(
+    ctx: BenchContext, repeat: int, *, time_pernode: bool = True
+) -> dict:
+    """Time measured-mode MDS frame construction (step I) over all nodes.
+
+    Measurements use the paper's measured-mode setting (uniform absolute
+    error of :data:`BENCH_MEASUREMENT_ERROR`) seeded by the pinned
+    scenario, so counters are deterministic.  The timed path is the
+    ``batch`` engine; the ``pernode`` oracle runs once (it is the slow
+    side of the gate) to compute ``speedup_vs_pernode`` and to verify the
+    engine contract (``engines_agree``: exact members, one-hop counts,
+    and SMACOF iteration counts, coordinates within
+    :data:`repro.geometry.mds.SMACOF_BATCH_COORD_TOL`).
+    """
+    graph = ctx.network.graph
+    measured = measure_distances(
+        graph,
+        UniformAbsoluteError(BENCH_MEASUREMENT_ERROR),
+        np.random.default_rng(ctx.scenario.seed),
+    )
+    hops = ctx.ubf_config.collection_hops
+    median, timings, frames = _median_time(
+        lambda: build_frames(graph, measured, hops=hops, engine="batch"), repeat
+    )
+    sizes = np.array([len(f.members) for f in frames], dtype=float)
+    counters = {
+        "n_frames": len(frames),
+        "total_members": float(sizes.sum()),
+        "mean_frame_size": float(sizes.mean()),
+        "max_frame_size": float(sizes.max()),
+        "total_smacof_iterations": float(
+            sum(f.smacof_iterations for f in frames)
+        ),
+    }
+    doc = _artifact("localization", ctx, repeat, median, timings, counters)
+    doc["engine"] = "batch"
+    doc["measurement_error"] = BENCH_MEASUREMENT_ERROR
+    if time_pernode:
+        pernode_seconds, _, oracle = _median_time(
+            lambda: build_frames(graph, measured, hops=hops, engine="pernode"), 1
+        )
+        doc["pernode_seconds"] = pernode_seconds
+        doc["speedup_vs_pernode"] = (
+            pernode_seconds / median if median > 0 else float("inf")
+        )
+        doc["engines_agree"] = all(
+            a.members == b.members
+            and a.n_one_hop == b.n_one_hop
+            and a.smacof_iterations == b.smacof_iterations
+            and float(np.abs(a.coordinates - b.coordinates).max())
+            <= SMACOF_BATCH_COORD_TOL
+            for a, b in zip(frames, oracle)
+        )
+    return doc
+
+
 def bench_iff(ctx: BenchContext, repeat: int) -> dict:
     """Time Isolated Fragment Filtering on the UBF candidate set."""
     fits = _classify_all(ctx, "vectorized")
@@ -295,6 +364,7 @@ def _artifact(
 
 
 _STAGE_RUNNERS: Dict[str, Callable[..., dict]] = {
+    "localization": bench_localization,
     "ubf": bench_ubf,
     "iff": bench_iff,
     "grouping": bench_grouping,
@@ -316,6 +386,8 @@ def run_bench(
     run in a ``bench`` span with one ``bench.<stage>`` child per stage,
     each carrying the stage's median wall time and deterministic counters
     -- the traced twin of the ``BENCH_<stage>.json`` artifacts.
+    ``time_naive`` toggles the slow oracle sides of the relative speed
+    gates (the naive UBF kernel and the pernode localization engine).
     """
     unknown = [s for s in stages if s not in _STAGE_RUNNERS]
     if unknown:
@@ -334,6 +406,8 @@ def run_bench(
             with tracer.span(f"bench.{stage}") as stage_span:
                 if stage == "ubf":
                     doc = bench_ubf(ctx, repeat, time_naive=time_naive)
+                elif stage == "localization":
+                    doc = bench_localization(ctx, repeat, time_pernode=time_naive)
                 else:
                     doc = _STAGE_RUNNERS[stage](ctx, repeat)
                 results[stage] = doc
@@ -342,6 +416,10 @@ def run_bench(
                     stage_span.set("counters", doc["counters"])
                     if "speedup_vs_naive" in doc:
                         stage_span.set("speedup_vs_naive", doc["speedup_vs_naive"])
+                    if "speedup_vs_pernode" in doc:
+                        stage_span.set(
+                            "speedup_vs_pernode", doc["speedup_vs_pernode"]
+                        )
         if tracer.enabled:
             root.set("stages", list(results))
     return results
@@ -383,6 +461,7 @@ def compare_artifact(
     time_factor: float = DEFAULT_TIME_FACTOR,
     counter_rtol: float = DEFAULT_COUNTER_RTOL,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    min_engine_speedup: float = DEFAULT_MIN_ENGINE_SPEEDUP,
 ) -> List[str]:
     """Regression findings for one stage (empty list when clean)."""
     issues: List[str] = []
@@ -426,6 +505,16 @@ def compare_artifact(
             )
         if current.get("kernels_agree") is False:
             issues.append(f"{stage}: kernels disagree on the bench scenario")
+
+    if "speedup_vs_pernode" in baseline:
+        cur_speedup = float(current.get("speedup_vs_pernode", 0.0))
+        if cur_speedup < min_engine_speedup:
+            issues.append(
+                f"{stage}: batch engine speedup over pernode oracle is "
+                f"{cur_speedup:.2f}x, below the required {min_engine_speedup}x"
+            )
+        if current.get("engines_agree") is False:
+            issues.append(f"{stage}: engines disagree on the bench scenario")
     return issues
 
 
@@ -436,6 +525,7 @@ def check_regression(
     time_factor: float = DEFAULT_TIME_FACTOR,
     counter_rtol: float = DEFAULT_COUNTER_RTOL,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    min_engine_speedup: float = DEFAULT_MIN_ENGINE_SPEEDUP,
 ) -> List[str]:
     """Compare a bench run against the committed baseline directory."""
     issues: List[str] = []
@@ -451,6 +541,7 @@ def check_regression(
                 time_factor=time_factor,
                 counter_rtol=counter_rtol,
                 min_speedup=min_speedup,
+                min_engine_speedup=min_engine_speedup,
             )
         )
     return issues
@@ -474,6 +565,8 @@ def render_bench_table(results: Dict[str, dict]) -> str:
         extra = ""
         if "speedup_vs_naive" in doc:
             extra = f"  [{doc['speedup_vs_naive']:.1f}x vs naive]"
+        if "speedup_vs_pernode" in doc:
+            extra = f"  [{doc['speedup_vs_pernode']:.1f}x vs pernode]"
         lines.append(
             f"{stage:<10} {doc['n_nodes']:>6} {doc['median_seconds']:>10.4f} {head}{extra}"
         )

@@ -13,11 +13,31 @@ same family is implemented here:
 
 The resulting frame is arbitrary up to rotation/translation/reflection,
 which UBF is invariant to.
+
+Batched twins
+-------------
+Every step also has a batched twin operating on an ``(B, m, m)`` stack of
+same-size neighborhoods (:func:`complete_distance_matrix_batch`,
+:func:`classical_mds_batch`, :func:`smacof_refine_batch`, composed by
+:func:`local_mds_embedding_batch`).  Stacking ``B`` same-size problems
+amortizes numpy call overhead ``B``-fold and lets the LAPACK stages
+(``eigh``, ``pinv``) run as gufunc loops instead of one call per node.
+
+Two accuracy contracts apply.  :func:`complete_distance_matrix_batch` and
+:func:`classical_mds_batch` mirror the scalar implementations expression
+for expression, so their slices are *bit-identical* to the scalar results.
+:func:`smacof_refine_batch` additionally restructures the iteration
+arithmetic for memory locality (Gram-identity distances, algebraically
+expanded stress); its slices match the scalar oracle within
+:data:`SMACOF_BATCH_COORD_TOL` with *exactly* equal iteration counts --
+the engine contract the differential tests in
+``tests/unit/test_localization_engines.py`` pin down (see
+docs/PERFORMANCE.md, "Localization engine").
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +45,19 @@ import numpy as np
 #: Two one-hop neighbors of the same node can be at most two radio ranges
 #: apart, so 2.0 (in radio-range units) is the geometrically safe ceiling.
 UNREACHABLE_LOCAL_DISTANCE = 2.0
+
+#: Coordinate agreement tolerance (absolute, in radio-range units) between
+#: the scalar and batched SMACOF refinements.  The batched chain reorders
+#: float reductions, so individual operations differ at the last ulp; the
+#: majorization update is a contraction near its fixed point, keeping the
+#: accumulated divergence many orders of magnitude below this bound
+#: (observed maxima are ~1e-12 on 2000-node scenarios).
+SMACOF_BATCH_COORD_TOL = 1e-9
+
+#: Slices per Floyd-Warshall sub-chunk in the batched completion; two
+#: ``(chunk, m, m)`` float arrays at typical collection sizes stay within
+#: the L2 cache, which the relaxation's m full passes reward.
+FW_CHUNK_SLICES = 8
 
 
 def complete_distance_matrix(
@@ -54,9 +87,12 @@ def complete_distance_matrix(
 
     Notes
     -----
-    The completion is plain Floyd-Warshall.  Neighborhoods have at most a few
-    dozen nodes, so the ``O(m^3)`` cost is negligible and the implementation
-    can stay a readable three-liner over numpy broadcasting.
+    The completion is plain Floyd-Warshall over numpy broadcasting.  The
+    relaxation runs fully in place: one scratch buffer holds the ``via k``
+    sums and ``np.minimum(..., out=dist)`` folds them back, so no per-``k``
+    arrays are allocated.  (In-place per-``k`` relaxation is sound because
+    iteration ``k`` never changes row or column ``k``: the candidate for
+    ``dist[i, k]`` is ``dist[i, k] + dist[k, k] = dist[i, k]``.)
     """
     dist = np.array(partial, dtype=float)
     if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
@@ -65,9 +101,45 @@ def complete_distance_matrix(
         dist[dist == missing_value] = np.inf
     np.fill_diagonal(dist, 0.0)
     m = dist.shape[0]
+    via_k = np.empty_like(dist)
     for k in range(m):
-        via_k = dist[:, k, None] + dist[None, k, :]
-        dist = np.minimum(dist, via_k)
+        np.add(dist[:, k, None], dist[None, k, :], out=via_k)
+        np.minimum(dist, via_k, out=dist)
+    dist[~np.isfinite(dist)] = unreachable
+    return dist
+
+
+def complete_distance_matrix_batch(
+    partial: np.ndarray,
+    *,
+    missing_value: float = np.inf,
+    unreachable: float = UNREACHABLE_LOCAL_DISTANCE,
+) -> np.ndarray:
+    """Batched :func:`complete_distance_matrix` over an ``(B, m, m)`` stack.
+
+    Runs the same in-place Floyd-Warshall relaxation on every slice at
+    once; slice ``b`` of the result is bit-identical to
+    ``complete_distance_matrix(partial[b], ...)``.  Slices are relaxed in
+    sub-chunks of :data:`FW_CHUNK_SLICES` so the pair of ``(chunk, m, m)``
+    working arrays stays cache-resident (each slice's relaxation is
+    independent, so chunking cannot change the result).
+    """
+    dist = np.array(partial, dtype=float)
+    if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
+        raise ValueError("partial distance stack must be (B, m, m)")
+    if np.isfinite(missing_value):
+        dist[dist == missing_value] = np.inf
+    m = dist.shape[1]
+    diag = np.arange(m)
+    dist[:, diag, diag] = 0.0
+    n_chunk = min(FW_CHUNK_SLICES, dist.shape[0])
+    via_k = np.empty((n_chunk, m, m))
+    for c in range(0, dist.shape[0], n_chunk):
+        block = dist[c : c + n_chunk]
+        via = via_k[: block.shape[0]]
+        for k in range(m):
+            np.add(block[:, :, k, None], block[:, None, k, :], out=via)
+            np.minimum(block, via, out=block)
     dist[~np.isfinite(dist)] = unreachable
     return dist
 
@@ -115,6 +187,38 @@ def classical_mds(distances: np.ndarray, n_components: int = 3) -> np.ndarray:
     return coords
 
 
+def classical_mds_batch(distances: np.ndarray, n_components: int = 3) -> np.ndarray:
+    """Batched :func:`classical_mds` over an ``(B, m, m)`` stack.
+
+    Mirrors the scalar implementation expression for expression; the
+    double-centering matmuls and the ``eigh`` gufunc loop the identical
+    routines per slice, so slice ``b`` equals
+    ``classical_mds(distances[b], n_components)`` bit for bit.
+    """
+    dist = np.asarray(distances, dtype=float)
+    if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
+        raise ValueError("distance stack must be (B, m, m)")
+    n_batch, m, _ = dist.shape
+    if m == 0:
+        return np.empty((n_batch, 0, n_components))
+    if not np.all(np.isfinite(dist)):
+        raise ValueError("distance stack must be finite; complete it first")
+
+    sq = dist ** 2
+    centering = np.eye(m) - np.full((m, m), 1.0 / m)
+    gram = -0.5 * centering @ sq @ centering
+    sym = (gram + np.swapaxes(gram, -1, -2)) / 2.0
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    order = np.argsort(eigvals, axis=-1)[:, ::-1][:, :n_components]
+    top_vals = np.clip(np.take_along_axis(eigvals, order, axis=-1), 0.0, None)
+    coords = np.take_along_axis(eigvecs, order[:, None, :], axis=2)
+    coords = coords * np.sqrt(top_vals)[:, None, :]
+    if coords.shape[2] < n_components:
+        pad = np.zeros((n_batch, m, n_components - coords.shape[2]))
+        coords = np.concatenate([coords, pad], axis=2)
+    return coords
+
+
 def smacof_refine(
     coords: np.ndarray,
     distances: np.ndarray,
@@ -149,12 +253,33 @@ def smacof_refine(
     numpy.ndarray
         Refined ``(m, d)`` coordinates (a new array).
     """
+    coords, _ = smacof_refine_counted(
+        coords, distances, weights, iterations=iterations, tol=tol
+    )
+    return coords
+
+
+def smacof_refine_counted(
+    coords: np.ndarray,
+    distances: np.ndarray,
+    weights: np.ndarray,
+    *,
+    iterations: int = 30,
+    tol: float = 1e-6,
+) -> Tuple[np.ndarray, int]:
+    """:func:`smacof_refine` that also reports the majorization steps taken.
+
+    The step count is a deterministic observable of the refinement (it
+    depends only on the inputs), so the batched engine is required to
+    reproduce it exactly -- it is one of the counters the localization
+    bench compares between engines.
+    """
     x = np.array(coords, dtype=float)
     m = x.shape[0]
     w = np.asarray(weights, dtype=float)
     d_target = np.asarray(distances, dtype=float)
     if m <= 1 or not np.any(w > 0):
-        return x
+        return x, 0
 
     # Moore-Penrose inverse of the weight Laplacian, computed once.
     v = -w.copy()
@@ -170,6 +295,7 @@ def smacof_refine(
         return float(np.sum(w * (d - d_target) ** 2) / 2.0)
 
     last = stress(x)
+    n_steps = 0
     for _ in range(iterations):
         d = embedded_distances(x)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -178,11 +304,203 @@ def smacof_refine(
         np.fill_diagonal(b, 0.0)
         np.fill_diagonal(b, -b.sum(axis=1))
         x = v_pinv @ (b @ x)
+        n_steps += 1
         current = stress(x)
         if last - current <= tol * max(last, 1e-12):
             break
         last = current
-    return x
+    return x, n_steps
+
+
+def smacof_refine_batch(
+    coords: np.ndarray,
+    distances: np.ndarray,
+    weights: np.ndarray,
+    *,
+    iterations: int = 30,
+    tol: float = 1e-6,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched SMACOF over ``(B, m, d)`` embeddings with per-slice stopping.
+
+    Runs the majorization of :func:`smacof_refine_counted` on every slice
+    of the stack simultaneously, restructured for throughput:
+
+    * embedded distances use the Gram identity
+      ``d_ij^2 = |y_i|^2 + |y_j|^2 - 2 <y_i, y_j>`` (one gemm plus
+      ``O(m^2)`` traffic instead of the ``O(m^2 d)`` pairwise-difference
+      tensor), clipping cancellation negatives before the square root;
+    * the stress is expanded algebraically,
+      ``2 sigma = sum w d^2 - 2 sum (w t) d + sum w t^2``, so each check is
+      two einsum reductions against precomputed per-slice constants;
+    * the majorization matrix comes straight from the precomputed
+      ``-w t`` product (one divide, no ratio intermediate);
+    * all work buffers are allocated once and re-sliced, distances are
+      computed once per step (reused across the B-matrix and the stress),
+      and the live set is compacted only on steps where a slice converged.
+
+    Slices converge independently: a converged slice is frozen and dropped
+    from the live set while the rest keep iterating, so per-slice *step
+    counts* reproduce the scalar early-stopping sequence exactly (the
+    convergence test sees the same stress values up to a relative
+    float-reassociation error of ~1e-13, see below).  Coordinates match
+    ``smacof_refine_counted`` within :data:`SMACOF_BATCH_COORD_TOL`: the
+    reordered reductions differ from the scalar chain only at the
+    last-ulp level per operation, and the majorization update is a
+    contraction near the fixed point, so the engines' iterates never
+    drift beyond that tolerance.
+
+    Returns
+    -------
+    (coords, steps):
+        The refined ``(B, m, d)`` stack and an ``(B,)`` int array of
+        majorization steps per slice.
+    """
+    x = np.array(coords, dtype=float)
+    if x.ndim != 3:
+        raise ValueError("coords stack must be (B, m, d)")
+    n_batch, m, n_dim = x.shape
+    w_all = np.asarray(weights, dtype=float)
+    t_all = np.asarray(distances, dtype=float)
+    steps = np.zeros(n_batch, dtype=int)
+    if n_batch == 0 or m <= 1:
+        return x, steps
+    live = np.nonzero(np.any(w_all > 0, axis=(1, 2)))[0]
+    if live.size == 0:
+        return x, steps
+
+    diag = np.arange(m)
+    w = w_all[live]
+    t = t_all[live]
+    v = -w.copy()
+    v[:, diag, diag] = w.sum(axis=2)
+    correction = np.full((m, m), 1.0 / m)
+    # The weight Laplacian V is PSD with nullspace span(1) whenever the
+    # weight graph is connected -- true by construction for BFS-built
+    # collections (every hop-k member has a measured edge to a
+    # hop-(k-1) parent) -- making V + 11^T/m symmetric positive definite
+    # with plain inverse equal to pinv(V) + 11^T/m.  A batched LU inverse
+    # is several times cheaper than an SVD- or eigh-based pseudo-inverse;
+    # for rank-deficient stacks (disconnected weight graphs, only seen on
+    # arbitrary caller-supplied matrices) LU fails loudly and we fall back
+    # to the spectral-cutoff pseudo-inverse.
+    a = v + correction
+    try:
+        v_pinv = np.linalg.inv(a)
+    except np.linalg.LinAlgError:
+        evals, evecs = np.linalg.eigh(a)
+        cutoff = 1e-15 * m * np.abs(evals).max(axis=1, keepdims=True)
+        inv_vals = np.where(
+            np.abs(evals) > cutoff, 1.0 / np.where(evals != 0.0, evals, 1.0), 0.0
+        )
+        v_pinv = (evecs * inv_vals[:, None, :]) @ np.swapaxes(evecs, -1, -2)
+    v_pinv -= correction
+    xa = x[live]
+
+    # Per-slice constants of the iteration.
+    neg_wt = -(w * t)
+    wtt = np.einsum("bij,bij->b", w, t * t)
+
+    # Preallocated work buffers, re-sliced to the live count every step.
+    n_live = live.size
+    norms = np.empty((n_live, m))
+    gram = np.empty((n_live, m, m))
+    sq = np.empty((n_live, m, m))
+    dist = np.empty((n_live, m, m))
+    bmat = np.empty((n_live, m, m))
+    degenerate = np.empty((n_live, m, m), dtype=bool)
+    close_mask = np.empty((n_live, m, m), dtype=bool)
+    y2 = np.empty((n_live, m, n_dim))
+    bx = np.empty((n_live, m, n_dim))
+    x_next = np.empty((n_live, m, n_dim))
+
+    def embedded_distances(y: np.ndarray) -> bool:
+        """Fill ``sq``/``dist`` with squared and plain pairwise distances.
+
+        The Gram identity carries an *absolute* rounding error of a few
+        ulp of ``|y|^2``, which is a large *relative* error for
+        near-coincident points -- and ``t / d`` amplifies exactly those
+        entries.  Every off-diagonal distance below ``1e-2`` (radio-range
+        units) is therefore recomputed with the exact difference formula;
+        such pairs are rare, so the fix-up normally costs one comparison
+        pass and no gather.  The diagonal (exactly zero in the scalar
+        chain, ulp-level residue under the Gram identity -- possibly
+        negative, hence NaN after the sqrt) is overwritten with zero
+        directly.  Returns whether any off-diagonal pair is *degenerate*
+        (distance <= 1e-12), so the caller can skip the B-matrix masking
+        passes when no maskable entry can exist.
+        """
+        k = y.shape[0]
+        np.einsum("bij,bij->bi", y, y, out=norms[:k])
+        # y @ (2y)^T is bit-identical to 2 * (y @ y^T): scaling by a power
+        # of two is exact and distributes exactly over float addition, and
+        # it trades a full (k, m, m) pass for a (k, m, d) one.
+        np.multiply(y, 2.0, out=y2[:k])
+        np.matmul(y, np.swapaxes(y2[:k], -1, -2), out=gram[:k])
+        np.add(norms[:k, :, None], norms[:k, None, :], out=sq[:k])
+        np.subtract(sq[:k], gram[:k], out=sq[:k])
+        np.less(sq[:k], 1e-4, out=close_mask[:k])
+        close_mask[:k][:, diag, diag] = False
+        has_degenerate = False
+        with np.errstate(invalid="ignore"):
+            np.sqrt(sq[:k], out=dist[:k])
+        dist[:k][:, diag, diag] = 0.0
+        sq[:k][:, diag, diag] = 0.0
+        if close_mask[:k].any():
+            cb, ci, cj = np.nonzero(close_mask[:k])
+            delta = y[cb, ci] - y[cb, cj]
+            exact = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+            dist[:k][cb, ci, cj] = exact
+            sq[:k][cb, ci, cj] = exact * exact
+            has_degenerate = bool((exact <= 1e-12).any())
+        return has_degenerate
+
+    def stress_of(k: int) -> np.ndarray:
+        half = np.einsum("bij,bij->b", w, sq[:k])
+        half += 2.0 * np.einsum("bij,bij->b", neg_wt, dist[:k])
+        half += wtt
+        return half / 2.0
+
+    has_degenerate = embedded_distances(xa)
+    last = stress_of(live.size)
+    for _ in range(iterations):
+        k = live.size
+        if k == 0:
+            break
+        # dist[:k]/sq[:k] hold the distances of the current live embeddings.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.divide(neg_wt, dist[:k], out=bmat[:k])
+        if has_degenerate:
+            # Only run the masking passes when an off-diagonal entry with
+            # dist <= 1e-12 actually exists (embedded_distances tracked
+            # this); the division's NaN diagonal is overwritten below.
+            np.less_equal(dist[:k], 1e-12, out=degenerate[:k])
+            np.copyto(bmat[:k], 0.0, where=degenerate[:k])
+        bmat[:k][:, diag, diag] = 0.0
+        bmat[:k][:, diag, diag] = -bmat[:k].sum(axis=2)
+        np.matmul(bmat[:k], xa, out=bx[:k])
+        np.matmul(v_pinv, bx[:k], out=x_next[:k])
+        steps[live] += 1
+        has_degenerate = embedded_distances(x_next[:k])
+        current = stress_of(k)
+        x[live] = x_next[:k]
+        done = (last - current) <= tol * np.maximum(last, 1e-12)
+        if done.any():
+            keep = ~done
+            live = live[keep]
+            xa = x_next[:k][keep]
+            w = w[keep]
+            neg_wt = neg_wt[keep]
+            wtt = wtt[keep]
+            v_pinv = v_pinv[keep]
+            last = current[keep]
+            kept_sq = sq[:k][keep]
+            kept_dist = dist[:k][keep]
+            sq[: live.size] = kept_sq
+            dist[: live.size] = kept_dist
+        else:
+            xa = x_next[:k]
+            last = current
+    return x, steps
 
 
 def local_mds_embedding(
@@ -192,6 +510,7 @@ def local_mds_embedding(
     missing_value: float = np.inf,
     refine: bool = True,
     refine_iterations: int = 30,
+    info: Optional[Dict[str, int]] = None,
 ) -> np.ndarray:
     """Local coordinate system from partial pairwise distances.
 
@@ -201,18 +520,69 @@ def local_mds_embedding(
     perfect measurements the refinement recovers the local geometry almost
     exactly even though shortest-path completion inflated the classical-MDS
     initialization.
+
+    ``info``, when given a dict, receives the ``smacof_iterations`` count
+    -- the deterministic refinement observable the localization bench
+    compares across engines.
     """
     partial = np.asarray(partial_distances, dtype=float)
     completed = complete_distance_matrix(partial, missing_value=missing_value)
     coords = classical_mds(completed, n_components=n_components)
+    n_steps = 0
     if refine:
         measured_mask = np.isfinite(partial) if np.isinf(missing_value) else (
             partial != missing_value
         )
         weights = measured_mask.astype(float)
         np.fill_diagonal(weights, 0.0)
-        coords = smacof_refine(
+        coords, n_steps = smacof_refine_counted(
             coords, np.where(measured_mask, partial, 0.0), weights,
             iterations=refine_iterations,
         )
+    if info is not None:
+        info["smacof_iterations"] = n_steps
     return coords
+
+
+def local_mds_embedding_batch(
+    partial_distances: np.ndarray,
+    *,
+    n_components: int = 3,
+    missing_value: float = np.inf,
+    refine: bool = True,
+    refine_iterations: int = 30,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`local_mds_embedding` over an ``(B, m, m)`` stack.
+
+    The batched-engine hot path: completes, embeds, and refines ``B``
+    same-size neighborhoods at once.  Slice ``b`` of the returned
+    coordinate stack matches the scalar composition on
+    ``partial_distances[b]`` within :data:`SMACOF_BATCH_COORD_TOL` (the
+    completion and classical-MDS stages are bit-identical; the refinement
+    reorders float reductions, see :func:`smacof_refine_batch`), and the
+    step counts match exactly.
+
+    Returns
+    -------
+    (coords, steps):
+        ``(B, m, n_components)`` embedded stack and the ``(B,)`` SMACOF
+        step counts (zeros when ``refine`` is off).
+    """
+    partial = np.asarray(partial_distances, dtype=float)
+    if partial.ndim != 3 or partial.shape[1] != partial.shape[2]:
+        raise ValueError("partial distance stack must be (B, m, m)")
+    completed = complete_distance_matrix_batch(partial, missing_value=missing_value)
+    coords = classical_mds_batch(completed, n_components=n_components)
+    steps = np.zeros(partial.shape[0], dtype=int)
+    if refine:
+        measured_mask = np.isfinite(partial) if np.isinf(missing_value) else (
+            partial != missing_value
+        )
+        weights = measured_mask.astype(float)
+        diag = np.arange(partial.shape[1])
+        weights[:, diag, diag] = 0.0
+        coords, steps = smacof_refine_batch(
+            coords, np.where(measured_mask, partial, 0.0), weights,
+            iterations=refine_iterations,
+        )
+    return coords, steps

@@ -18,6 +18,7 @@ from repro.network.generator import DeploymentConfig, Network, generate_network
 from repro.network.graph import NetworkGraph
 from repro.network.localization import (
     LocalFrame,
+    build_frames,
     establish_local_frame,
     local_frames,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "generate_network",
     "NetworkGraph",
     "LocalFrame",
+    "build_frames",
     "establish_local_frame",
     "local_frames",
     "DistanceErrorModel",

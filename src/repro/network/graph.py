@@ -5,6 +5,17 @@ fixed radio transmission range.  It provides exactly the query surface the
 paper's algorithms need: one-hop neighborhoods, restricted BFS (hop counts
 and deterministic shortest paths inside a node subset, e.g. the boundary
 subgraph), and connected components of induced subgraphs.
+
+Two equivalent adjacency representations coexist:
+
+* the per-node list-of-arrays view (``neighbors``/``has_edge``), which the
+  dict/deque BFS machinery below consumes, and
+* a CSR view (:meth:`csr`: ``indptr``/``indices`` with neighbor columns
+  sorted per row), which backs the vectorized bulk queries -- ``degrees``,
+  ``edges``, :meth:`edge_values` (edge-aligned per-edge data, e.g. measured
+  distances) and :meth:`k_hop_collections` (every node's k-hop collection
+  in one multi-source sweep).  The scalar BFS entry points are kept as the
+  differential oracle the vectorized sweep is property-tested against.
 """
 
 from __future__ import annotations
@@ -16,6 +27,11 @@ import numpy as np
 
 from repro.geometry.primitives import as_points
 from repro.geometry.spatial_index import UniformGridIndex
+
+#: Sources swept per block in :meth:`NetworkGraph.k_hop_collections`; bounds
+#: the ``block x n`` hop table to a few MB regardless of network size.  The
+#: per-source results are independent, so the block size never changes them.
+KHOP_BLOCK_SIZE = 1024
 
 
 class NetworkGraph:
@@ -56,6 +72,16 @@ class NetworkGraph:
                 np.sort(np.asarray(list(nbrs), dtype=int)) for nbrs in adjacency
             ]
         self._neighbor_sets: List[Set[int]] = [set(map(int, a)) for a in self._adjacency]
+        # CSR twin of the adjacency lists: row u's neighbor columns live in
+        # indices[indptr[u]:indptr[u+1]], sorted ascending like the lists.
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum([a.size for a in self._adjacency], out=self._indptr[1:])
+        self._indices = (
+            np.concatenate(self._adjacency).astype(np.int64)
+            if n and self._indptr[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+        self._edge_array: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -94,24 +120,68 @@ class NetworkGraph:
         return int(self._adjacency[node].size)
 
     def degrees(self) -> np.ndarray:
-        """Array of all node degrees."""
-        return np.array([a.size for a in self._adjacency], dtype=int)
+        """Array of all node degrees (from the CSR row extents)."""
+        return np.diff(self._indptr).astype(int)
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``u`` and ``v`` are one-hop neighbors."""
         return v in self._neighbor_sets[u]
 
     def edges(self) -> Iterator[Tuple[int, int]]:
-        """All edges as ``(u, v)`` with ``u < v``."""
-        for u, nbrs in enumerate(self._adjacency):
-            for v in nbrs:
-                if v > u:
-                    yield (u, int(v))
+        """All edges as ``(u, v)`` tuples with ``u < v``.
+
+        Backed by the vectorized :meth:`edge_array`; iteration order is the
+        historical one (ascending ``u``, then ascending ``v``).
+        """
+        return (tuple(row) for row in self.edge_array().tolist())
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as a read-only ``(E, 2)`` array with ``u < v`` per row.
+
+        Rows are ordered by ascending ``u`` then ``v`` -- exactly the order
+        :meth:`edges` yields.  Built once from the CSR view and cached.
+        """
+        if self._edge_array is None:
+            heads = np.repeat(np.arange(self.n_nodes), np.diff(self._indptr))
+            mask = heads < self._indices
+            arr = np.column_stack([heads[mask], self._indices[mask]])
+            arr.flags.writeable = False
+            self._edge_array = arr
+        return self._edge_array
 
     @property
     def n_edges(self) -> int:
-        """Number of undirected edges."""
-        return int(sum(a.size for a in self._adjacency)) // 2
+        """Number of undirected edges (half the CSR directed-entry count)."""
+        return int(self._indices.size) // 2
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The CSR adjacency view as read-only ``(indptr, indices)``.
+
+        ``indices[indptr[u]:indptr[u+1]]`` are ``u``'s neighbors, sorted
+        ascending; both arrays are views of the graph's internal storage.
+        """
+        indptr = self._indptr.view()
+        indptr.flags.writeable = False
+        indices = self._indices.view()
+        indices.flags.writeable = False
+        return indptr, indices
+
+    def edge_values(self, get) -> np.ndarray:
+        """Per-directed-edge values aligned with the CSR ``indices`` array.
+
+        ``get(u, v) -> float`` is queried once per directed CSR entry (so
+        symmetric sources, e.g. measured distances, appear on both
+        directions of every edge).  The result lets bulk consumers replace
+        per-pair lookups with fancy indexing: the value for the edge stored
+        at CSR position ``p`` (row ``u``, column ``indices[p]``) is simply
+        ``values[p]``.
+        """
+        heads = np.repeat(np.arange(self.n_nodes), np.diff(self._indptr))
+        return np.fromiter(
+            (get(int(u), int(v)) for u, v in zip(heads, self._indices)),
+            dtype=float,
+            count=self._indices.size,
+        )
 
     def distance(self, u: int, v: int) -> float:
         """True Euclidean distance between two nodes."""
@@ -165,6 +235,82 @@ class NetworkGraph:
                 hops[v] = hops[u] + 1
                 queue.append(v)
         return hops
+
+    def k_hop_collections(
+        self,
+        hops: int,
+        *,
+        sources: Optional[Sequence[int]] = None,
+        block_size: int = KHOP_BLOCK_SIZE,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Every source's ``hops``-hop collection in one vectorized sweep.
+
+        Semantically equivalent to ``bfs_hops([s], max_hops=hops)`` run for
+        each source independently (the dict/deque implementation above is
+        kept as the differential oracle), but all sources advance frontier
+        by frontier together: each hop expands every frontier entry through
+        the CSR adjacency with one gather instead of per-node Python loops.
+
+        Parameters
+        ----------
+        hops:
+            Collection radius; ``0`` yields just the sources themselves.
+        sources:
+            Source node IDs (all nodes when None).  Results are per-source
+            independent, so any subset returns exactly what the full sweep
+            would -- the shard driver relies on this.
+        block_size:
+            Sources processed per internal block (memory bound only; the
+            results never depend on it).
+
+        Returns
+        -------
+        list of ``(nodes, hop_counts)`` pairs, one per source in input
+        order: ``nodes`` is ascending and includes the source itself (hop
+        0); ``hop_counts[k]`` is the hop distance of ``nodes[k]``.
+        """
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        n = self.n_nodes
+        src_all = (
+            np.arange(n, dtype=np.int64)
+            if sources is None
+            else np.asarray([int(s) for s in sources], dtype=np.int64)
+        )
+        if src_all.size and (src_all.min() < 0 or src_all.max() >= n):
+            raise ValueError("source ids must lie in [0, n_nodes)")
+        degrees = np.diff(self._indptr)
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        for start in range(0, src_all.size, block_size):
+            srcs = src_all[start : start + block_size]
+            b = srcs.size
+            hop_of = np.full((b, n), -1, dtype=np.int32)
+            hop_of[np.arange(b), srcs] = 0
+            frontier_row = np.arange(b)
+            frontier_node = srcs
+            for h in range(1, hops + 1):
+                counts = degrees[frontier_node]
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                # Gather the CSR rows of every frontier node in one shot.
+                starts = self._indptr[frontier_node]
+                ends = np.cumsum(counts)
+                offsets = np.arange(total) - np.repeat(ends - counts, counts)
+                expanded_dst = self._indices[np.repeat(starts, counts) + offsets]
+                expanded_row = np.repeat(frontier_row, counts)
+                fresh = hop_of[expanded_row, expanded_dst] < 0
+                # In-batch duplicates both write the same h: harmless.
+                hop_of[expanded_row[fresh], expanded_dst[fresh]] = h
+                frontier_row, frontier_node = np.nonzero(hop_of == h)
+                if frontier_row.size == 0:
+                    break
+            for r in range(b):
+                nodes = np.nonzero(hop_of[r] >= 0)[0]
+                results.append((nodes, hop_of[r, nodes].astype(int)))
+        return results
 
     def shortest_path(
         self,

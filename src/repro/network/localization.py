@@ -18,21 +18,72 @@ exactly such multi-hop local maps.  The default collection radius here is
 2 hops; a 1-hop mode (Algorithm 1's most literal reading) is available and
 benchmarked as an ablation -- it floods the interior with false positives
 because each ball's far side is invisible to the check.
+
+Engines
+-------
+:func:`build_frames` constructs every node's frame through one of two
+engines with *observably identical* results:
+
+``pernode``
+    The oracle: one BFS, one O(m^2) Python-loop matrix assembly, and one
+    scalar MDS chain per node (:func:`establish_local_frame` in a loop).
+``batch`` (default)
+    One :meth:`~repro.network.graph.NetworkGraph.k_hop_collections` sweep
+    for every node's collection, partial matrices assembled by fancy
+    indexing the CSR edge arrays, and frames of equal size stacked into
+    ``(B, m, m)`` batches for the batched MDS chain in
+    :mod:`repro.geometry.mds`.
+
+The engine contract (enforced by the differential tests): member lists,
+one-hop counts, and SMACOF iteration counts agree *exactly*; coordinates
+agree within :data:`repro.geometry.mds.SMACOF_BATCH_COORD_TOL` (the batch
+SMACOF restructures its arithmetic -- Gram-identity distances, algebraic
+stress expansion -- which perturbs results at the 1e-12 level while
+taking the identical number of majorization steps).  Frames smaller than
+:data:`SCALAR_FALLBACK_MEMBERS` are delegated to the scalar MDS kernel
+*inside* the batch engine: near-isolated collections produce
+rank-deficient systems whose majorization trajectory is sensitive at the
+last-ulp level, batching amortizes nothing over their O(1) work, and the
+delegation makes them bit-identical to the oracle by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.geometry.mds import local_mds_embedding
+from repro.geometry.mds import local_mds_embedding, local_mds_embedding_batch
 from repro.network.graph import NetworkGraph
 from repro.network.measurement import MeasuredDistances
 
 #: Default collection radius in hops (see module docstring).
 DEFAULT_COLLECTION_HOPS = 2
+
+#: Frame-construction engines :func:`build_frames` accepts.
+ENGINES = ("batch", "pernode")
+
+#: Default engine (see the module docstring's "Engines" section).
+DEFAULT_ENGINE = "batch"
+
+#: Upper bound on frames per MDS batch -- beyond this the per-call numpy
+#: overhead is already amortized and larger stacks only cost memory.
+MAX_BATCH_FRAMES = 64
+
+#: Upper bound on ``B * m * m`` elements per batched partial-distance
+#: stack, keeping the working set of one batch a few tens of megabytes
+#: even for unusually large collections.
+MAX_BATCH_ELEMENTS = 1 << 22
+
+#: Collections with fewer members than this are embedded with the scalar
+#: MDS kernel even under the ``batch`` engine.  Such near-isolated frames
+#: yield rank-deficient stress systems whose majorization step count flips
+#: under last-ulp arithmetic differences, so the only way to honor the
+#: exact-iteration-count contract on them is to run the oracle's kernel --
+#: which costs nothing, as batching has no overhead to amortize at O(1)
+#: frame sizes.
+SCALAR_FALLBACK_MEMBERS = 8
 
 
 @dataclass
@@ -54,12 +105,18 @@ class LocalFrame:
     n_one_hop:
         Number of one-hop neighbors; rows ``1 .. n_one_hop`` of
         ``coordinates`` are the pair candidates for ball construction.
+    smacof_iterations:
+        SMACOF refinement steps the embedding took (0 for frames that do
+        not run MDS, e.g. ground-truth frames).  A deterministic
+        observable of the MDS chain: both engines must agree on it
+        exactly, which the differential tests pin down.
     """
 
     node: int
     members: List[int]
     coordinates: np.ndarray
     n_one_hop: int
+    smacof_iterations: int = 0
 
     @property
     def origin_coordinates(self) -> np.ndarray:
@@ -118,10 +175,129 @@ def establish_local_frame(
     """
     members, n_one_hop = _frame_members(graph, node, hops)
     partial = _partial_distance_matrix(graph, measured, members)
-    coords = local_mds_embedding(partial)
+    info: Dict[str, int] = {}
+    coords = local_mds_embedding(partial, info=info)
     return LocalFrame(
-        node=node, members=members, coordinates=coords, n_one_hop=n_one_hop
+        node=node,
+        members=members,
+        coordinates=coords,
+        n_one_hop=n_one_hop,
+        smacof_iterations=info.get("smacof_iterations", 0),
     )
+
+
+def build_frames(
+    graph: NetworkGraph,
+    measured: MeasuredDistances,
+    *,
+    hops: int = DEFAULT_COLLECTION_HOPS,
+    engine: str = DEFAULT_ENGINE,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[LocalFrame]:
+    """MDS local frames for ``nodes`` (all nodes by default), in order.
+
+    ``engine`` selects ``"batch"`` (default) or the ``"pernode"`` oracle;
+    both produce observably identical frames -- exact members and SMACOF
+    step counts, coordinates within a documented float tolerance (see the
+    module docstring).  Every
+    node's frame still reads only its own ``hops``-hop collection -- the
+    batch engine changes how the per-node computations are *scheduled*,
+    never what information they consume, so the paper's locality argument
+    is untouched.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    node_ids = (
+        list(range(graph.n_nodes)) if nodes is None else [int(n) for n in nodes]
+    )
+    if engine == "pernode":
+        return [
+            establish_local_frame(graph, measured, node, hops=hops)
+            for node in node_ids
+        ]
+    return _build_frames_batch(graph, measured, node_ids, hops)
+
+
+def _build_frames_batch(
+    graph: NetworkGraph,
+    measured: MeasuredDistances,
+    node_ids: List[int],
+    hops: int,
+) -> List[LocalFrame]:
+    """The ``batch`` engine behind :func:`build_frames`.
+
+    One multi-source BFS sweep yields every collection; frames are grouped
+    by member count ``m`` and embedded as ``(B, m, m)`` stacks so the MDS
+    chain's numpy call overhead is amortized ``B``-fold.  Partial matrices
+    come from fancy-indexing the CSR edge arrays -- no per-pair
+    ``has_edge``/``measured.get`` calls.
+    """
+    if not node_ids:
+        return []
+    indptr, indices = graph.csr()
+    edge_vals = graph.edge_values(measured.get)
+    collections = graph.k_hop_collections(hops, sources=node_ids)
+
+    # Ordered member arrays, mirroring _frame_members: the node itself,
+    # then its one-hop neighbors ascending, then the farther collection
+    # ascending (k_hop_collections returns nodes sorted ascending).
+    metas: List[tuple] = []
+    for node, (coll_nodes, coll_hops) in zip(node_ids, collections):
+        one_hop = coll_nodes[coll_hops == 1]
+        farther = coll_nodes[coll_hops >= 2]
+        members = np.concatenate((np.array([node], dtype=np.int64), one_hop, farther))
+        metas.append((node, members, int(one_hop.size)))
+
+    by_size: Dict[int, List[int]] = {}
+    for i, (_, members, _) in enumerate(metas):
+        by_size.setdefault(int(members.size), []).append(i)
+
+    frames: List[Optional[LocalFrame]] = [None] * len(metas)
+    # Scratch global->local index map, reset after each frame's gather.
+    local_index = np.full(graph.n_nodes, -1, dtype=np.int64)
+    for m, group in sorted(by_size.items()):
+        cap = max(1, min(MAX_BATCH_FRAMES, MAX_BATCH_ELEMENTS // max(1, m * m)))
+        local_rows = np.arange(m, dtype=np.int64)
+        for start in range(0, len(group), cap):
+            chunk = group[start : start + cap]
+            partial = np.full((len(chunk), m, m), np.inf)
+            partial[:, local_rows, local_rows] = 0.0
+            for b, i in enumerate(chunk):
+                members = metas[i][1]
+                local_index[members] = local_rows
+                row_starts = indptr[members]
+                counts = indptr[members + 1] - row_starts
+                total = int(counts.sum())
+                rows = np.repeat(local_rows, counts)
+                offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                csr_pos = np.repeat(row_starts, counts) + offsets
+                cols = local_index[indices[csr_pos]]
+                inside = cols >= 0
+                partial[b, rows[inside], cols[inside]] = edge_vals[csr_pos[inside]]
+                local_index[members] = -1
+            if m < SCALAR_FALLBACK_MEMBERS:
+                # Rank-deficient tiny frames: run the oracle's kernel
+                # per slice (see SCALAR_FALLBACK_MEMBERS).
+                coords = np.empty((len(chunk), m, 3))
+                iters = np.zeros(len(chunk), dtype=int)
+                for b in range(len(chunk)):
+                    info: Dict[str, int] = {}
+                    coords[b] = local_mds_embedding(partial[b], info=info)
+                    iters[b] = info["smacof_iterations"]
+            else:
+                coords, iters = local_mds_embedding_batch(partial)
+            for b, i in enumerate(chunk):
+                node, members, n_one_hop = metas[i]
+                frames[i] = LocalFrame(
+                    node=node,
+                    members=[int(x) for x in members],
+                    coordinates=coords[b].copy(),
+                    n_one_hop=n_one_hop,
+                    smacof_iterations=int(iters[b]),
+                )
+    return frames  # type: ignore[return-value]
 
 
 def local_frames(
@@ -162,14 +338,12 @@ def frame_distance_residual(graph: NetworkGraph, frame: LocalFrame) -> float:
     """
     members = np.asarray(frame.members, dtype=int)
     true_pts = graph.positions[members]
-    est_pts = frame.coordinates
-    diffs = []
+    est_pts = np.asarray(frame.coordinates, dtype=float)
     m = len(members)
-    for a in range(m):
-        for b in range(a + 1, m):
-            true_d = float(np.linalg.norm(true_pts[a] - true_pts[b]))
-            est_d = float(np.linalg.norm(est_pts[a] - est_pts[b]))
-            diffs.append(est_d - true_d)
-    if not diffs:
+    if m < 2:
         return 0.0
+    upper = np.triu_indices(m, k=1)
+    true_d = np.linalg.norm(true_pts[:, None, :] - true_pts[None, :, :], axis=-1)
+    est_d = np.linalg.norm(est_pts[:, None, :] - est_pts[None, :, :], axis=-1)
+    diffs = est_d[upper] - true_d[upper]
     return float(np.sqrt(np.mean(np.square(diffs))))

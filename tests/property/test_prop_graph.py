@@ -1,6 +1,7 @@
 """Property-based tests for NetworkGraph invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -57,3 +58,115 @@ class TestGraphInvariants:
         full = g.bfs_hops([0])
         capped = g.bfs_hops([0], max_hops=cap)
         assert capped == {n: d for n, d in full.items() if d <= cap}
+
+
+class TestCSRDerivedViews:
+    """The CSR-backed accessors must agree with first-principles recomputation."""
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_degrees_match_neighbor_counts(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        expected = np.array([g.neighbors(u).size for u in range(g.n_nodes)])
+        assert np.array_equal(g.degrees(), expected)
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_n_edges_matches_edge_list(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        listed = list(g.edges())
+        assert g.n_edges == len(listed)
+        assert g.n_edges == int(g.degrees().sum()) // 2
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_edge_array_matches_iterator_order(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        listed = list(g.edges())
+        arr = g.edge_array()
+        assert arr.shape == (len(listed), 2)
+        assert [tuple(row) for row in arr.tolist()] == listed
+        expected = sorted(
+            (u, int(v)) for u in range(g.n_nodes) for v in g.neighbors(u) if u < v
+        )
+        assert listed == expected
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_csr_rows_are_sorted_neighbors(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        indptr, indices = g.csr()
+        for u in range(g.n_nodes):
+            row = indices[indptr[u] : indptr[u + 1]]
+            assert np.array_equal(row, g.neighbors(u))
+
+
+class TestKHopCollections:
+    """The multi-source sweep versus the dict/deque BFS oracle."""
+
+    @given(positions, st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bfs_oracle_all_sources(self, pts, hops):
+        g = NetworkGraph(pts, radio_range=1.0)
+        collections = g.k_hop_collections(hops)
+        assert len(collections) == g.n_nodes
+        for source, (nodes, hop_counts) in enumerate(collections):
+            oracle = g.bfs_hops([source], max_hops=hops)
+            assert np.array_equal(nodes, np.sort(nodes))
+            assert {int(n): int(h) for n, h in zip(nodes, hop_counts)} == oracle
+
+    @given(positions, st.lists(st.integers(0, 19), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_source_subset_matches_full_sweep(self, pts, sources):
+        g = NetworkGraph(pts, radio_range=1.0)
+        full = g.k_hop_collections(2)
+        subset = g.k_hop_collections(2, sources=sources)
+        for s, (nodes, hop_counts) in zip(sources, subset):
+            assert np.array_equal(nodes, full[s][0])
+            assert np.array_equal(hop_counts, full[s][1])
+
+    @given(positions)
+    @settings(max_examples=40, deadline=None)
+    def test_hops_one_is_closed_neighborhood(self, pts):
+        g = NetworkGraph(pts, radio_range=1.0)
+        for source, (nodes, hop_counts) in enumerate(g.k_hop_collections(1)):
+            expected = sorted([source] + [int(v) for v in g.neighbors(source)])
+            assert nodes.tolist() == expected
+            assert all(
+                h == (0 if int(n) == source else 1)
+                for n, h in zip(nodes, hop_counts)
+            )
+
+    def test_disconnected_components_stay_separate(self):
+        # Two far-apart cliques: collections never cross the gap.
+        pts = np.array(
+            [[0, 0, 0], [0.5, 0, 0], [0, 0.5, 0],
+             [10, 0, 0], [10.5, 0, 0], [10, 0.5, 0]],
+            dtype=float,
+        )
+        g = NetworkGraph(pts, radio_range=1.0)
+        for source, (nodes, hop_counts) in enumerate(g.k_hop_collections(3)):
+            same_side = {n for n in range(6) if (n < 3) == (source < 3)}
+            assert set(nodes.tolist()) == same_side
+            assert g.bfs_hops([source], max_hops=3) == {
+                int(n): int(h) for n, h in zip(nodes, hop_counts)
+            }
+
+    def test_block_size_does_not_change_results(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0.0, 3.0, size=(30, 3))
+        g = NetworkGraph(pts, radio_range=1.0)
+        reference = g.k_hop_collections(2)
+        for block in (1, 7, 64):
+            blocked = g.k_hop_collections(2, block_size=block)
+            for (n1, h1), (n2, h2) in zip(reference, blocked):
+                assert np.array_equal(n1, n2) and np.array_equal(h1, h2)
+
+    def test_invalid_arguments_rejected(self):
+        g = NetworkGraph(np.zeros((3, 3)), radio_range=1.0)
+        with pytest.raises(ValueError):
+            g.k_hop_collections(-1)
+        with pytest.raises(ValueError):
+            g.k_hop_collections(2, sources=[5])
+        with pytest.raises(ValueError):
+            g.k_hop_collections(2, block_size=0)

@@ -1,6 +1,6 @@
-"""Determinism properties of the process-parallel UBF shard driver.
+"""Determinism properties of the process-parallel shard driver.
 
-Two properties pin the parallel path to the sequential semantics:
+Three properties pin the parallel paths to the sequential semantics:
 
 * **Worker-count invariance** -- the serialized detection result must be
   *byte-identical* for ``workers`` in {1, 2, 4}.  Sharding, worker
@@ -9,6 +9,9 @@ Two properties pin the parallel path to the sequential semantics:
   new labels) must permute the detected boundary set and nothing else.
   UBF is a per-node geometric predicate; its verdict cannot depend on the
   ID a node happens to carry or the shard it lands in.
+* **Frame-stage invariance** -- ``run_frames_parallel`` (step I sharded
+  over processes) must return byte-identical coordinates and identical
+  SMACOF step counts for any worker count, in every localization mode.
 """
 
 from __future__ import annotations
@@ -17,11 +20,17 @@ import numpy as np
 import pytest
 
 from repro import BoundaryDetector, DetectorConfig
-from repro.core.parallel import run_ubf_parallel, shard_nodes
+from repro.core.parallel import (
+    run_frames_parallel,
+    run_ubf_parallel,
+    shard_nodes,
+)
 from repro.core.ubf import run_ubf
 from repro.io.serialization import save_detection_result
-from repro.network.generator import Network
+from repro.network.generator import DeploymentConfig, Network, generate_network
 from repro.network.graph import NetworkGraph
+from repro.network.measurement import UniformAbsoluteError, measure_distances
+from repro.shapes.library import sphere_scenario
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -86,3 +95,82 @@ class TestNodeRelabelingInvariance:
         assert relabeled.boundary == expected_boundary
         assert relabeled.candidates == expected_candidates
         assert sorted(map(len, relabeled.groups)) == sorted(map(len, base.groups))
+
+
+@pytest.fixture(scope="module")
+def measured_network():
+    """A small sphere network with 30% measured-mode ranging error."""
+    network = generate_network(
+        sphere_scenario(),
+        DeploymentConfig(n_surface=120, n_interior=200, target_degree=14, seed=8),
+        scenario="sphere",
+    )
+    measured = measure_distances(
+        network.graph, UniformAbsoluteError(0.3), np.random.default_rng(8)
+    )
+    return network, measured
+
+
+def _frames_equal(a, b) -> bool:
+    return (
+        a.node == b.node
+        and a.members == b.members
+        and a.n_one_hop == b.n_one_hop
+        and a.smacof_iterations == b.smacof_iterations
+        and a.coordinates.tobytes() == b.coordinates.tobytes()
+    )
+
+
+class TestFrameStageWorkerInvariance:
+    @pytest.mark.parametrize("mode", ("mds", "true"))
+    def test_frames_byte_identical_across_worker_counts(
+        self, measured_network, mode
+    ):
+        network, measured = measured_network
+        reference = run_frames_parallel(network, measured, mode=mode, workers=1)
+        assert [f.node for f in reference] == list(range(network.graph.n_nodes))
+        for workers in WORKER_COUNTS[1:]:
+            frames = run_frames_parallel(
+                network, measured, mode=mode, workers=workers
+            )
+            assert all(_frames_equal(a, b) for a, b in zip(reference, frames)), (
+                f"mode={mode} workers={workers} changed the frame bytes"
+            )
+
+    def test_engine_oracle_agrees_through_the_driver(self, measured_network):
+        """Sharding composes with the engine contract: pernode through the
+        driver yields the same members and step counts as batch."""
+        network, measured = measured_network
+        batch = run_frames_parallel(network, measured, workers=2)
+        pernode = run_frames_parallel(
+            network, measured, engine="pernode", workers=2
+        )
+        for a, b in zip(batch, pernode):
+            assert a.members == b.members
+            assert a.smacof_iterations == b.smacof_iterations
+
+    def test_frames_feed_ubf_identically(self, measured_network):
+        """UBF over precomputed frames equals UBF that localizes inline."""
+        network, measured = measured_network
+        frames = {
+            f.node: f
+            for f in run_frames_parallel(network, measured, workers=2)
+        }
+        with_frames = run_ubf_parallel(
+            network, measured=measured, localization="mds", frames=frames
+        )
+        inline = run_ubf_parallel(
+            network, measured=measured, localization="mds"
+        )
+        assert [o.is_candidate for o in with_frames] == [
+            o.is_candidate for o in inline
+        ]
+
+    def test_invalid_mode_and_missing_measurements_rejected(
+        self, measured_network
+    ):
+        network, _ = measured_network
+        with pytest.raises(ValueError, match="mode"):
+            run_frames_parallel(network, mode="fast")
+        with pytest.raises(ValueError, match="measured"):
+            run_frames_parallel(network, mode="mds")

@@ -1,0 +1,174 @@
+"""Differential tests for the batched localization engine.
+
+The engine contract (see :mod:`repro.network.localization`): for every
+node, ``batch`` and ``pernode`` produce the same member list, the same
+one-hop count, and *exactly* the same SMACOF iteration count, with
+coordinates within :data:`repro.geometry.mds.SMACOF_BATCH_COORD_TOL`.
+The contract is checked across every library scenario and both noise
+regimes (perfect ranging and the paper's 30% measured-mode error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.configschema import extract_config_schema
+from repro.core.config import DetectorConfig, LocalizationConfig
+from repro.geometry.mds import SMACOF_BATCH_COORD_TOL
+from repro.network.generator import DeploymentConfig, generate_network
+from repro.network.localization import (
+    LocalFrame,
+    build_frames,
+    establish_local_frame,
+    frame_distance_residual,
+)
+from repro.network.measurement import (
+    NoError,
+    UniformAbsoluteError,
+    measure_distances,
+)
+from repro.shapes.library import SCENARIOS, scenario_by_name
+
+NOISE_MODELS = {
+    "perfect": NoError(),
+    "measured_30pct": UniformAbsoluteError(0.3),
+}
+
+
+def _small_network(scenario: str):
+    return generate_network(
+        scenario_by_name(scenario),
+        DeploymentConfig(
+            n_surface=60, n_interior=90, target_degree=12.0, seed=17
+        ),
+        scenario=scenario,
+    )
+
+
+def _assert_frames_observably_identical(batch, pernode):
+    assert len(batch) == len(pernode)
+    for a, b in zip(batch, pernode):
+        assert a.node == b.node
+        assert a.members == b.members
+        assert a.n_one_hop == b.n_one_hop
+        assert a.smacof_iterations == b.smacof_iterations
+        deviation = float(np.abs(a.coordinates - b.coordinates).max())
+        assert deviation <= SMACOF_BATCH_COORD_TOL, (
+            f"node {a.node}: coordinate deviation {deviation:.3e} exceeds "
+            f"{SMACOF_BATCH_COORD_TOL:.0e}"
+        )
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("noise", sorted(NOISE_MODELS))
+    def test_batch_matches_pernode_oracle(self, scenario, noise):
+        network = _small_network(scenario)
+        measured = measure_distances(
+            network.graph, NOISE_MODELS[noise], np.random.default_rng(23)
+        )
+        batch = build_frames(network.graph, measured, engine="batch")
+        pernode = build_frames(network.graph, measured, engine="pernode")
+        _assert_frames_observably_identical(batch, pernode)
+
+    def test_engines_agree_on_node_subsets(self):
+        network = _small_network("sphere")
+        measured = measure_distances(
+            network.graph, UniformAbsoluteError(0.3), np.random.default_rng(3)
+        )
+        nodes = [5, 0, 42, 17]
+        batch = build_frames(network.graph, measured, nodes=nodes)
+        pernode = build_frames(
+            network.graph, measured, engine="pernode", nodes=nodes
+        )
+        assert [f.node for f in batch] == nodes
+        _assert_frames_observably_identical(batch, pernode)
+
+    def test_batch_is_partition_invariant(self):
+        """A frame's bits must not depend on which batch it lands in."""
+        network = _small_network("sphere")
+        graph = network.graph
+        measured = measure_distances(
+            graph, UniformAbsoluteError(0.3), np.random.default_rng(3)
+        )
+        whole = build_frames(graph, measured)
+        split = build_frames(
+            graph, measured, nodes=range(graph.n_nodes // 2)
+        ) + build_frames(
+            graph, measured, nodes=range(graph.n_nodes // 2, graph.n_nodes)
+        )
+        for a, b in zip(whole, split):
+            assert a.members == b.members
+            assert a.smacof_iterations == b.smacof_iterations
+            assert a.coordinates.tobytes() == b.coordinates.tobytes()
+
+    def test_pernode_matches_establish_local_frame(self):
+        network = _small_network("sphere")
+        measured = measure_distances(
+            network.graph, NoError(), np.random.default_rng(0)
+        )
+        frames = build_frames(network.graph, measured, engine="pernode")
+        direct = establish_local_frame(network.graph, measured, 7)
+        assert frames[7].members == direct.members
+        assert np.array_equal(frames[7].coordinates, direct.coordinates)
+
+    def test_unknown_engine_rejected(self):
+        network = _small_network("sphere")
+        measured = measure_distances(
+            network.graph, NoError(), np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="engine"):
+            build_frames(network.graph, measured, engine="fast")
+
+
+class TestResidualVectorization:
+    def test_matches_python_pair_loop(self):
+        """Regression: the broadcasted residual equals the original loop."""
+        network = _small_network("sphere")
+        measured = measure_distances(
+            network.graph, UniformAbsoluteError(0.3), np.random.default_rng(9)
+        )
+        frame = establish_local_frame(network.graph, measured, 11)
+        members = np.asarray(frame.members, dtype=int)
+        true_pts = network.graph.positions[members]
+        est_pts = np.asarray(frame.coordinates, dtype=float)
+        diffs = [
+            np.linalg.norm(est_pts[a] - est_pts[b])
+            - np.linalg.norm(true_pts[a] - true_pts[b])
+            for a in range(len(members))
+            for b in range(a + 1, len(members))
+        ]
+        expected = float(np.sqrt(np.mean(np.square(diffs))))
+        assert frame_distance_residual(network.graph, frame) == pytest.approx(
+            expected, rel=0, abs=1e-12
+        )
+
+    def test_degenerate_frame_is_zero(self):
+        network = _small_network("sphere")
+        frame = LocalFrame(
+            node=0, members=[0], coordinates=np.zeros((1, 3)), n_one_hop=0
+        )
+        assert frame_distance_residual(network.graph, frame) == 0.0
+
+
+class TestLocalizationConfig:
+    def test_defaults_to_batch(self):
+        assert LocalizationConfig().engine == "batch"
+        assert DetectorConfig().localization_config.engine == "batch"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            LocalizationConfig(engine="fast")
+
+    def test_engine_key_registered_with_cfg006(self):
+        """repro-lint's config-key registry must know the new key."""
+        import repro.core.config as config_module
+        import inspect
+
+        schema = extract_config_schema(inspect.getsource(config_module))
+        assert "engine" in schema.classes["LocalizationConfig"].fields
+        assert (
+            schema.resolve_chain("DetectorConfig", "localization_config")
+            == "LocalizationConfig"
+        )
