@@ -12,11 +12,23 @@ enforces the invariants the paper's claims rest on:
 * **MUT004** mutable default arguments;
 * **EXC005** bare / over-broad ``except``;
 * **CFG006** config keys must exist on the dataclasses in
-  ``repro/core/config.py``.
+  ``repro/core/config.py``;
+* **DET007** no set iteration / unsorted filesystem enumeration in
+  ranked layers;
+* **PAR008** pool payloads must be module-level picklable functions
+  without module-global mutation;
+* **FLT009** no exact float ``==``/``!=`` or float reductions over
+  unordered collections in ranked layers;
+* **TRC010** tracer spans entered with ``with``; metric names keep one
+  kind.
 
 Run as ``repro-lint <paths>`` or ``python -m repro.analysis <paths>``.
 Per-line escape hatch: ``# lint: allow[CODE] -- justification``.
 See ``docs/STATIC_ANALYSIS.md`` for the full catalogue.
+
+The dynamic half of the sanitizer lives in
+:mod:`repro.analysis.sanitize` (``repro-san``): it re-runs a pinned
+scenario across hash seeds and worker counts and byte-diffs the outputs.
 """
 
 from repro.analysis.cli import main

@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from repro.analysis.engine import lint_paths
 from repro.analysis.registry import iter_rules
-from repro.analysis.reporter import render_rule_list, report
+from repro.analysis.reporter import render_rule_list, report, report_json
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the summary line (diagnostics only)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "output format; json emits a sorted-key document that also "
+            "lists suppressed findings (default: text)"
+        ),
+    )
     return parser
 
 
@@ -69,7 +78,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-    diagnostics, errors = lint_paths(args.paths, select=select)
+    keep_suppressed = args.format == "json"
+    diagnostics, errors = lint_paths(
+        args.paths, select=select, keep_suppressed=keep_suppressed
+    )
+    if args.format == "json":
+        return report_json(diagnostics, errors)
     return report(diagnostics, errors, quiet=args.quiet)
 
 

@@ -1,14 +1,18 @@
 """Diagnostic records emitted by lint rules.
 
 A diagnostic pinpoints one violation: the file, the 1-based line, the rule
-code (``LOC001`` .. ``CFG006``), and a human-readable message.  The render
+code (``LOC001`` .. ``TRC010``), and a human-readable message.  The render
 format is the conventional ``file:line: CODE message`` so editors and CI
-annotators can parse it.
+annotators can parse it.  ``suppressed`` marks findings silenced by a
+``# lint: allow[...]`` comment; the engine drops them by default and only
+materializes them (flagged) when asked, so machine-readable output can
+show reviewers what the escape hatch is hiding.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 
 @dataclass(frozen=True, order=True)
@@ -19,6 +23,17 @@ class Diagnostic:
     line: int
     code: str
     message: str
+    suppressed: bool = False
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form with the fields CI annotators consume."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }

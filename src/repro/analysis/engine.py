@@ -11,6 +11,7 @@ hermetic environments with no network access.  Entry points:
 from __future__ import annotations
 
 import ast
+import dataclasses
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -57,11 +58,15 @@ def _run_rules(
     module: ModuleContext,
     project: ProjectContext,
     select: Optional[Sequence[str]],
+    keep_suppressed: bool = False,
 ) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     for rule in iter_rules(select):
         for diag in rule.check(module, project):
-            if not is_suppressed(module.suppressions, diag.line, diag.code):
+            if is_suppressed(module.suppressions, diag.line, diag.code):
+                if keep_suppressed:
+                    out.append(dataclasses.replace(diag, suppressed=True))
+            else:
                 out.append(diag)
     return out
 
@@ -70,12 +75,16 @@ def lint_paths(
     paths: Sequence[Path],
     *,
     select: Optional[Sequence[str]] = None,
+    keep_suppressed: bool = False,
 ) -> Tuple[List[Diagnostic], List[str]]:
     """Lint every ``.py`` file under ``paths``.
 
     Returns ``(diagnostics, errors)`` where ``errors`` are file-level
     problems (unreadable file, syntax error) reported separately from rule
-    findings so a broken file cannot masquerade as a clean one.
+    findings so a broken file cannot masquerade as a clean one.  With
+    ``keep_suppressed``, findings silenced by ``# lint: allow[...]`` are
+    returned too, marked ``suppressed=True`` (the JSON reporter shows them
+    so the escape hatch stays auditable); they never affect exit codes.
     """
     files = discover_files([Path(p) for p in paths])
     project = build_project_context(files)
@@ -90,7 +99,7 @@ def lint_paths(
         except SyntaxError as exc:
             errors.append(f"{file_path}:{exc.lineno or 0}: syntax error: {exc.msg}")
             continue
-        diagnostics.extend(_run_rules(module, project, select))
+        diagnostics.extend(_run_rules(module, project, select, keep_suppressed))
     return sorted(diagnostics), errors
 
 
@@ -101,6 +110,7 @@ def lint_source(
     path: str = "<string>",
     config_source: Optional[str] = None,
     select: Optional[Sequence[str]] = None,
+    keep_suppressed: bool = False,
 ) -> List[Diagnostic]:
     """Lint one in-memory module (unit-test entry point).
 
@@ -110,7 +120,7 @@ def lint_source(
     module = ModuleContext.from_source(source, path=path, module_name=module_name)
     schema = extract_config_schema(config_source) if config_source is not None else None
     project = ProjectContext(config_schema=schema)
-    return sorted(_run_rules(module, project, select))
+    return sorted(_run_rules(module, project, select, keep_suppressed))
 
 
 def parse_check(source: str) -> ast.Module:

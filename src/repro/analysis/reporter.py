@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import List, Optional, Sequence, TextIO
 
@@ -20,24 +21,52 @@ def report(
 
     0 -- clean; 1 -- rule violations; 2 -- file-level errors (unreadable
     or unparsable input), which dominate because a file the linter cannot
-    read is not known to be clean.
+    read is not known to be clean.  Suppressed diagnostics (present only
+    when the engine ran with ``keep_suppressed``) never count toward the
+    exit code.
     """
     out = stream if stream is not None else sys.stdout
-    for diag in diagnostics:
+    active = [diag for diag in diagnostics if not diag.suppressed]
+    for diag in active:
         print(diag.render(), file=out)
     for error in errors:
         print(f"error: {error}", file=out)
     if not quiet:
-        if diagnostics or errors:
-            counts = _counts_by_code(diagnostics)
+        if active or errors:
+            counts = _counts_by_code(active)
             summary = ", ".join(f"{code} x{n}" for code, n in counts)
             if summary:
-                print(f"repro-lint: {len(diagnostics)} finding(s): {summary}", file=out)
+                print(f"repro-lint: {len(active)} finding(s): {summary}", file=out)
         else:
             print("repro-lint: clean", file=out)
     if errors:
         return 2
-    return 1 if diagnostics else 0
+    return 1 if active else 0
+
+
+def report_json(
+    diagnostics: Sequence[Diagnostic],
+    errors: Sequence[str],
+    *,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Machine-readable variant of :func:`report` (``--format json``).
+
+    Emits one JSON document with sorted keys so output is byte-stable:
+    ``findings`` (each with ``code``/``path``/``line``/``message``/
+    ``suppressed``) and ``errors``.  Suppressed findings are listed --
+    the ``# lint: allow`` escape hatch stays auditable -- but only
+    unsuppressed ones drive the exit code, matching text mode.
+    """
+    out = stream if stream is not None else sys.stdout
+    doc = {
+        "errors": list(errors),
+        "findings": [diag.as_dict() for diag in diagnostics],
+    }
+    print(json.dumps(doc, sort_keys=True, indent=2), file=out)
+    if errors:
+        return 2
+    return 1 if any(not diag.suppressed for diag in diagnostics) else 0
 
 
 def _counts_by_code(diagnostics: Sequence[Diagnostic]) -> List[tuple]:

@@ -1,0 +1,237 @@
+"""DET007 -- nondeterministic iteration order in ranked layers.
+
+The repo's caching, sharding, and byte-diff claims all rest on one
+premise: identical inputs produce identical outputs, byte for byte.  Two
+stdlib conveniences silently break that premise:
+
+* **Iterating a ``set``/``frozenset``.**  Iteration order depends on the
+  elements' hashes; for strings (and any object falling back to
+  ``PYTHONHASHSEED``-salted hashing) the order changes *between
+  interpreter runs*.  Results assembled by walking a set -- group lists,
+  output rows, dict displays built from set comprehensions -- therefore
+  differ run to run even for identical inputs.
+* **Unsorted filesystem enumeration.**  ``os.listdir``, ``os.scandir``,
+  ``glob.glob`` and ``Path.iterdir``/``glob``/``rglob`` return entries in
+  whatever order the OS hands back -- stable on one machine, different on
+  the next.
+
+The rule fires only inside ranked layers of the import DAG (modules the
+layering table in :mod:`repro.analysis.context` knows about): that is the
+code whose outputs the determinism contract covers.  The fix is almost
+always ``sorted(...)`` at the iteration point; where unordered iteration
+is genuinely harmless (feeding a commutative reduction into an ordered
+sink, say) use ``# lint: allow[DET007]`` with a justification.
+
+Provability, not suspicion: the rule flags only expressions it can
+*prove* are sets -- set displays, set comprehensions, ``set(...)`` /
+``frozenset(...)`` calls, set-algebra binops of proven sets, and names
+whose every binding in the module is one of those.  A name ever bound to
+anything else (or shadowed by a loop target, parameter, or import) is
+left alone, so there are no false positives by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.context import ModuleContext, ProjectContext, layer_of
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+#: Constructor names whose call results are provably sets.
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: Set-algebra operators: applied to a proven set, the result is a set.
+SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Builtins that materialize their argument's iteration order into an
+#: ordered result -- passing a set through them bakes the nondeterministic
+#: order in.
+ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: ``os``/``glob`` module-level functions returning entries in OS order.
+FS_MODULE_FUNCS: FrozenSet[Tuple[str, str]] = frozenset(
+    {("os", "listdir"), ("os", "scandir"), ("glob", "glob"), ("glob", "iglob")}
+)
+
+#: ``pathlib.Path`` methods returning entries in OS order.
+FS_PATH_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _name_of(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def collect_set_names(tree: ast.Module) -> Set[str]:
+    """Names whose *every* binding in the module is a provable set.
+
+    One fixpoint-free pass: a name qualifies when all its ``=``/``:=``
+    assignments carry literal-level set expressions and the name is never
+    rebound by a loop target, ``with`` alias, comprehension target,
+    parameter, import, or augmented assignment (those make its type
+    unknowable here).
+    """
+    assigned: Dict[str, List[ast.expr]] = {}
+    tainted: Set[str] = set()
+
+    def taint_target(target: ast.expr) -> None:
+        for node in ast.walk(target):
+            name = _name_of(node)
+            if name:
+                tainted.add(name)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _name_of(target)
+                if name is not None:
+                    assigned.setdefault(name, []).append(node.value)
+                else:
+                    taint_target(target)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            name = _name_of(node.target)
+            if name is not None:
+                assigned.setdefault(name, []).append(node.value)
+        elif isinstance(node, ast.NamedExpr):
+            name = _name_of(node.target)
+            if name is not None:
+                assigned.setdefault(name, []).append(node.value)
+        elif isinstance(node, ast.AugAssign):
+            taint_target(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            taint_target(node.target)
+        elif isinstance(node, ast.comprehension):
+            taint_target(node.target)
+        elif isinstance(node, (ast.withitem,)) and node.optional_vars is not None:
+            taint_target(node.optional_vars)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                tainted.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                tainted.add(arg.arg)
+            for vararg in (args.vararg, args.kwarg):
+                if vararg is not None:
+                    tainted.add(vararg.arg)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            tainted.update(node.names)
+
+    return {
+        name
+        for name, values in assigned.items()
+        if name not in tainted
+        and all(is_provable_set(value, frozenset()) for value in values)
+    }
+
+
+def is_provable_set(node: ast.expr, set_names: FrozenSet[str]) -> bool:
+    """True when ``node`` is a set beyond doubt (see module docstring)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _name_of(node.func)
+        return name in SET_CONSTRUCTORS
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, SET_BINOPS):
+        return is_provable_set(node.left, set_names) or is_provable_set(
+            node.right, set_names
+        )
+    return False
+
+
+def iteration_sites(tree: ast.Module) -> Iterator[Tuple[ast.expr, str]]:
+    """Yield ``(iterable_expr, context_description)`` for order-sensitive sinks."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, "for loop"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter, "comprehension"
+        elif isinstance(node, ast.Call):
+            func_name = _name_of(node.func)
+            if func_name in ORDER_SENSITIVE_WRAPPERS and node.args:
+                yield node.args[0], f"{func_name}()"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+            ):
+                yield node.args[0], "str.join()"
+
+
+def build_parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    """Map ``id(child)`` to its parent node for wrapped-call checks."""
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _is_sorted_wrapped(node: ast.AST, parents: Dict[int, ast.AST]) -> bool:
+    parent = parents.get(id(node))
+    return (
+        isinstance(parent, ast.Call)
+        and _name_of(parent.func) == "sorted"
+        and bool(parent.args)
+        and parent.args[0] is node
+    )
+
+
+@register
+class DeterministicOrderRule(Rule):
+    code = "DET007"
+    summary = (
+        "no iteration over sets and no unsorted filesystem enumeration in "
+        "ranked layers (hash/OS order leaks into results)"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        if layer_of(module.module_name) is None:
+            return
+        set_names = frozenset(collect_set_names(module.tree))
+        for iterable, context in iteration_sites(module.tree):
+            if is_provable_set(iterable, set_names):
+                yield self.diagnostic(
+                    module,
+                    iterable.lineno,
+                    f"iteration over a set in {context}: set order is "
+                    "hash-dependent and varies across runs; iterate "
+                    "sorted(...) or an ordered container",
+                )
+        parents = build_parent_map(module.tree)
+        yield from self._check_fs_enumeration(module, parents)
+
+    def _check_fs_enumeration(
+        self, module: ModuleContext, parents: Dict[int, ast.AST]
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            shown = self._fs_call_name(node)
+            if shown is None or _is_sorted_wrapped(node, parents):
+                continue
+            yield self.diagnostic(
+                module,
+                node.lineno,
+                f"unsorted {shown}: directory order is OS-dependent; wrap "
+                "the call in sorted(...) so downstream output is stable",
+            )
+
+    @staticmethod
+    def _fs_call_name(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            base = _name_of(func.value)
+            if base is not None and (base, func.attr) in FS_MODULE_FUNCS:
+                return f"{base}.{func.attr}()"
+            if func.attr in FS_PATH_METHODS and base not in ("os", "glob"):
+                return f".{func.attr}()"
+        return None

@@ -1,0 +1,103 @@
+"""FLT009 -- float hazards on result-bearing paths.
+
+Boundary verdicts must not flip with the last ulp of a computation.  Two
+hazards are statically recognizable:
+
+* **Exact equality against a float.**  ``x == 0.0`` / ``x != 1.5`` is a
+  knife edge: the comparison outcome depends on rounding that varies with
+  evaluation order, vectorization width, and compiler flags.  The
+  scale-invariance bug this rule pack shipped with (an absolute
+  degeneracy cutoff in the ball-fit kernel flipping verdicts under
+  uniform scaling) is exactly this class.  Use a tolerance scaled to the
+  operands -- or, where *exact* zero genuinely is the sentinel (a config
+  field compared to its default, a division guard whose near-zero cases
+  are masked separately), annotate with ``# lint: allow[FLT009]`` and a
+  justification.
+* **Float reduction over an unordered collection.**  ``sum`` over a
+  ``set`` accumulates in hash order; float addition is not associative,
+  so the low bits of the result change run to run.  Sort first, or
+  reduce over an ordered container.
+
+Like DET007, the rule fires only inside ranked layers (see
+:mod:`repro.analysis.context`): evaluation scripts and tests may compare
+floats exactly on purpose.  Only provable cases are flagged -- a float
+literal (or unary minus / ``float(...)`` call around one) on either side
+of ``==``/``!=``, and ``sum(...)`` over an expression proven to be a set
+by the DET007 machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext, ProjectContext, layer_of
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules.determinism import collect_set_names, is_provable_set
+
+
+def _float_operand(node: ast.expr) -> Optional[str]:
+    """Rendered form of ``node`` when it is provably a float expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return repr(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _float_operand(node.operand)
+        if inner is not None:
+            sign = "-" if isinstance(node.op, ast.USub) else "+"
+            return f"{sign}{inner}"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return "float(...)"
+    return None
+
+
+@register
+class FloatHazardRule(Rule):
+    code = "FLT009"
+    summary = (
+        "no exact ==/!= against float values and no float reductions over "
+        "unordered collections in ranked layers"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        if layer_of(module.module_name) is None:
+            return
+        set_names = frozenset(collect_set_names(module.tree))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+                and is_provable_set(node.args[0], set_names)
+            ):
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    "sum() over a set accumulates floats in hash order "
+                    "(addition is not associative); sort the elements first",
+                )
+
+    def _check_compare(self, module: ModuleContext, node: ast.Compare) -> Iterator[Diagnostic]:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            shown = _float_operand(left) or _float_operand(right)
+            if shown is None:
+                continue
+            symbol = "==" if isinstance(op, ast.Eq) else "!="
+            yield self.diagnostic(
+                module,
+                node.lineno,
+                f"exact {symbol} against float {shown}: use a tolerance "
+                "(math.isclose / np.isclose or an explicit eps scaled to "
+                "the operands), or allow[FLT009] where exact zero is the "
+                "intended sentinel",
+            )

@@ -1,0 +1,116 @@
+"""TRC010 -- observability misuse detectable statically.
+
+Two contract violations against :mod:`repro.observability` are visible in
+the AST:
+
+* **Spans opened outside a context manager.**  ``tracer.span(...)``
+  returns an *unentered* context manager; calling it as a bare statement
+  (or stashing it without ``with``) records nothing and -- worse --
+  silently unbalances the caller's mental model of the trace.  The only
+  correct forms are ``with tracer.span(...) [as s]:`` and returning the
+  context manager to a caller that enters it.  The check keys on the
+  receiver spelling (a final identifier containing ``tracer``), so
+  unrelated ``.span()`` methods (e.g. ``re.Match.span``) are untouched.
+* **Metric kind conflicts.**  ``registry.counter("x")`` after
+  ``registry.gauge("x")`` raises ``TypeError`` at run time -- but only on
+  the run that reaches the second call site.  When both sites name the
+  metric with a string literal the conflict is provable statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules.determinism import build_parent_map
+
+#: Receiver identifiers (final segment, lowercased substring match)
+#: treated as tracers / metric registries.
+TRACER_RECEIVER_HINT = "tracer"
+REGISTRY_RECEIVER_HINTS = ("registry", "metrics")
+
+#: MetricsRegistry factory methods, keyed to the kind they create.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _final_identifier(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class TracingMisuseRule(Rule):
+    code = "TRC010"
+    summary = (
+        "tracer spans must be entered with 'with'; metric names must keep "
+        "one kind per module"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectContext) -> Iterator[Diagnostic]:
+        parents = build_parent_map(module.tree)
+        yield from self._check_spans(module, parents)
+        yield from self._check_metric_kinds(module)
+
+    def _check_spans(
+        self, module: ModuleContext, parents: Dict[int, ast.AST]
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "span"):
+                continue
+            receiver = _final_identifier(func.value)
+            if receiver is None or TRACER_RECEIVER_HINT not in receiver.lower():
+                continue
+            parent = parents.get(id(node))
+            if isinstance(parent, ast.withitem) and parent.context_expr is node:
+                continue
+            if isinstance(parent, ast.Return):
+                continue  # handing the context manager to the caller
+            yield self.diagnostic(
+                module,
+                node.lineno,
+                f"span opened on '{receiver}' without a 'with' block: the "
+                "context manager is never entered, so the span is never "
+                "recorded; write 'with ...span(...) as s:'",
+            )
+
+    def _check_metric_kinds(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        first_kind: Dict[str, Tuple[str, int]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in METRIC_KINDS):
+                continue
+            receiver = _final_identifier(func.value)
+            if receiver is None or not any(
+                hint in receiver.lower() for hint in REGISTRY_RECEIVER_HINTS
+            ):
+                continue
+            if not (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            name = node.args[0].value
+            kind = func.attr
+            seen = first_kind.get(name)
+            if seen is None:
+                first_kind[name] = (kind, node.lineno)
+            elif seen[0] != kind:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    f"metric {name!r} requested as {kind} but registered as "
+                    f"{seen[0]} on line {seen[1]}; a kind conflict raises "
+                    "TypeError on the first run that reaches this call",
+                )

@@ -63,7 +63,7 @@ from repro.network.generator import DeploymentConfig, generate_network
 from repro.network.measurement import NoError, UniformAbsoluteError
 from repro.network.stats import compute_network_stats
 from repro.observability.export import write_trace
-from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.observability.tracer import NULL_TRACER, TickClock, Tracer
 from repro.shapes.library import SCENARIOS, scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
 
@@ -76,11 +76,22 @@ def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
         help="write a structured JSONL execution trace here "
         "(see docs/OBSERVABILITY.md)",
     )
+    parser.add_argument(
+        "--trace-clock",
+        choices=("wall", "tick"),
+        default="wall",
+        help="span timestamp source: wall time, or a deterministic tick "
+        "counter so traces byte-diff across runs (default: wall)",
+    )
 
 
 def _tracer_from_args(args) -> "Tracer":
     """A live tracer when ``--trace`` was given, else the no-op singleton."""
-    return Tracer() if getattr(args, "trace", None) else NULL_TRACER
+    if not getattr(args, "trace", None):
+        return NULL_TRACER
+    if getattr(args, "trace_clock", "wall") == "tick":
+        return Tracer(clock=TickClock(), shard_clock=TickClock)
+    return Tracer()
 
 
 def _write_trace_if_requested(args, tracer) -> None:

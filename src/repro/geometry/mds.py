@@ -389,9 +389,8 @@ def smacof_refine_batch(
     except np.linalg.LinAlgError:
         evals, evecs = np.linalg.eigh(a)
         cutoff = 1e-15 * m * np.abs(evals).max(axis=1, keepdims=True)
-        inv_vals = np.where(
-            np.abs(evals) > cutoff, 1.0 / np.where(evals != 0.0, evals, 1.0), 0.0
-        )
+        keep = np.abs(evals) > cutoff
+        inv_vals = np.where(keep, 1.0 / np.where(keep, evals, 1.0), 0.0)
         v_pinv = (evecs * inv_vals[:, None, :]) @ np.swapaxes(evecs, -1, -2)
     v_pinv -= correction
     xa = x[live]

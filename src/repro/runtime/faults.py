@@ -152,10 +152,10 @@ class FaultPlan:
     def is_ideal(self) -> bool:
         """True when the plan injects no faults at all."""
         return (
-            self.loss_rate == 0.0
+            self.loss_rate == 0.0  # lint: allow[FLT009] -- exact zero is the "no faults configured" sentinel, never a computed value
             and not self.link_loss
             and self.burst is None
-            and self.duplicate_rate == 0.0
+            and self.duplicate_rate == 0.0  # lint: allow[FLT009] -- exact zero is the "no faults configured" sentinel, never a computed value
             and self.delay is None
             and not self.crashes
         )

@@ -384,7 +384,7 @@ def distributed_landmark_election(
             dist = result.states[node]["dist"]
             if node in new_landmarks:
                 suppressed.add(node)
-            elif any(lm in dist for lm in new_landmarks):
+            elif any(lm in dist for lm in new_landmarks):  # lint: allow[DET007] -- any() over membership tests is commutative; order cannot change the verdict
                 suppressed.add(node)
         undecided -= suppressed
     return sorted(landmarks), total_messages

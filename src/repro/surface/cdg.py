@@ -42,7 +42,7 @@ def build_cdg(
     """
     members: Set[int] = set(int(g) for g in group)
     edges: Set[Edge] = set()
-    for node in members:
+    for node in sorted(members):
         own = cells.get(node)
         if own is None:
             continue

@@ -55,9 +55,9 @@ def _mark_path(
     """Record that ``path`` realizes ``edge``, with one-hop dilation."""
     covered = set(path[1:-1])
     dilated = set(covered)
-    for node in covered:
+    for node in sorted(covered):
         dilated.update(int(v) for v in graph.neighbors(node) if int(v) in members)
-    for node in dilated:
+    for node in sorted(dilated):
         marks[node].add(edge)
 
 

@@ -407,6 +407,266 @@ def test_cfg006_schema_extraction():
     assert schema.resolve_chain("DetectorConfig", "ubf") == "UBFConfig"
 
 
+# ---------------------------------------------------------------- DET007
+
+
+def test_det007_flags_set_iteration_forms():
+    diags = lint(
+        """
+        GROUPS = {1, 2, 3}
+
+        def f(xs):
+            for g in GROUPS:
+                print(g)
+            rows = [x for x in {n for n in xs}]
+            return list(set(xs)), rows
+        """
+    )
+    assert codes(diags) == ["DET007"] * 3
+
+
+def test_det007_flags_unsorted_fs_enumeration_and_accepts_sorted():
+    diags = lint(
+        """
+        import os
+        from pathlib import Path
+
+        def f(root):
+            a = os.listdir(root)
+            b = list(Path(root).iterdir())
+            c = sorted(os.listdir(root))
+            d = sorted(Path(root).glob("*.json"))
+            return a, b, c, d
+        """
+    )
+    assert codes(diags) == ["DET007", "DET007"]
+    assert "os.listdir" in diags[0].message
+
+
+def test_det007_accepts_sorted_sets_and_untyped_names():
+    diags = lint(
+        """
+        def f(xs, maybe_set):
+            for x in sorted(set(xs)):
+                print(x)
+            for y in maybe_set:
+                print(y)
+            return sum(1 for _ in xs)
+        """
+    )
+    assert diags == []
+
+
+def test_det007_rebound_names_are_not_provable_sets():
+    # ``items`` is assigned a set once but later rebound to a list: the
+    # rule must not flag iteration over it.
+    diags = lint(
+        """
+        def f(xs):
+            items = {1, 2}
+            items = sorted(items)
+            for x in items:
+                print(x)
+        """
+    )
+    assert diags == []
+
+
+def test_det007_silent_outside_ranked_layers():
+    diags = lint(
+        """
+        def f(xs):
+            for x in set(xs):
+                print(x)
+        """,
+        module_name="scripts.helper",
+    )
+    assert diags == []
+
+
+# ---------------------------------------------------------------- PAR008
+
+
+def test_par008_flags_lambda_and_nested_payloads():
+    diags = lint(
+        """
+        def drive(pool, xs, rng):
+            def worker(x):
+                return rng.random() * x
+            pool.map(lambda x: x + 1, xs)
+            return pool.map(worker, xs)
+        """
+    )
+    assert codes(diags) == ["PAR008", "PAR008"]
+    assert "lambda" in diags[0].message
+    assert "worker" in diags[1].message
+
+
+def test_par008_flags_global_mutation_in_worker():
+    diags = lint(
+        """
+        CACHE = {}
+
+        def worker(x):
+            CACHE[x] = x * 2
+            return CACHE[x]
+
+        def drive(xs):
+            from repro.core.parallel import run_sharded
+            return run_sharded(worker, xs)
+        """
+    )
+    assert codes(diags) == ["PAR008"]
+    assert "CACHE" in diags[0].message
+
+
+def test_par008_flags_initializer_and_mutator_methods():
+    diags = lint(
+        """
+        STATE = []
+
+        def init(payload):
+            STATE.append(payload)
+
+        def work(x):
+            return x
+
+        def drive(xs):
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(initializer=init) as pool:
+                return list(pool.map(work, xs))
+        """
+    )
+    assert codes(diags) == ["PAR008"]
+    assert "STATE" in diags[0].message
+
+
+def test_par008_accepts_pure_module_level_worker():
+    diags = lint(
+        """
+        def worker(x):
+            local = {}
+            local[x] = x * 2
+            return local[x]
+
+        def drive(pool, xs):
+            return pool.map(worker, xs)
+        """
+    )
+    assert diags == []
+
+
+# ---------------------------------------------------------------- FLT009
+
+
+def test_flt009_flags_exact_float_comparisons():
+    diags = lint(
+        """
+        def f(x, y):
+            if x == 0.0:
+                return 1
+            return x != -1.5 or y == float(x)
+        """
+    )
+    assert codes(diags) == ["FLT009"] * 3
+
+
+def test_flt009_flags_sum_over_set():
+    diags = lint(
+        """
+        def f(xs):
+            weights = {0.1, 0.2, 0.3}
+            return sum(weights)
+        """
+    )
+    assert codes(diags) == ["FLT009"]
+    assert "hash order" in diags[0].message
+
+
+def test_flt009_accepts_int_comparisons_and_ordered_sums():
+    diags = lint(
+        """
+        def f(xs, n):
+            if n == 0:
+                return 0.0
+            return sum(sorted(xs))
+        """
+    )
+    assert diags == []
+
+
+def test_flt009_silent_outside_ranked_layers():
+    diags = lint("OK = 1.0 == 1.0\n", module_name="scripts.check")
+    assert diags == []
+
+
+# ---------------------------------------------------------------- TRC010
+
+
+def test_trc010_flags_span_without_with():
+    diags = lint(
+        """
+        def f(tracer):
+            span = tracer.span("stage")
+            return span
+        """
+    )
+    assert codes(diags) == ["TRC010"]
+    assert "with" in diags[0].message
+
+
+def test_trc010_accepts_with_and_returned_spans():
+    diags = lint(
+        """
+        def f(tracer):
+            with tracer.span("stage") as s:
+                s.set("k", 1)
+
+        def g(self):
+            return self._tracer.span("stage")
+        """
+    )
+    assert diags == []
+
+
+def test_trc010_ignores_non_tracer_span_methods():
+    diags = lint(
+        """
+        import re
+
+        def f(text):
+            match = re.search("x", text)
+            return match.span()
+        """
+    )
+    assert diags == []
+
+
+def test_trc010_flags_metric_kind_conflict():
+    diags = lint(
+        """
+        def f(metrics):
+            metrics.counter("ubf.balls").inc()
+            metrics.counter("ubf.balls").inc()
+            metrics.gauge("ubf.balls").set(1)
+        """
+    )
+    assert codes(diags) == ["TRC010"]
+    assert "ubf.balls" in diags[0].message and "counter" in diags[0].message
+
+
+def test_trc010_distinct_metric_names_are_fine():
+    diags = lint(
+        """
+        def f(registry):
+            registry.counter("a").inc()
+            registry.gauge("b").set(1)
+            registry.histogram("c").observe(2)
+        """
+    )
+    assert diags == []
+
+
 # ------------------------------------------------------- escape hatch
 
 
@@ -441,6 +701,63 @@ def test_allow_comment_parsing_multiple_codes():
     assert collect_suppressions("z = 3  # lint: allow[]\n") == {}
 
 
+def test_one_line_triggering_two_rules_needs_both_codes():
+    # iterating a set (DET007) while comparing floats exactly (FLT009) on
+    # the same line: suppressing one code must leave the other live.
+    source = """
+    def f(xs):
+        return [x for x in set(xs) if x == 0.5]  # lint: allow[DET007]
+    """
+    assert codes(lint(source)) == ["FLT009"]
+    both = """
+    def f(xs):
+        return [x for x in set(xs) if x == 0.5]  # lint: allow[DET007, FLT009]
+    """
+    assert lint(both) == []
+
+
+def test_unknown_code_suppression_suppresses_nothing():
+    source = """
+    def f(xs):
+        for x in set(xs):  # lint: allow[NOPE999]
+            print(x)
+    """
+    assert codes(lint(source)) == ["DET007"]
+
+
+def test_allow_comment_works_for_det007_and_par008():
+    det = """
+    def f(xs):
+        for x in set(xs):  # lint: allow[DET007] -- feeds a commutative reduction
+            print(x)
+    """
+    assert lint(det) == []
+    par = """
+    STATE = {}
+
+    def init(payload):
+        STATE.update(payload)  # lint: allow[PAR008] -- write-once install
+
+    def drive(xs):
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(initializer=init) as pool:
+            return list(pool.map(str, xs))
+    """
+    assert lint(par) == []
+
+
+def test_keep_suppressed_marks_but_does_not_count():
+    source = """
+    def f(xs):
+        for x in set(xs):  # lint: allow[DET007] -- justified
+            print(x)
+    """
+    diags = lint(source, keep_suppressed=True)
+    assert codes(diags) == ["DET007"]
+    assert diags[0].suppressed is True
+    assert lint(source) == []
+
+
 # -------------------------------------------------------------- framework
 
 
@@ -453,11 +770,15 @@ def test_every_registered_rule_has_code_and_summary():
     rules = iter_rules()
     assert [r.code for r in rules] == [
         "CFG006",
+        "DET007",
         "EXC005",
+        "FLT009",
         "LAY002",
         "LOC001",
         "MUT004",
+        "PAR008",
         "RNG003",
+        "TRC010",
     ]
     assert all(r.summary for r in rules)
 
@@ -495,6 +816,65 @@ def test_cli_exit_codes(tmp_path, capsys):
     out = capsys.readouterr().out
     assert ": MUT004 " in out
     assert lint_main(["--list-rules"]) == 0
+
+
+def test_cli_exit_codes_are_the_documented_contract(tmp_path, capsys):
+    """Pin the documented exit codes: 0 clean, 1 findings, 2 usage/file error."""
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(xs=[]):\n    return xs\n")
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert lint_main([str(clean)]) == 0
+    assert lint_main([str(dirty)]) == 1
+    assert lint_main([str(broken)]) == 2
+    # file-level errors dominate findings: a dirty tree with a broken file
+    # still exits 2, because the broken file is not known to be clean
+    assert lint_main([str(tmp_path)]) == 2
+    # usage error (unknown --select) is also 2
+    assert lint_main(["--select", "NOPE999", str(clean)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_format_fields_and_sorted_keys(tmp_path, capsys):
+    import json as json_mod
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def f(xs=[]):  # lint: allow[MUT004] -- test fixture\n"
+        "    return xs\n"
+        "def g(ys=[]):\n"
+        "    return ys\n"
+    )
+    assert lint_main(["--format", "json", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    doc = json_mod.loads(out)
+    assert doc["errors"] == []
+    assert [f["suppressed"] for f in doc["findings"]] == [True, False]
+    for finding in doc["findings"]:
+        assert sorted(finding) == ["code", "line", "message", "path", "suppressed"]
+        assert finding["code"] == "MUT004"
+        assert finding["path"] == str(dirty)
+    assert [f["line"] for f in doc["findings"]] == [1, 3]
+    # keys are emitted sorted at every level, so output is byte-stable
+    assert out == json_mod.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def test_cli_json_format_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main(["--format", "json", str(clean)]) == 0
+    suppressed_only = tmp_path / "suppressed.py"
+    suppressed_only.write_text(
+        "def f(xs=[]):  # lint: allow[MUT004] -- fixture\n    return xs\n"
+    )
+    # suppressed findings are listed but do not fail the run
+    assert lint_main(["--format", "json", str(suppressed_only)]) == 0
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert lint_main(["--format", "json", str(broken)]) == 2
+    capsys.readouterr()
 
 
 def test_cli_rejects_unknown_select_even_with_no_py_files(tmp_path, capsys):
