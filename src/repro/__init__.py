@@ -91,6 +91,7 @@ if TYPE_CHECKING:  # eager imports for type checkers only
         validate_trace_lines,
         write_trace,
     )
+    from repro.service import JobBudget, JobSpec, JobStore, RetryBackoff, Worker
     from repro.surface import SurfaceBuilder, SurfaceConfig, TriangularMesh
 
 __version__ = "1.0.0"
@@ -168,6 +169,13 @@ _EXPORT_MODULES = {
         "load_trace",
         "validate_trace_lines",
         "write_trace",
+    ),
+    "repro.service": (
+        "JobBudget",
+        "JobSpec",
+        "JobStore",
+        "RetryBackoff",
+        "Worker",
     ),
 }
 

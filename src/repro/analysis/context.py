@@ -27,10 +27,13 @@ from repro.analysis.suppressions import collect_suppressions
 #: injected faults for the robustness sweeps -- but it never imports them.
 #: The consumer layers -- applications, evaluation, io, events -- sit side
 #: by side above with no lateral edges, so any of them can be deleted
-#: without touching the others.  ``cli`` and the lint subsystem are topmost.
-#: ``observability`` (stdlib-only tracing/metrics) ranks *below* the whole
-#: spine: every layer may emit spans and metrics, so the one legal position
-#: for the subsystem is underneath ``geometry``, importing nothing.
+#: without touching the others.  ``service`` (the durable job queue and
+#: worker pool) drives full pipeline runs *through* the evaluation layer,
+#: so it sits above the consumers; ``cli`` and the lint subsystem are
+#: topmost.  ``observability`` (stdlib-only tracing/metrics) ranks *below*
+#: the whole spine: every layer may emit spans and metrics, so the one
+#: legal position for the subsystem is underneath ``geometry``, importing
+#: nothing.
 LAYER_RANKS: Dict[str, int] = {
     "observability": -1,
     "geometry": 0,
@@ -43,13 +46,14 @@ LAYER_RANKS: Dict[str, int] = {
     "evaluation": 5,
     "io": 5,
     "events": 5,
-    "cli": 6,
-    "analysis": 6,
+    "service": 6,
+    "cli": 7,
+    "analysis": 7,
 }
 
 #: Rank assigned to the package root (``repro/__init__.py``): it re-exports
 #: the public API and therefore sits above everything.
-ROOT_RANK = 7
+ROOT_RANK = 8
 
 
 def resolve_module_name(path: Path) -> str:

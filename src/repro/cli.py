@@ -58,6 +58,7 @@ from repro.io.serialization import (
     load_network,
     save_detection_result,
     save_network,
+    write_atomic,
 )
 from repro.network.generator import DeploymentConfig, generate_network
 from repro.network.measurement import NoError, UniformAbsoluteError
@@ -348,8 +349,7 @@ def cmd_robustness(args) -> int:
     report = "\n\n".join(sections)
     print(report)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(report + "\n")
+        write_atomic(args.out, report + "\n")
         print(f"wrote {args.out}")
     _write_trace_if_requested(args, tracer)
     return 0

@@ -54,6 +54,7 @@ from repro.geometry.mds import SMACOF_BATCH_COORD_TOL
 from repro.network.generator import DeploymentConfig, generate_network
 from repro.network.localization import build_frames, true_local_frame
 from repro.network.measurement import UniformAbsoluteError, measure_distances
+from repro.observability.export import write_atomic
 from repro.observability.tracer import ensure_tracer
 from repro.shapes.library import scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
@@ -437,7 +438,7 @@ def write_artifacts(results: Dict[str, dict], out_dir) -> List[Path]:
     paths = []
     for stage, doc in results.items():
         path = artifact_path(out, stage)
-        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        write_atomic(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
         paths.append(path)
     return paths
 

@@ -3,6 +3,12 @@
 The format is deliberately plain: a versioned JSON document with node
 positions, adjacency, ground-truth flags, and metadata.  Everything needed
 to re-run detection deterministically on another machine.
+
+:func:`write_atomic` (tmp file + ``os.replace``) is the crash-safe write
+primitive every artifact writer should use; it is implemented in
+:mod:`repro.observability.export` (the bottom layer of the import DAG, so
+the trace exporter and the evaluation layer can share it) and re-exported
+here as its public home.
 """
 
 from __future__ import annotations
@@ -16,6 +22,16 @@ import numpy as np
 from repro.core.pipeline import BoundaryDetectionResult
 from repro.network.generator import DeploymentConfig, Network
 from repro.network.graph import NetworkGraph
+from repro.observability.export import write_atomic
+
+__all__ = [
+    "FORMAT_VERSION",
+    "load_detection_result",
+    "load_network",
+    "save_detection_result",
+    "save_network",
+    "write_atomic",
+]
 
 FORMAT_VERSION = 1
 
@@ -45,7 +61,7 @@ def save_network(network: Network, path: PathLike) -> None:
             else None
         ),
     }
-    Path(path).write_text(json.dumps(doc))
+    write_atomic(path, json.dumps(doc))
 
 
 def load_network(path: PathLike) -> Network:
@@ -89,7 +105,7 @@ def save_detection_result(result: BoundaryDetectionResult, path: PathLike) -> No
         "groups": [list(g) for g in result.groups],
         "localization_used": result.localization_used,
     }
-    Path(path).write_text(json.dumps(doc))
+    write_atomic(path, json.dumps(doc))
 
 
 def load_detection_result(path: PathLike) -> BoundaryDetectionResult:

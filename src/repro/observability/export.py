@@ -28,12 +28,43 @@ artifacts; :func:`parse_trace` rebuilds the span forest, and
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.observability.tracer import Span
 
 TRACE_FORMAT_VERSION = 1
+
+
+def write_atomic(path, text: str, encoding: str = "utf-8") -> Path:
+    """Crash-safe text write: unique tmp file in the target's directory,
+    then an atomic ``os.replace``.
+
+    A reader never observes a truncated file -- it sees either the old
+    content or the new content, and a crash mid-write leaves the
+    destination untouched.  The helper lives here (the bottom layer of the
+    import DAG) so every artifact writer -- trace export below,
+    ``repro.io.serialization`` (which re-exports it as the public home),
+    and the bench/robustness/service layers -- can share one
+    implementation without upward imports.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 #: Required span-record keys and the types each must carry.
 _SPAN_FIELD_TYPES: Dict[str, Union[type, Tuple[type, ...]]] = {
@@ -84,10 +115,12 @@ def trace_lines(roots: Sequence[Span]) -> List[str]:
 
 
 def write_trace(roots: Sequence[Span], path) -> Path:
-    """Write a span forest as a JSONL trace file; returns the path."""
-    path = Path(path)
-    path.write_text("\n".join(trace_lines(roots)) + "\n", encoding="utf-8")
-    return path
+    """Write a span forest as a JSONL trace file; returns the path.
+
+    The write is atomic (:func:`write_atomic`): a crash mid-export never
+    leaves a truncated trace for the schema gate to choke on.
+    """
+    return write_atomic(path, "\n".join(trace_lines(roots)) + "\n")
 
 
 def validate_trace_lines(lines: Iterable[str]) -> List[str]:

@@ -12,6 +12,7 @@ retry policy so every phase can be exercised under injected faults.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -128,19 +129,45 @@ class RetryPolicy:
         At per-attempt loss ``p`` the residual failure probability is
         ``p ** (max_retries + 1)`` (1e-6 at 10% loss with the default 5).
     rto:
-        Retransmission timeout in rounds.  The synchronous round-trip is
-        exactly 2 rounds (data out, ack back), so the default never
+        Base retransmission timeout in rounds.  The synchronous round-trip
+        is exactly 2 rounds (data out, ack back), so the default never
         retransmits a message whose ack is still legitimately in flight.
+    rto_backoff:
+        Multiplicative backoff applied per retransmission of the *same*
+        message: the r-th retransmission waits ``rto * rto_backoff**r``
+        rounds (rounded up), capped at ``rto_cap``.  The default 1.0 keeps
+        the legacy fixed-RTO behaviour.  Backoff spaces retries out on
+        persistently bad links, trading latency for less retry traffic.
+    rto_cap:
+        Upper bound (in rounds) on any backed-off timeout; ignored when
+        ``rto_backoff`` is 1.0.
     """
 
     max_retries: int = 5
     rto: int = 2
+    rto_backoff: float = 1.0
+    rto_cap: int = 64
 
     def __post_init__(self):
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if self.rto < 1:
             raise ValueError("rto must be at least 1 round")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be at least 1.0")
+        if self.rto_cap < self.rto:
+            raise ValueError("rto_cap must be at least rto")
+
+    def timeout_for(self, retries_used: int) -> int:
+        """Rounds to wait before the next retransmission of one message.
+
+        ``retries_used`` is how many retransmissions the message has
+        already consumed (0 before the first one).
+        """
+        if self.rto_backoff == 1.0:  # lint: allow[FLT009] -- 1.0 is the exact config sentinel for "no backoff", not a computed float
+            return self.rto
+        scaled = self.rto * self.rto_backoff**retries_used
+        return min(self.rto_cap, int(math.ceil(scaled)))
 
 
 @dataclass(frozen=True)
@@ -213,9 +240,12 @@ class ReliableProtocol(Protocol):
     protocol keeps using its own keys in the same state dict.
     """
 
-    def __init__(self, inner: Protocol, policy: RetryPolicy = RetryPolicy()):
+    def __init__(self, inner: Protocol, policy: Optional[RetryPolicy] = None):
         self.inner = inner
-        self.policy = policy
+        # Per-instance default: a module-level shared default instance
+        # would let one protocol's policy alias another's (harmless today
+        # because RetryPolicy is frozen, but a refactor away from a bug).
+        self.policy = policy if policy is not None else RetryPolicy()
 
     def _rel(self, ctx: NodeContext) -> Dict[str, Any]:
         return ctx.state[RELIABLE_STATE_KEY]
@@ -239,7 +269,7 @@ class ReliableProtocol(Protocol):
         rel["next_seq"] = seq + 1
         rel["pending"][(to, seq)] = [payload, 0, ctx._round]
         ctx.send(to, (_DATA, seq, payload))
-        ctx.set_timer(self.policy.rto)
+        ctx.set_timer(self.policy.timeout_for(0))
 
     def on_message(self, ctx: NodeContext, sender: int, payload: Any) -> None:
         rel = self._rel(ctx)
@@ -262,9 +292,13 @@ class ReliableProtocol(Protocol):
         rel = self._rel(ctx)
         pending = rel["pending"]
         now = ctx._round
+        min_due: Optional[int] = None
         for key in list(pending):
             entry = pending[key]
-            if now - entry[2] < self.policy.rto:
+            timeout = self.policy.timeout_for(entry[1])
+            if now - entry[2] < timeout:
+                due = entry[2] + timeout - now
+                min_due = due if min_due is None else min(min_due, due)
                 continue
             if entry[1] >= self.policy.max_retries:
                 del pending[key]
@@ -274,8 +308,15 @@ class ReliableProtocol(Protocol):
             entry[2] = now
             rel["retransmissions"] += 1
             ctx.send(key[0], (_DATA, key[1], entry[0]))
+            due = self.policy.timeout_for(entry[1])
+            min_due = due if min_due is None else min(min_due, due)
         if pending:
-            ctx.set_timer(self.policy.rto)
+            if self.policy.rto_backoff == 1.0:  # lint: allow[FLT009] -- exact config sentinel for the legacy fixed-RTO cadence
+                # Legacy fixed cadence, kept bit-for-bit so pinned
+                # robustness baselines are unaffected by the backoff knob.
+                ctx.set_timer(self.policy.rto)
+            else:
+                ctx.set_timer(max(1, min_due if min_due is not None else self.policy.rto))
 
     def on_finish(self, ctx: NodeContext) -> None:
         self.inner.on_finish(_ReliableContext(ctx, self))

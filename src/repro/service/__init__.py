@@ -1,0 +1,36 @@
+"""Fault-tolerant service layer: durable job queue, workers, budgets.
+
+The layer turns the library's one-shot pipeline runs into a crash-safe
+batch service: :mod:`repro.service.jobstore` is a file-backed durable
+queue with a content-addressed result cache, :mod:`repro.service.worker`
+is the lease-based polling worker that drives full detection runs
+through it, and :mod:`repro.service.budgets` caps each attempt's wall
+time and memory with a graceful-degradation ladder.  The ``repro-serve``
+CLI (:mod:`repro.service.cli`) fronts all of it.  See
+``docs/SERVICE.md`` for the lifecycle and determinism contracts.
+"""
+
+from repro.service.budgets import BudgetExceeded, JobBudget, enforce, peak_rss_mb
+from repro.service.jobstore import (
+    JOB_FORMAT_VERSION,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    RetryBackoff,
+)
+from repro.service.worker import Worker, detector_config_for, execute_job
+
+__all__ = [
+    "JOB_FORMAT_VERSION",
+    "BudgetExceeded",
+    "JobBudget",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "RetryBackoff",
+    "Worker",
+    "detector_config_for",
+    "enforce",
+    "execute_job",
+    "peak_rss_mb",
+]

@@ -1,6 +1,7 @@
 """Unit tests for serialization and mesh export."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -17,6 +18,7 @@ from repro.io.serialization import (
     load_network,
     save_detection_result,
     save_network,
+    write_atomic,
 )
 from repro.network.graph import NetworkGraph
 from repro.surface.mesh import TriangularMesh
@@ -115,3 +117,61 @@ class TestMeshExport:
         lines = path.read_text().splitlines()
         assert len(lines) == 2
         assert lines[0].split() == ["0.000000", "0.000000", "0.000000"]
+
+
+class TestWriteAtomic:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        returned = write_atomic(path, '{"ok": true}\n')
+        assert returned == path
+        assert path.read_text() == '{"ok": true}\n'
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("old")
+        write_atomic(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        write_atomic(path, "data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.json"]
+
+    def test_injected_replace_failure_keeps_old_content(self, tmp_path, monkeypatch):
+        path = tmp_path / "artifact.json"
+        path.write_text("old content")
+
+        def boom(src, dst):
+            raise OSError("disk fell off")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk fell off"):
+            write_atomic(path, "new content")
+        monkeypatch.undo()
+        # The destination still holds the previous bytes and the aborted
+        # tmp file has been cleaned up.
+        assert path.read_text() == "old content"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.json"]
+
+    def test_injected_write_failure_leaves_no_destination(self, tmp_path, monkeypatch):
+        path = tmp_path / "artifact.json"
+
+        class ExplodingHandle:
+            def __init__(self, fd):
+                os.close(fd)
+
+            def write(self, text):
+                raise OSError("enospc")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(os, "fdopen", lambda fd, *a, **k: ExplodingHandle(fd))
+        with pytest.raises(OSError, match="enospc"):
+            write_atomic(path, "data")
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []

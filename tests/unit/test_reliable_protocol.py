@@ -160,3 +160,89 @@ class TestDistributedDriversWithFaults:
         # The crashed node partitions the chain's label propagation.
         assert labels[0] == labels[1] == 0
         assert labels[3] == labels[4] == labels[5] == 3
+
+
+class TestBackoffPolicy:
+    def test_timeout_schedule(self):
+        policy = RetryPolicy(rto=2, rto_backoff=2.0, rto_cap=8)
+        assert [policy.timeout_for(r) for r in range(5)] == [2, 4, 8, 8, 8]
+
+    def test_fractional_backoff_rounds_up(self):
+        policy = RetryPolicy(rto=2, rto_backoff=1.5, rto_cap=64)
+        # 2, 3, 4.5 -> 5, 6.75 -> 7
+        assert [policy.timeout_for(r) for r in range(4)] == [2, 3, 5, 7]
+
+    def test_default_is_fixed_rto(self):
+        policy = RetryPolicy()
+        assert [policy.timeout_for(r) for r in range(4)] == [policy.rto] * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(rto_backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(rto=4, rto_cap=2)
+
+    def test_per_instance_default_policy(self):
+        """Each wrapper constructs its own default policy instance."""
+        a = ReliableProtocol(TTLFloodProtocol(2))
+        b = ReliableProtocol(TTLFloodProtocol(2))
+        assert a.policy == RetryPolicy()
+        assert a.policy is not b.policy
+
+    def test_recovery_with_backoff_under_loss(self, grid_graph):
+        """Backoff still restores exact heard-sets within the budget."""
+        base = Simulator(grid_graph).run(TTLFloodProtocol(3))
+        rel = Simulator(
+            grid_graph,
+            fault_plan=FaultPlan(loss_rate=0.1),
+            rng=np.random.default_rng(1),
+        ).run(
+            ReliableProtocol(
+                TTLFloodProtocol(3),
+                RetryPolicy(max_retries=8, rto_backoff=2.0, rto_cap=16),
+            )
+        )
+        for node in base.states:
+            assert base.states[node]["heard"] == rel.states[node]["heard"]
+        assert reliable_stats(rel).gave_up == 0
+
+    def test_backoff_spaces_out_retries_on_dead_link(self, chain):
+        """With backoff, later retransmissions of the same message wait
+        longer, so exhausting the budget takes more rounds than fixed-RTO
+        while the retransmission count stays identical."""
+        plan = FaultPlan(link_loss={(0, 1): 1.0})
+
+        def run(policy):
+            return Simulator(
+                chain,
+                participants={0, 1},
+                fault_plan=plan,
+                rng=np.random.default_rng(0),
+            ).run(ReliableProtocol(TTLFloodProtocol(2), policy))
+
+        fixed = run(RetryPolicy(max_retries=3, rto=2))
+        backed = run(RetryPolicy(max_retries=3, rto=2, rto_backoff=2.0, rto_cap=32))
+        assert (
+            reliable_stats(fixed).retransmissions
+            == reliable_stats(backed).retransmissions
+        )
+        assert reliable_stats(backed).gave_up == reliable_stats(fixed).gave_up
+        assert backed.rounds > fixed.rounds
+        assert backed.quiesced and fixed.quiesced
+
+    def test_backoff_one_matches_legacy_run_exactly(self, grid_graph):
+        """rto_backoff=1.0 is bit-for-bit the legacy fixed-RTO behaviour."""
+        def run(policy):
+            return Simulator(
+                grid_graph,
+                fault_plan=FaultPlan(loss_rate=0.15),
+                rng=np.random.default_rng(7),
+            ).run(ReliableProtocol(TTLFloodProtocol(3), policy))
+
+        legacy = run(RetryPolicy(max_retries=6, rto=2))
+        explicit = run(RetryPolicy(max_retries=6, rto=2, rto_backoff=1.0))
+        assert legacy.rounds == explicit.rounds
+        assert legacy.messages_sent == explicit.messages_sent
+        assert reliable_stats(legacy) == reliable_stats(explicit)
+        for node in legacy.states:
+            assert legacy.states[node]["heard"] == explicit.states[node]["heard"]

@@ -193,3 +193,94 @@ class TestMinLabel:
         assert result.states[1]["label"] == 0
         assert result.states[3]["label"] == 3
         assert result.states[5]["label"] == 3
+
+
+class TestNonQuiescentTermination:
+    def test_warning_carries_round_and_pending_counts(self, chain):
+        """The warning message reports the cap plus pending message and
+        timer counts so a truncated run is diagnosable from the log."""
+
+        class Chatter(Protocol):
+            def on_start(self, ctx):
+                ctx.broadcast("hi")
+
+            def on_message(self, ctx, sender, payload):
+                ctx.broadcast("hi")
+
+        with pytest.warns(
+            NonQuiescentTermination,
+            match=r"round cap \(3\).*\d+ messages and \d+ timers",
+        ):
+            result = Simulator(chain).run(Chatter(), max_rounds=3)
+        assert not result.quiesced
+
+    def test_pending_timer_at_cap_is_reported(self, chain):
+        """A run cut off with only a timer outstanding still warns, and
+        the counts distinguish timers from messages."""
+
+        class SlowTimer(Protocol):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.broadcast("tick")
+                    ctx.set_timer(10)
+
+            def on_message(self, ctx, sender, payload):
+                pass
+
+        with pytest.warns(
+            NonQuiescentTermination, match=r"0 messages and 1 timers"
+        ):
+            result = Simulator(chain).run(SlowTimer(), max_rounds=2)
+        assert not result.quiesced
+
+    def test_post_loop_recheck_with_timer_on_final_round(self, chain):
+        """A timer that fires exactly on the cap round and produces no new
+        work leaves the run quiescent: the post-loop re-check must not
+        report a false truncation."""
+
+        class FinalTimer(Protocol):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.broadcast("tick")
+                    ctx.set_timer(1)
+
+            def on_message(self, ctx, sender, payload):
+                pass
+
+            def on_timer(self, ctx):
+                ctx.state["fired"] = True
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", NonQuiescentTermination)
+            result = Simulator(chain).run(FinalTimer(), max_rounds=1)
+        assert result.quiesced
+        assert result.states[0].get("fired") is True
+        assert result.timers_fired == 1
+
+    def test_reliable_stats_aggregate_on_truncated_run(self, chain):
+        """reliable_stats still sums per-node counters when the reliable
+        run is cut off by the round cap mid-retransmission."""
+        from repro.runtime.faults import FaultPlan
+        from repro.runtime.protocols import (
+            ReliableProtocol,
+            RetryPolicy,
+            reliable_stats,
+        )
+
+        plan = FaultPlan(loss_rate=1.0)
+        with pytest.warns(NonQuiescentTermination, match="round cap"):
+            result = Simulator(
+                chain, fault_plan=plan, rng=np.random.default_rng(0)
+            ).run(
+                ReliableProtocol(TTLFloodProtocol(2), RetryPolicy(max_retries=50)),
+                max_rounds=6,
+            )
+        assert not result.quiesced
+        stats = reliable_stats(result)
+        # Every link is dead, so retransmissions accumulated but nothing
+        # was acked or duplicated before the cap hit.
+        assert stats.retransmissions > 0
+        assert stats.acks_sent == 0
+        assert stats.duplicates_suppressed == 0
+        # No give-ups yet: the budget (50) outlives the 6-round cap.
+        assert stats.gave_up == 0

@@ -1,0 +1,72 @@
+"""Unit tests for per-job budgets and the BudgetExceeded contract."""
+
+import time
+
+import pytest
+
+from repro.service.budgets import BudgetExceeded, JobBudget, enforce, peak_rss_mb
+
+
+class TestJobBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobBudget(wall_seconds=0)
+        with pytest.raises(ValueError):
+            JobBudget(peak_rss_mb=-1)
+
+    def test_unlimited(self):
+        assert JobBudget().unlimited
+        assert not JobBudget(wall_seconds=1.0).unlimited
+
+
+class TestWallBudget:
+    def test_fast_work_passes(self):
+        with enforce(JobBudget(wall_seconds=5.0)):
+            pass
+
+    def test_slow_work_interrupted_mid_run(self):
+        """SIGALRM pre-empts the sleep: the breach surfaces well before
+        the work would have finished on its own."""
+        start = time.monotonic()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            with enforce(JobBudget(wall_seconds=0.1)):
+                time.sleep(5.0)
+        elapsed = time.monotonic() - start
+        assert excinfo.value.kind == "wall_time"
+        assert elapsed < 2.0  # interrupted, not a post-hoc check after 5 s
+
+    def test_alarm_handler_restored(self):
+        import signal
+
+        before = signal.getsignal(signal.SIGALRM)
+        with pytest.raises(BudgetExceeded):
+            with enforce(JobBudget(wall_seconds=0.05)):
+                time.sleep(1.0)
+        assert signal.getsignal(signal.SIGALRM) == before
+
+    def test_exception_inside_block_still_disarms_timer(self):
+        import signal
+
+        with pytest.raises(RuntimeError, match="inner"):
+            with enforce(JobBudget(wall_seconds=30.0)):
+                raise RuntimeError("inner")
+        # The itimer is disarmed: nothing fires later.
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+class TestRssBudget:
+    def test_peak_rss_observable(self):
+        observed = peak_rss_mb()
+        assert observed is not None
+        assert observed > 1.0  # a running interpreter holds > 1 MB
+
+    def test_tiny_limit_breaches_at_exit(self):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            with enforce(JobBudget(peak_rss_mb=0.001)):
+                pass
+        assert excinfo.value.kind == "peak_rss"
+        assert excinfo.value.observed > excinfo.value.limit
+
+    def test_generous_limit_passes(self):
+        with enforce(JobBudget(peak_rss_mb=1024 * 1024)):
+            pass

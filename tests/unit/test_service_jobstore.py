@@ -1,0 +1,291 @@
+"""Unit tests for the durable job store (states, leases, cache, backoff)."""
+
+import json
+
+import pytest
+
+from repro.service.jobstore import (
+    STATE_DEAD,
+    STATE_DONE,
+    STATE_LEASED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    RetryBackoff,
+)
+
+
+class FakeClock:
+    """Settable clock so lease expiry is driven by the test, not sleeps."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path, clock):
+    return JobStore(tmp_path / "store", clock=clock)
+
+
+class TestJobSpec:
+    def test_cache_key_stable_and_semantic(self):
+        a = JobSpec(seed=1)
+        b = JobSpec(seed=1)
+        c = JobSpec(seed=2)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+    def test_operational_knob_excluded_from_key(self):
+        """A delayed run must hit the cache entry of its undelayed twin."""
+        plain = JobSpec(seed=5)
+        delayed = JobSpec(seed=5, test_delay_seconds=3.0)
+        assert plain.cache_key() == delayed.cache_key()
+
+    def test_roundtrip(self):
+        spec = JobSpec(scenario="cube", seed=9, error=0.1, surface=False)
+        assert JobSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestSubmitAndClaim:
+    def test_submit_creates_queued_record(self, store):
+        rec = store.submit(JobSpec(seed=1))
+        assert rec.state == STATE_QUEUED
+        assert rec.attempts == 0
+        loaded = store.load(rec.job_id)
+        assert loaded.spec == rec.spec
+
+    def test_job_ids_embed_submission_order(self, store):
+        ids = [store.submit(JobSpec(seed=s)).job_id for s in range(3)]
+        assert ids == sorted(ids)
+        assert store.job_ids() == ids
+
+    def test_claim_respects_submission_order(self, store):
+        first = store.submit(JobSpec(seed=1))
+        store.submit(JobSpec(seed=2))
+        claimed = store.claim_next("w0", lease_ttl=10.0)
+        assert claimed.job_id == first.job_id
+        assert claimed.state == STATE_LEASED
+        assert claimed.attempts == 1
+
+    def test_claimed_job_not_reclaimable(self, store):
+        store.submit(JobSpec(seed=1))
+        assert store.claim_next("w0", lease_ttl=10.0) is not None
+        assert store.claim_next("w1", lease_ttl=10.0) is None
+
+    def test_claim_lock_arbitration(self, store):
+        """A pre-created claim lock (a racing worker) blocks the claim."""
+        rec = store.submit(JobSpec(seed=1))
+        assert store._try_lock(rec.job_id, "claim-0.lock")
+        assert store.claim_next("w0", lease_ttl=10.0) is None
+
+    def test_not_before_defers_claim(self, store, clock):
+        rec = store.submit(JobSpec(seed=1))
+        loaded = store.load(rec.job_id)
+        loaded.not_before = clock.now + 100.0
+        store._write_record(loaded)
+        assert store.claim_next("w0", lease_ttl=10.0) is None
+        clock.advance(101.0)
+        assert store.claim_next("w0", lease_ttl=10.0) is not None
+
+
+class TestCompleteAndCache:
+    def test_complete_populates_cache(self, store):
+        spec = JobSpec(seed=1)
+        rec = store.submit(spec)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.complete(rec.job_id, "w0", {"n_boundary": 7})
+        assert store.load(rec.job_id).state == STATE_DONE
+        twin = store.submit(spec)
+        assert twin.state == STATE_DONE
+        assert twin.cache_hit
+        assert twin.result == {"n_boundary": 7}
+
+    def test_cache_hit_counts_metric_and_writes_empty_trace(self, store):
+        spec = JobSpec(seed=1)
+        rec = store.submit(spec)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.complete(rec.job_id, "w0", {"ok": 1})
+        twin = store.submit(spec)
+        assert store.metrics.counter("service.cache.hits").value == 1
+        lines = store.trace_path(twin.job_id).read_text().splitlines()
+        assert len(lines) == 1  # header only: zero pipeline spans
+        assert json.loads(lines[0])["kind"] == "trace"
+
+    def test_degraded_result_never_cached(self, store):
+        spec = JobSpec(seed=1)
+        rec = store.submit(spec)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.complete(rec.job_id, "w0", {"ok": 1}, degraded=True)
+        twin = store.submit(spec)
+        assert twin.state == STATE_QUEUED
+        assert not twin.cache_hit
+
+
+class TestFailureAndRetry:
+    def test_fail_requeues_with_backoff(self, store, clock):
+        rec = store.submit(JobSpec(seed=1), max_attempts=3)
+        store.claim_next("w0", lease_ttl=10.0)
+        failed = store.fail(
+            rec.job_id, "w0", {"type": "Boom", "message": "x"},
+            backoff=RetryBackoff(base=2.0, jitter=0.0),
+        )
+        assert failed.state == STATE_QUEUED
+        assert failed.not_before == pytest.approx(clock.now + 2.0)
+        assert failed.error["type"] == "Boom"
+
+    def test_attempt_cap_dead_letters(self, store):
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=10.0)
+        failed = store.fail(rec.job_id, "w0", {"type": "Boom", "message": "x"})
+        assert failed.state == STATE_DEAD
+        assert store.metrics.counter("service.jobs.dead").value == 1
+
+    def test_requeue_resets_budget(self, store):
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.fail(rec.job_id, "w0", {"type": "Boom", "message": "x"})
+        revived = store.requeue(rec.job_id)
+        assert revived.state == STATE_QUEUED
+        assert revived.attempts == 0
+        assert revived.error is None
+
+
+class TestLeaseReaping:
+    def test_live_lease_not_reaped(self, store, clock):
+        store.submit(JobSpec(seed=1))
+        store.claim_next("w0", lease_ttl=50.0)
+        assert store.reap_expired() == []
+
+    def test_expired_lease_requeued(self, store, clock):
+        rec = store.submit(JobSpec(seed=1), max_attempts=3)
+        store.claim_next("w0", lease_ttl=5.0)
+        clock.advance(6.0)
+        reaped = store.reap_expired(backoff=RetryBackoff(jitter=0.0))
+        assert reaped == [rec.job_id]
+        loaded = store.load(rec.job_id)
+        assert loaded.state == STATE_QUEUED
+        assert loaded.error["type"] == "LeaseExpired"
+        assert store.metrics.counter("service.lease.expired").value == 1
+
+    def test_heartbeat_extends_lease(self, store, clock):
+        rec = store.submit(JobSpec(seed=1))
+        store.claim_next("w0", lease_ttl=5.0)
+        clock.advance(4.0)
+        store.heartbeat(rec.job_id, "w0", lease_ttl=5.0)
+        clock.advance(4.0)  # past original expiry, inside renewed one
+        assert store.reap_expired() == []
+
+    def test_expired_lease_at_cap_dead_letters(self, store, clock):
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=5.0)
+        clock.advance(6.0)
+        store.reap_expired()
+        assert store.load(rec.job_id).state == STATE_DEAD
+
+    def test_double_reap_is_idempotent(self, store, clock):
+        """The expire lock means one lapse is processed exactly once."""
+        rec = store.submit(JobSpec(seed=1), max_attempts=5)
+        store.claim_next("w0", lease_ttl=5.0)
+        clock.advance(6.0)
+        assert store.reap_expired() == [rec.job_id]
+        # Force the record back into leased shape without a new attempt:
+        # a second reap of the same attempt must be a no-op.
+        loaded = store.load(rec.job_id)
+        loaded.state = STATE_RUNNING
+        store._write_record(loaded)
+        assert store.reap_expired() == []
+
+
+class TestBackoff:
+    def test_exponential_schedule_capped(self):
+        backoff = RetryBackoff(base=1.0, factor=2.0, cap=5.0, jitter=0.0)
+        key = JobSpec(seed=1).cache_key()
+        assert [backoff.delay(key, n) for n in (2, 3, 4, 5)] == [
+            1.0, 2.0, 4.0, 5.0,
+        ]
+
+    def test_jitter_deterministic_per_job_attempt(self):
+        backoff = RetryBackoff(base=1.0, jitter=0.2)
+        key = JobSpec(seed=1).cache_key()
+        assert backoff.delay(key, 2) == backoff.delay(key, 2)
+        other = JobSpec(seed=2).cache_key()
+        assert backoff.delay(key, 2) != backoff.delay(other, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBackoff(factor=0.5)
+        with pytest.raises(ValueError):
+            RetryBackoff(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryBackoff(base=10.0, cap=1.0)
+
+
+class TestCanonicalState:
+    def test_excludes_operational_fields(self, store, clock):
+        rec = store.submit(JobSpec(seed=1))
+        store.claim_next("w-alpha", lease_ttl=10.0)
+        store.complete(rec.job_id, "w-alpha", {"ok": 1})
+        text = store.canonical_state()
+        assert "w-alpha" not in text
+        assert "not_before" not in text
+        assert "updated_at" not in text
+        docs = json.loads(text)
+        assert docs[0]["state"] == STATE_DONE
+        assert docs[0]["attempts"] == 1
+
+    def test_identical_across_worker_names_and_clocks(self, tmp_path):
+        """Two stores fed the same queue through differently named workers
+        at different times project to identical canonical bytes."""
+        def run(root, worker, start):
+            clock = FakeClock(start)
+            store = JobStore(root, clock=clock)
+            rec = store.submit(JobSpec(seed=1))
+            store.claim_next(worker, lease_ttl=10.0)
+            clock.advance(3.0)
+            store.complete(rec.job_id, worker, {"n_boundary": 4})
+            return store.canonical_state()
+
+        a = run(tmp_path / "a", "w-one", 100.0)
+        b = run(tmp_path / "b", "w-two", 9999.0)
+        assert a == b
+
+    def test_error_traceback_excluded(self, store):
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.fail(
+            rec.job_id, "w0",
+            {"type": "Boom", "message": "x", "traceback": "/tmp/xyz123 frame"},
+        )
+        text = store.canonical_state()
+        assert "Boom" in text
+        assert "xyz123" not in text
+
+
+class TestRecordRoundtrip:
+    def test_format_version_checked(self, store):
+        rec = store.submit(JobSpec(seed=1))
+        doc = json.loads((store.job_dir(rec.job_id) / "job.json").read_text())
+        doc["format_version"] = 99
+        with pytest.raises(ValueError, match="unsupported job format"):
+            JobRecord.from_dict(doc)
+
+    def test_transition_log_is_append_only_jsonl(self, store, clock):
+        rec = store.submit(JobSpec(seed=1))
+        store.claim_next("w0", lease_ttl=10.0)
+        store.complete(rec.job_id, "w0", {"ok": 1})
+        lines = (store.job_dir(rec.job_id) / "log.jsonl").read_text().splitlines()
+        events = [json.loads(line)["event"] for line in lines]
+        assert events == ["submitted", "leased", "done"]
