@@ -29,6 +29,17 @@ while claim-time checks would make the final store state depend on which
 worker got there first.  Degraded results never populate the cache (they
 were produced under a reduced pipeline).
 
+**Fencing.**  Claiming a job hands the worker a fencing token -- the
+record's ``(generation, attempts)`` pair.  Every outcome call
+(:meth:`JobStore.mark_running`, :meth:`JobStore.complete`,
+:meth:`JobStore.fail`, :meth:`JobStore.mark_degraded_retry`) re-checks
+the token and the worker id against the current record and raises
+:class:`StaleAttemptError` when they no longer match, and
+:meth:`JobStore.heartbeat` refuses (returns ``False``) to renew a lease
+the caller lost.  A worker that stalls past its lease TTL therefore
+cannot overwrite the live attempt's state after the reaper hands the job
+to someone else -- each lapse is processed exactly once.
+
 **Determinism contract.**  :meth:`JobStore.canonical_state` projects the
 final records onto their semantic fields only (specs, states, attempt
 counts, results, error identities) with sorted keys and sorted job order.
@@ -50,10 +61,23 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.observability.export import write_atomic
+from repro.observability.export import write_atomic, write_trace
 from repro.observability.metrics import MetricsRegistry
 
 JOB_FORMAT_VERSION = 1
+
+
+class StaleAttemptError(RuntimeError):
+    """An outcome arrived from a worker whose claim is no longer current.
+
+    Raised by :meth:`JobStore.mark_running`, :meth:`JobStore.complete`,
+    :meth:`JobStore.fail`, and :meth:`JobStore.mark_degraded_retry` when
+    the caller's fencing token -- the ``(generation, attempt)`` pair
+    captured at claim time, plus its worker id -- no longer matches the
+    record: the lease lapsed, the job was reaped, and (possibly) another
+    worker now owns a newer attempt.  The stale worker's outcome must be
+    discarded, never applied.
+    """
 
 #: Job states.  ``failed`` is transient (resolved to queued/dead in the
 #: same store operation); the others are observable at rest.
@@ -166,6 +190,12 @@ class JobRecord:
     state: str = STATE_QUEUED
     attempts: int = 0
     max_attempts: int = 3
+    #: Claim generation, bumped by each manual ``requeue``.  Lock files
+    #: embed it, so a revived job's fresh attempts never collide with the
+    #: consumed one-shot locks of its previous life; together with
+    #: ``attempts`` it is the fencing token stale workers are checked
+    #: against.  Operational (excluded from ``canonical_dict``).
+    generation: int = 0
     degraded: bool = False
     budget_breached: Optional[str] = None
     cache_hit: bool = False
@@ -229,9 +259,10 @@ class JobStore:
 
         jobs/<job_id>/job.json        -- the record (atomic rewrite)
         jobs/<job_id>/log.jsonl       -- append-only transition log
-        jobs/<job_id>/lease.json      -- current lease (worker, expiry)
-        jobs/<job_id>/claim-<n>.lock  -- O_EXCL claim arbitration
-        jobs/<job_id>/expire-<n>.lock -- O_EXCL reap arbitration
+        jobs/<job_id>/lease.json      -- current lease (worker, expiry,
+                                         generation/attempt fencing token)
+        jobs/<job_id>/claim-<gen>-<n>.lock  -- O_EXCL claim arbitration
+        jobs/<job_id>/expire-<gen>-<n>.lock -- O_EXCL reap arbitration
         results/<cache_key>.json      -- result cache
         traces/<job_id>.trace.jsonl   -- per-job JSONL trace
         workers/<worker_id>.metrics.json -- worker metric snapshots
@@ -313,6 +344,65 @@ class JobStore:
         os.close(fd)
         return True
 
+    @staticmethod
+    def _claim_lock_name(record: JobRecord) -> str:
+        """One-shot claim lock for the *next* attempt of ``record``.
+
+        The generation prefix keeps a manually requeued job's fresh
+        attempts from colliding with the consumed locks of its previous
+        life (attempt counters reset on requeue; generations never do).
+        """
+        return f"claim-{record.generation}-{record.attempts}.lock"
+
+    @staticmethod
+    def _expire_lock_name(record: JobRecord) -> str:
+        """One-shot reap lock for the *current* attempt of ``record``."""
+        return f"expire-{record.generation}-{record.attempts}.lock"
+
+    def _check_current(
+        self,
+        record: JobRecord,
+        worker_id: str,
+        attempt: Optional[int],
+        generation: Optional[int],
+    ) -> None:
+        """Fencing check: raise unless ``worker_id`` still owns the attempt.
+
+        ``attempt``/``generation`` are the token captured at claim time;
+        ``None`` skips that comparison (store-level callers that hold no
+        claim, e.g. unit tests driving transitions directly).  Refusals
+        are logged as ``stale_discarded`` transition-log events.
+        """
+        reason = None
+        if record.state not in (STATE_LEASED, STATE_RUNNING):
+            reason = f"job is {record.state!r}, not leased/running"
+        elif record.worker_id != worker_id:
+            reason = (
+                f"attempt {record.attempts} is owned by {record.worker_id!r}"
+            )
+        elif attempt is not None and record.attempts != attempt:
+            reason = (
+                f"token is for attempt {attempt}, current is {record.attempts}"
+            )
+        elif generation is not None and record.generation != generation:
+            reason = (
+                f"token is for generation {generation}, current is "
+                f"{record.generation}"
+            )
+        if reason is not None:
+            self._log(
+                record.job_id,
+                "stale_discarded",
+                worker=worker_id,
+                attempt=attempt,
+                generation=generation,
+                reason=reason,
+            )
+            raise StaleAttemptError(
+                f"{record.job_id}: outcome from {worker_id!r} discarded -- "
+                + reason
+            )
+
     # -- submit ----------------------------------------------------------
 
     def submit(self, spec: JobSpec, *, max_attempts: int = 3) -> JobRecord:
@@ -341,11 +431,10 @@ class JobStore:
             record.result = cached["result"]
             self.metrics.counter("service.cache.hits").inc()
             # A cache-hit job never reaches a worker; its trace is the
-            # valid empty trace (header only, zero pipeline spans).
-            write_atomic(
-                self.trace_path(job_id),
-                '{"format_version": 1, "kind": "trace"}\n',
-            )
+            # valid empty trace (header only, zero pipeline spans),
+            # emitted by the exporter so the header tracks the trace
+            # schema version.
+            write_trace([], self.trace_path(job_id))
         self._write_record(record)
         self._log(
             job_id,
@@ -378,9 +467,10 @@ class JobStore:
         """Claim the first queued, due job under an expiring lease.
 
         Jobs are scanned in id order (= submission order).  The
-        ``claim-<attempt>.lock`` file is the arbitration point: of any
-        number of workers that read the same queued record, exactly one
-        wins the ``O_EXCL`` create and transitions it to ``leased``.
+        ``claim-<generation>-<attempt>.lock`` file is the arbitration
+        point: of any number of workers that read the same queued record,
+        exactly one wins the ``O_EXCL`` create and transitions it to
+        ``leased``.
         """
         now = self.clock() if now is None else now
         for job_id in self.job_ids():
@@ -392,7 +482,7 @@ class JobStore:
                 continue
             if record.not_before > now:
                 continue
-            if not self._try_lock(job_id, f"claim-{record.attempts}.lock"):
+            if not self._try_lock(job_id, self._claim_lock_name(record)):
                 continue  # another worker won this attempt
             record = self.load(job_id)  # re-read under the lock
             if record.state not in CLAIMABLE_STATES:
@@ -401,7 +491,7 @@ class JobStore:
             record.attempts += 1
             record.worker_id = worker_id
             self._write_record(record)
-            self._write_lease(job_id, worker_id, now + lease_ttl)
+            self._write_lease(record, worker_id, now + lease_ttl)
             self._log(
                 job_id,
                 "leased",
@@ -413,17 +503,38 @@ class JobStore:
             return record
         return None
 
-    def _write_lease(self, job_id: str, worker_id: str, expires_at: float) -> None:
+    def _write_lease(
+        self, record: JobRecord, worker_id: str, expires_at: float
+    ) -> None:
         write_atomic(
-            self.job_dir(job_id) / "lease.json",
+            self.job_dir(record.job_id) / "lease.json",
             json.dumps(
-                {"worker": worker_id, "expires_at": expires_at}, sort_keys=True
+                {
+                    "worker": worker_id,
+                    "expires_at": expires_at,
+                    "generation": record.generation,
+                    "attempt": record.attempts,
+                },
+                sort_keys=True,
             )
             + "\n",
         )
 
-    def mark_running(self, job_id: str, worker_id: str) -> JobRecord:
+    def mark_running(
+        self,
+        job_id: str,
+        worker_id: str,
+        *,
+        attempt: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> JobRecord:
+        """Transition a claimed job to ``running``.
+
+        Fenced: a worker whose claim lapsed (reaped, possibly re-leased)
+        gets :class:`StaleAttemptError` instead of resurrecting the job.
+        """
         record = self.load(job_id)
+        self._check_current(record, worker_id, attempt, generation)
         record.state = STATE_RUNNING
         record.worker_id = worker_id
         self._write_record(record)
@@ -436,11 +547,25 @@ class JobStore:
         worker_id: str,
         lease_ttl: float,
         *,
+        attempt: Optional[int] = None,
+        generation: Optional[int] = None,
         now: Optional[float] = None,
-    ) -> None:
-        """Renew the lease; a live worker never lets its lease lapse."""
+    ) -> bool:
+        """Renew the lease; a live worker never lets its lease lapse.
+
+        Fenced: returns ``False`` (without renewing) when the caller no
+        longer owns the current attempt -- a stale worker must not win
+        back a lease it already lost to the reaper.
+        """
         now = self.clock() if now is None else now
-        self._write_lease(job_id, worker_id, now + lease_ttl)
+        record = self.load(job_id)
+        try:
+            self._check_current(record, worker_id, attempt, generation)
+        except StaleAttemptError:
+            self.metrics.counter("service.stale.heartbeats").inc()
+            return False
+        self._write_lease(record, worker_id, now + lease_ttl)
+        return True
 
     def lease_of(self, job_id: str) -> Optional[Dict[str, Any]]:
         path = self.job_dir(job_id) / "lease.json"
@@ -458,8 +583,8 @@ class JobStore:
     ) -> List[str]:
         """Requeue (or dead-letter) every job whose lease has lapsed.
 
-        Any worker may reap; the ``expire-<attempt>.lock`` file guarantees
-        each lapsed attempt is processed exactly once.
+        Any worker may reap; the ``expire-<generation>-<attempt>.lock``
+        file guarantees each lapsed attempt is processed exactly once.
         """
         backoff = backoff if backoff is not None else RetryBackoff()
         now = self.clock() if now is None else now
@@ -474,7 +599,7 @@ class JobStore:
             lease = self.lease_of(job_id)
             if lease is None or lease["expires_at"] > now:
                 continue
-            if not self._try_lock(job_id, f"expire-{record.attempts}.lock"):
+            if not self._try_lock(job_id, self._expire_lock_name(record)):
                 continue  # another reaper handled this lapse
             record = self.load(job_id)
             if record.state not in (STATE_LEASED, STATE_RUNNING):
@@ -511,9 +636,17 @@ class JobStore:
         *,
         degraded: bool = False,
         budget_breached: Optional[str] = None,
+        attempt: Optional[int] = None,
+        generation: Optional[int] = None,
     ) -> JobRecord:
-        """Finish a job.  Non-degraded results populate the cache."""
+        """Finish a job.  Non-degraded results populate the cache.
+
+        Fenced: a worker whose lease lapsed (job reaped, possibly already
+        re-leased to a live worker) gets :class:`StaleAttemptError` and
+        its result is discarded -- the live attempt owns the outcome.
+        """
         record = self.load(job_id)
+        self._check_current(record, worker_id, attempt, generation)
         record.state = STATE_DONE
         record.result = result
         record.degraded = degraded
@@ -545,16 +678,23 @@ class JobStore:
         *,
         backoff: Optional[RetryBackoff] = None,
         now: Optional[float] = None,
+        attempt: Optional[int] = None,
+        generation: Optional[int] = None,
     ) -> JobRecord:
         """Record a failed attempt: requeue with backoff, or dead-letter.
 
         ``error`` should carry ``type``, ``message``, and (for crashes)
         ``traceback``; it is preserved verbatim on the record so
         dead-letters are debuggable from the store alone.
+
+        Fenced like :meth:`complete`: a stale worker's failure report is
+        discarded with :class:`StaleAttemptError` rather than burning a
+        retry the live attempt still owns.
         """
         backoff = backoff if backoff is not None else RetryBackoff()
         now = self.clock() if now is None else now
         record = self.load(job_id)
+        self._check_current(record, worker_id, attempt, generation)
         record.worker_id = worker_id
         self._log(
             job_id,
@@ -599,14 +739,24 @@ class JobStore:
             self.metrics.counter("service.jobs.retried").inc()
         return record
 
-    def mark_degraded_retry(self, job_id: str, worker_id: str, kind: str) -> JobRecord:
+    def mark_degraded_retry(
+        self,
+        job_id: str,
+        worker_id: str,
+        kind: str,
+        *,
+        attempt: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> JobRecord:
         """Budget breach: requeue immediately for a degraded attempt.
 
         The breach is not a failure -- the job is retried at once (no
         backoff: the breach is deterministic, waiting would not help) with
         ``degraded`` set so the next attempt runs the reduced pipeline.
+        Fenced like :meth:`complete`.
         """
         record = self.load(job_id)
+        self._check_current(record, worker_id, attempt, generation)
         record.degraded = True
         record.budget_breached = kind
         record.state = STATE_QUEUED
@@ -626,16 +776,23 @@ class JobStore:
     def requeue(self, job_id: str) -> JobRecord:
         """Operator override: put a dead (or stuck) job back in the queue.
 
-        Resets the attempt counter -- a requeue is a fresh grant of the
-        full retry budget.
+        A requeue is a fresh grant of the full retry budget *and* of the
+        full pipeline: attempts, error, and degradation state all reset.
+        The claim generation is bumped so the revived job's attempt
+        counter (restarting at 0) never collides with the consumed
+        one-shot claim/expire locks of its previous life -- and so any
+        worker still holding a pre-requeue fencing token is stale.
         """
         record = self.load(job_id)
         record.state = STATE_QUEUED
+        record.generation += 1
         record.attempts = 0
         record.not_before = 0.0
         record.error = None
+        record.degraded = False
+        record.budget_breached = None
         self._write_record(record)
-        self._log(job_id, "requeued_manually")
+        self._log(job_id, "requeued_manually", generation=record.generation)
         return record
 
     # -- projections -----------------------------------------------------

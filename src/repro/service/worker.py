@@ -46,7 +46,13 @@ from repro.network.measurement import NoError, UniformAbsoluteError
 from repro.observability.export import write_atomic, write_trace
 from repro.observability.tracer import TickClock, Tracer
 from repro.service.budgets import BudgetExceeded, JobBudget, enforce
-from repro.service.jobstore import JobRecord, JobSpec, JobStore, RetryBackoff
+from repro.service.jobstore import (
+    JobRecord,
+    JobSpec,
+    JobStore,
+    RetryBackoff,
+    StaleAttemptError,
+)
 from repro.shapes.library import scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
 
@@ -132,11 +138,20 @@ def execute_job(
 
 
 class _Heartbeat:
-    """Daemon thread renewing one job's lease until stopped."""
+    """Daemon thread renewing one job's lease until stopped.
 
-    def __init__(self, store: JobStore, job_id: str, worker_id: str, lease_ttl: float):
+    Carries the fencing token captured at claim time; once the store
+    reports the lease lost (a fenced :meth:`JobStore.heartbeat` returning
+    ``False``), renewal stops for good -- a stale worker must not win
+    back a lease the reaper already handed to someone else.
+    """
+
+    def __init__(self, store: JobStore, record: JobRecord, worker_id: str,
+                 lease_ttl: float):
         self._store = store
-        self._job_id = job_id
+        self._job_id = record.job_id
+        self._attempt = record.attempts
+        self._generation = record.generation
         self._worker_id = worker_id
         self._lease_ttl = lease_ttl
         self._stop = threading.Event()
@@ -146,13 +161,19 @@ class _Heartbeat:
         interval = max(0.05, self._lease_ttl / 3.0)
         while not self._stop.wait(interval):
             try:
-                self._store.heartbeat(
-                    self._job_id, self._worker_id, self._lease_ttl
+                renewed = self._store.heartbeat(
+                    self._job_id,
+                    self._worker_id,
+                    self._lease_ttl,
+                    attempt=self._attempt,
+                    generation=self._generation,
                 )
             except OSError:
                 # A torn-down store (test teardown) must not crash the
                 # daemon; the lease simply stops being renewed.
                 return
+            if not renewed:
+                return  # lease lost; the live attempt owns it now
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -226,41 +247,80 @@ class Worker:
         return processed
 
     def run_one(self, record: JobRecord) -> JobRecord:
-        """Execute one claimed job attempt end to end."""
+        """Execute one claimed job attempt end to end.
+
+        The claimed record's ``(generation, attempts)`` pair is this
+        attempt's fencing token: every outcome call passes it back, and a
+        :class:`StaleAttemptError` (this worker stalled past its lease,
+        the job was reaped) discards the outcome -- the live attempt owns
+        the job's state, including its trace artifact.
+        """
         job_id = record.job_id
         degraded = record.degraded
-        self.store.mark_running(job_id, self.worker_id)
+        attempt = record.attempts
+        generation = record.generation
         tracer = self._new_tracer()
         budget = JobBudget() if degraded else self.budget
         try:
-            with _Heartbeat(self.store, job_id, self.worker_id, self.lease_ttl):
+            self.store.mark_running(
+                job_id, self.worker_id, attempt=attempt, generation=generation
+            )
+            with _Heartbeat(self.store, record, self.worker_id, self.lease_ttl):
                 with enforce(budget):
                     result = execute_job(
                         record.spec, degraded=degraded, tracer=tracer
                     )
+        except StaleAttemptError:
+            return self._discard_stale(job_id, attempt)
         except BudgetExceeded as exc:
+            try:
+                self.store.mark_degraded_retry(
+                    job_id, self.worker_id, exc.kind,
+                    attempt=attempt, generation=generation,
+                )
+            except StaleAttemptError:
+                return self._discard_stale(job_id, attempt)
             write_trace(tracer.roots, self.store.trace_path(job_id))
-            return self.store.mark_degraded_retry(job_id, self.worker_id, exc.kind)
+            return self.store.load(job_id)
         except Exception as exc:  # lint: allow[EXC005] -- the dead-letter contract requires capturing any crash's type and traceback
+            try:
+                self.store.fail(
+                    job_id,
+                    self.worker_id,
+                    {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                    backoff=self.backoff,
+                    attempt=attempt,
+                    generation=generation,
+                )
+            except StaleAttemptError:
+                return self._discard_stale(job_id, attempt)
             write_trace(tracer.roots, self.store.trace_path(job_id))
-            return self.store.fail(
+            return self.store.load(job_id)
+        try:
+            self.store.complete(
                 job_id,
                 self.worker_id,
-                {
-                    "type": type(exc).__name__,
-                    "message": str(exc),
-                    "traceback": traceback.format_exc(),
-                },
-                backoff=self.backoff,
+                result,
+                degraded=degraded,
+                budget_breached=record.budget_breached,
+                attempt=attempt,
+                generation=generation,
             )
+        except StaleAttemptError:
+            return self._discard_stale(job_id, attempt)
         write_trace(tracer.roots, self.store.trace_path(job_id))
-        return self.store.complete(
-            job_id,
-            self.worker_id,
-            result,
-            degraded=degraded,
-            budget_breached=record.budget_breached,
-        )
+        return self.store.load(job_id)
+
+    def _discard_stale(self, job_id: str, attempt: int) -> JobRecord:
+        """This worker's attempt lapsed mid-flight: drop the outcome (and
+        the trace -- the live attempt owns the artifact) and move on.
+        The store already logged ``stale_discarded`` when it refused."""
+        self.store.metrics.counter("service.stale.outcomes").inc()
+        return self.store.load(job_id)
 
     def write_metrics(self) -> None:
         """Snapshot the store's metric registry for this worker."""

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.observability.export import TRACE_FORMAT_VERSION, validate_trace_lines
 from repro.service.jobstore import (
     STATE_DEAD,
     STATE_DONE,
@@ -14,6 +15,7 @@ from repro.service.jobstore import (
     JobSpec,
     JobStore,
     RetryBackoff,
+    StaleAttemptError,
 )
 
 
@@ -88,7 +90,7 @@ class TestSubmitAndClaim:
     def test_claim_lock_arbitration(self, store):
         """A pre-created claim lock (a racing worker) blocks the claim."""
         rec = store.submit(JobSpec(seed=1))
-        assert store._try_lock(rec.job_id, "claim-0.lock")
+        assert store._try_lock(rec.job_id, "claim-0-0.lock")
         assert store.claim_next("w0", lease_ttl=10.0) is None
 
     def test_not_before_defers_claim(self, store, clock):
@@ -122,7 +124,12 @@ class TestCompleteAndCache:
         assert store.metrics.counter("service.cache.hits").value == 1
         lines = store.trace_path(twin.job_id).read_text().splitlines()
         assert len(lines) == 1  # header only: zero pipeline spans
-        assert json.loads(lines[0])["kind"] == "trace"
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace"
+        # The header is built by the exporter, so it tracks the trace
+        # schema version instead of silently drifting from it.
+        assert header["format_version"] == TRACE_FORMAT_VERSION
+        assert validate_trace_lines(lines) == []
 
     def test_degraded_result_never_cached(self, store):
         spec = JobSpec(seed=1)
@@ -161,6 +168,40 @@ class TestFailureAndRetry:
         assert revived.state == STATE_QUEUED
         assert revived.attempts == 0
         assert revived.error is None
+
+    def test_requeued_dead_job_is_claimable_again(self, store):
+        """The end-to-end requeue contract: a dead job returned to the
+        queue can actually be claimed despite its consumed claim locks
+        (the generation bump gives the fresh attempts fresh lock names)."""
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.fail(rec.job_id, "w0", {"type": "Boom", "message": "x"})
+        assert store.load(rec.job_id).state == STATE_DEAD
+        revived = store.requeue(rec.job_id)
+        assert revived.generation == 1
+        claimed = store.claim_next("w1", lease_ttl=10.0)
+        assert claimed is not None
+        assert claimed.job_id == rec.job_id
+        assert claimed.state == STATE_LEASED
+        assert claimed.attempts == 1
+        # ... and its full lifecycle works: fail at the cap, requeue,
+        # claim a third life.
+        store.fail(rec.job_id, "w1", {"type": "Boom", "message": "y"})
+        store.requeue(rec.job_id)
+        assert store.claim_next("w2", lease_ttl=10.0) is not None
+
+    def test_requeue_clears_degradation(self, store):
+        """A requeue grants the *full* pipeline back: a job that died
+        after a budget breach must not be revived permanently degraded."""
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.mark_degraded_retry(rec.job_id, "w0", "wall_time")
+        store.claim_next("w0", lease_ttl=10.0)
+        store.fail(rec.job_id, "w0", {"type": "Boom", "message": "x"})
+        assert store.load(rec.job_id).state == STATE_DEAD
+        revived = store.requeue(rec.job_id)
+        assert revived.degraded is False
+        assert revived.budget_breached is None
 
 
 class TestLeaseReaping:
@@ -207,6 +248,90 @@ class TestLeaseReaping:
         loaded.state = STATE_RUNNING
         store._write_record(loaded)
         assert store.reap_expired() == []
+
+
+class TestStaleWorkerFencing:
+    """A worker that stalls past its lease must not corrupt the live
+    attempt: outcomes, failures, and heartbeats from a lapsed claim are
+    discarded."""
+
+    def _lapse_and_reclaim(self, store, clock):
+        """Claim by w0, let the lease lapse, reap, re-claim by w1.
+        Returns the job id; w0's fencing token is (generation 0, attempt
+        1), the live attempt is w1's (generation 0, attempt 2)."""
+        rec = store.submit(JobSpec(seed=1), max_attempts=5)
+        store.claim_next("w0", lease_ttl=5.0)
+        clock.advance(6.0)
+        store.reap_expired(backoff=RetryBackoff(base=0.0, jitter=0.0))
+        reclaimed = store.claim_next("w1", lease_ttl=50.0)
+        assert reclaimed is not None and reclaimed.attempts == 2
+        return rec.job_id
+
+    def test_stale_complete_discarded(self, store, clock):
+        job_id = self._lapse_and_reclaim(store, clock)
+        with pytest.raises(StaleAttemptError):
+            store.complete(job_id, "w0", {"ok": 0}, attempt=1, generation=0)
+        loaded = store.load(job_id)
+        assert loaded.state == STATE_LEASED  # the live attempt, untouched
+        assert loaded.worker_id == "w1"
+        # ... and the live worker's own completion still lands.
+        store.complete(job_id, "w1", {"ok": 1}, attempt=2, generation=0)
+        assert store.load(job_id).state == STATE_DONE
+
+    def test_stale_fail_discarded(self, store, clock):
+        job_id = self._lapse_and_reclaim(store, clock)
+        with pytest.raises(StaleAttemptError):
+            store.fail(
+                job_id, "w0", {"type": "Boom", "message": "late"},
+                attempt=1, generation=0,
+            )
+        loaded = store.load(job_id)
+        assert loaded.state == STATE_LEASED
+        assert loaded.attempts == 2  # no retry burned by the stale report
+
+    def test_stale_heartbeat_refused(self, store, clock):
+        job_id = self._lapse_and_reclaim(store, clock)
+        expiry_before = store.lease_of(job_id)["expires_at"]
+        assert not store.heartbeat(
+            job_id, "w0", lease_ttl=500.0, attempt=1, generation=0
+        )
+        assert store.lease_of(job_id)["expires_at"] == expiry_before
+        assert store.heartbeat(
+            job_id, "w1", lease_ttl=500.0, attempt=2, generation=0
+        )
+        assert store.metrics.counter("service.stale.heartbeats").value == 1
+
+    def test_stale_mark_running_discarded(self, store, clock):
+        """A stale worker must not resurrect a reaped job to running --
+        that would strand it (the lapse's expire lock is already spent)."""
+        rec = store.submit(JobSpec(seed=1), max_attempts=5)
+        store.claim_next("w0", lease_ttl=5.0)
+        clock.advance(6.0)
+        store.reap_expired(backoff=RetryBackoff(base=0.0, jitter=0.0))
+        with pytest.raises(StaleAttemptError):
+            store.mark_running(rec.job_id, "w0", attempt=1, generation=0)
+        assert store.load(rec.job_id).state == STATE_QUEUED
+
+    def test_pre_requeue_token_is_stale(self, store):
+        """A manual requeue bumps the generation, so any token from the
+        job's previous life is fenced out even if attempt numbers align."""
+        rec = store.submit(JobSpec(seed=1), max_attempts=1)
+        store.claim_next("w0", lease_ttl=10.0)
+        store.fail(rec.job_id, "w0", {"type": "Boom", "message": "x"})
+        store.requeue(rec.job_id)
+        store.claim_next("w1", lease_ttl=10.0)  # generation 1, attempt 1
+        with pytest.raises(StaleAttemptError):
+            store.complete(rec.job_id, "w0", {"ok": 0}, attempt=1, generation=0)
+        store.complete(rec.job_id, "w1", {"ok": 1}, attempt=1, generation=1)
+        assert store.load(rec.job_id).state == STATE_DONE
+
+    def test_stale_discard_logged(self, store, clock):
+        job_id = self._lapse_and_reclaim(store, clock)
+        with pytest.raises(StaleAttemptError):
+            store.complete(job_id, "w0", {"ok": 0}, attempt=1, generation=0)
+        log = (store.job_dir(job_id) / "log.jsonl").read_text()
+        events = [json.loads(line)["event"] for line in log.splitlines()]
+        assert "stale_discarded" in events
 
 
 class TestBackoff:
