@@ -10,6 +10,7 @@ Subcommands::
     repro-boundary robustness --scenario sphere --loss 0,0.1,0.3
     repro-boundary bench     --stages ubf,iff --check-regression
     repro-boundary trace     result.trace.jsonl
+    repro-campaign run       --spec campaigns/robustness_baseline.json --root store/
 
 ``generate`` writes a network JSON; ``detect`` runs the UBF+IFF pipeline
 on it (``--workers N`` shards UBF across processes); ``surface`` builds and
@@ -22,6 +23,14 @@ pipeline stages on pinned scenarios, writes ``BENCH_<stage>.json``
 artifacts, and optionally gates against the committed baseline (see
 docs/PERFORMANCE.md).
 
+``repro-campaign`` (also reachable as ``repro-boundary campaign``) runs
+declarative experiment campaigns through the durable job service:
+``run`` submits the spec's cell cross-product as content-addressed jobs,
+drains them with in-process workers, and aggregates the results into the
+committed ``results/`` tables; ``status`` reports per-axis progress;
+``expand`` and ``render`` inspect without executing (see
+docs/CAMPAIGNS.md).
+
 ``detect``, ``robustness``, and ``bench`` accept ``--trace PATH`` to
 record a structured JSONL execution trace (nested stage spans with wall
 times and counters; see docs/OBSERVABILITY.md); ``trace`` validates such
@@ -32,6 +41,7 @@ an ASCII span tree.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -97,8 +107,17 @@ def _tracer_from_args(args) -> "Tracer":
 
 def _write_trace_if_requested(args, tracer) -> None:
     if tracer.enabled and getattr(args, "trace", None):
+        _ensure_parent_dir(args.trace)
         write_trace(tracer.roots, args.trace)
         print(f"wrote {args.trace}")
+
+
+def _ensure_parent_dir(path: str) -> None:
+    """write_atomic stages its tmp file next to the target, so the
+    target's directory must exist before the write."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
@@ -355,6 +374,177 @@ def cmd_robustness(args) -> int:
     return 0
 
 
+def cmd_campaign_run(args) -> int:
+    """Run a campaign spec through the job store; write its tables."""
+    from repro.evaluation.campaign import load_spec
+    from repro.service.campaign import run_campaign
+    from repro.service.jobstore import JobStore
+
+    spec = load_spec(args.spec)
+    store = JobStore(args.root)
+    tracer = _tracer_from_args(args)
+    report = run_campaign(
+        store,
+        spec,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        lease_ttl=args.lease_ttl,
+        tracer=tracer,
+    )
+    print(
+        f"campaign {spec.name}: cells={report.n_cells} "
+        f"submitted={report.submitted} reused={report.reused} "
+        f"cache_hits={report.cache_hits} executed={report.executed} "
+        f"done={report.done} dead={report.dead} degraded={report.degraded}"
+    )
+    out = args.out if args.out else spec.output
+    if report.tables is not None:
+        print()
+        print(report.tables, end="")
+        if out and not args.no_output:
+            _ensure_parent_dir(out)
+            write_atomic(out, report.tables)
+            print(f"wrote {out}")
+    _write_trace_if_requested(args, tracer)
+    if args.expect_cached and (report.executed or report.submitted):
+        print(
+            "ERROR: --expect-cached, but this run submitted "
+            f"{report.submitted} and executed {report.executed} cells"
+        )
+        return 1
+    return 0 if report.dead == 0 else 1
+
+
+def cmd_campaign_status(args) -> int:
+    """Report done/queued/failed counts per axis slice, without executing."""
+    from repro.evaluation.campaign import load_spec
+    from repro.service.campaign import campaign_status
+    from repro.service.jobstore import JobStore
+
+    spec = load_spec(args.spec)
+    status = campaign_status(JobStore(args.root), spec)
+    counts = status.counts()
+    total = len(status.cells)
+    summary = " ".join(f"{state}={counts[state]}" for state in sorted(counts))
+    print(f"campaign {spec.name}: cells={total} {summary}")
+    for axis, by_value in sorted(status.slice_counts().items()):
+        print(f"  by {axis}:")
+        for value, by_state in sorted(by_value.items()):
+            states = " ".join(
+                f"{state}={by_state[state]}" for state in sorted(by_state)
+            )
+            print(f"    {value}: {states}")
+    return 0 if status.complete else 1
+
+
+def cmd_campaign_expand(args) -> int:
+    """Print the campaign's expanded cell cross-product."""
+    from repro.evaluation.campaign import expand, load_spec
+
+    spec = load_spec(args.spec)
+    cells = expand(spec)
+    print(
+        f"campaign {spec.name}: kind={spec.kind} cells={len(cells)} "
+        f"spec_hash={spec.spec_hash()[:16]}"
+    )
+    for cell in cells:
+        axes = " ".join(f"{k}={v}" for k, v in cell.axes.items())
+        print(f"  [{cell.index}] {cell.kind} {axes}")
+    return 0
+
+
+def cmd_campaign_render(args) -> int:
+    """Render the campaign tables from already-completed store jobs."""
+    from repro.evaluation.campaign import load_spec
+    from repro.service.campaign import CampaignIncomplete, render_from_store
+    from repro.service.jobstore import JobStore
+
+    spec = load_spec(args.spec)
+    try:
+        tables = render_from_store(JobStore(args.root), spec)
+    except CampaignIncomplete as exc:
+        print(f"ERROR: {exc}")
+        return 1
+    print(tables, end="")
+    out = args.out if args.out else spec.output
+    if out and not args.no_output:
+        _ensure_parent_dir(out)
+        write_atomic(out, tables)
+        print(f"wrote {out}")
+    return 0
+
+
+def _add_campaign_commands(sub) -> None:
+    """Attach the campaign run/status/expand/render subcommands."""
+
+    def common(p, store=True):
+        p.add_argument("--spec", required=True, help="campaign spec JSON file")
+        if store:
+            p.add_argument(
+                "--root", required=True, help="job store root directory"
+            )
+
+    p = sub.add_parser(
+        "run", help="submit, drain, and aggregate a campaign (resumable)"
+    )
+    common(p)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument("--lease-ttl", type=float, default=30.0)
+    p.add_argument(
+        "--out", default=None, help="table output path (overrides spec.output)"
+    )
+    p.add_argument(
+        "--no-output",
+        action="store_true",
+        help="do not write the table file, only print",
+    )
+    p.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="exit 1 unless the run was fully memoized (zero cells executed)",
+    )
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_campaign_run)
+
+    p = sub.add_parser(
+        "status", help="done/queued/failed counts per axis slice"
+    )
+    common(p)
+    p.set_defaults(func=cmd_campaign_status)
+
+    p = sub.add_parser("expand", help="print the expanded cell cross-product")
+    common(p, store=False)
+    p.set_defaults(func=cmd_campaign_expand)
+
+    p = sub.add_parser(
+        "render", help="re-render tables from completed store jobs"
+    )
+    common(p)
+    p.add_argument("--out", default=None)
+    p.add_argument("--no-output", action="store_true")
+    p.set_defaults(func=cmd_campaign_render)
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """The ``repro-campaign`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Memoized, resumable experiment campaigns over the "
+        "repro job service (see docs/CAMPAIGNS.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_campaign_commands(sub)
+    return parser
+
+
+def campaign_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-campaign`` entry point."""
+    parser = build_campaign_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
 def cmd_trace(args) -> int:
     """Validate a JSONL trace file and pretty-print its span tree."""
     from repro.observability.export import (
@@ -524,6 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "campaign",
+        help="memoized, resumable experiment campaigns (see docs/CAMPAIGNS.md)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    _add_campaign_commands(campaign_sub)
 
     p = sub.add_parser(
         "trace",

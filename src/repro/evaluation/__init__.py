@@ -7,6 +7,11 @@
   surface) behind Figs. 1(f)/1(j-l) and 6-10.
 * :mod:`repro.evaluation.experiments` -- the experiment drivers each bench
   calls: error sweeps, the scenario suite, and the ablations.
+* :mod:`repro.evaluation.campaign` -- declarative campaign specs, their
+  cell cross-product, pure cell executors, and table aggregation; the
+  runner lives in :mod:`repro.service.campaign` (see docs/CAMPAIGNS.md).
+* :mod:`repro.evaluation.seeding` -- identity-derived RNG substreams that
+  make every sweep cell a pure function of its own identity.
 * :mod:`repro.evaluation.reporting` -- ASCII tables in the shape of the
   paper's figures.
 * :mod:`repro.evaluation.robustness` -- degradation sweeps under injected
@@ -31,7 +36,21 @@ from repro.evaluation.metrics import (
     mistaken_hop_distribution,
     missing_hop_distribution,
 )
+from repro.evaluation.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    execute_cell,
+    expand,
+    load_spec,
+    render_campaign_tables,
+)
 from repro.evaluation.mesh_metrics import MeshQuality, evaluate_mesh
+from repro.evaluation.seeding import (
+    cell_rng,
+    cell_substream,
+    error_cell_identity,
+    fault_cell_identity,
+)
 from repro.evaluation.experiments import (
     ErrorSweepPoint,
     MeshErrorPoint,
@@ -39,6 +58,7 @@ from repro.evaluation.experiments import (
     run_aggregate_sweep,
     run_ball_radius_ablation,
     run_collection_hops_ablation,
+    run_error_cell,
     run_error_sweep,
     run_iff_ablation,
     run_landmark_k_ablation,
@@ -51,6 +71,7 @@ from repro.evaluation.robustness import (
     RobustnessPoint,
     precision_recall_f1,
     render_robustness_table,
+    run_fault_cell,
     run_robustness_sweep,
     run_scenario_robustness,
 )
@@ -61,11 +82,23 @@ __all__ = [
     "render_bench_table",
     "run_bench",
     "write_artifacts",
+    "CampaignCell",
+    "CampaignSpec",
+    "execute_cell",
+    "expand",
+    "load_spec",
+    "render_campaign_tables",
+    "cell_rng",
+    "cell_substream",
+    "error_cell_identity",
+    "fault_cell_identity",
     "RobustnessPoint",
     "precision_recall_f1",
     "render_robustness_table",
+    "run_fault_cell",
     "run_robustness_sweep",
     "run_scenario_robustness",
+    "run_error_cell",
     "DetectionStats",
     "evaluate_detection",
     "hop_distribution",

@@ -31,6 +31,7 @@ from repro.network.measurement import (
 )
 from repro.network.localization import true_local_frame
 from repro.network.stats import NetworkStats, compute_network_stats
+from repro.evaluation.seeding import cell_rng, error_cell_identity
 from repro.shapes.library import scenario_by_name
 from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
 
@@ -48,6 +49,38 @@ class ErrorSweepPoint:
     missing_hops: Dict[int, int]
 
 
+def run_error_cell(
+    network: Network,
+    level: float,
+    *,
+    model_factory: Callable[[float], DistanceErrorModel] = UniformAbsoluteError,
+    detector_config: DetectorConfig = DetectorConfig(),
+    seed: int = 0,
+) -> ErrorSweepPoint:
+    """One measurement-error sweep cell, a pure function of its identity.
+
+    Draws a fresh set of edge measurements at ``level`` from the
+    identity-derived substream ``default_rng([seed, cell])`` (see
+    :mod:`repro.evaluation.seeding`), runs the full localization + UBF +
+    IFF pipeline, and records the detection statistics plus hop
+    distributions.  The result is byte-identical whether the cell runs
+    standalone, inside :func:`run_error_sweep`, or as a campaign job --
+    the substream depends on the cell's ``level``, never on its position
+    in a sweep.
+    """
+    model = model_factory(level)
+    config = replace(detector_config, error_model=model, localization="mds")
+    rng = cell_rng(seed, error_cell_identity(level))
+    measured = measure_distances(network.graph, model, rng)
+    result = BoundaryDetector(config).detect(network, measured=measured)
+    return ErrorSweepPoint(
+        level=level,
+        stats=evaluate_detection(network, result),
+        mistaken_hops=mistaken_hop_distribution(network, result),
+        missing_hops=missing_hop_distribution(network, result),
+    )
+
+
 def run_error_sweep(
     network: Network,
     levels: Sequence[float] = PAPER_ERROR_LEVELS,
@@ -58,26 +91,20 @@ def run_error_sweep(
 ) -> List[ErrorSweepPoint]:
     """Figs. 1(g-i): sweep the measurement error level on one network.
 
-    A fresh set of edge measurements is drawn at every level (same network,
-    same seed stream), the full localization + UBF + IFF pipeline runs, and
-    the detection statistics plus hop distributions are recorded.
+    Each level is one :func:`run_error_cell` invocation; cells draw from
+    per-identity substreams, so the sweep is exactly the concatenation of
+    its standalone cells (order- and shape-independent).
     """
-    points: List[ErrorSweepPoint] = []
-    for idx, level in enumerate(levels):
-        model = model_factory(level)
-        config = replace(detector_config, error_model=model, localization="mds")
-        rng = np.random.default_rng(seed + idx)
-        measured = measure_distances(network.graph, model, rng)
-        result = BoundaryDetector(config).detect(network, measured=measured)
-        points.append(
-            ErrorSweepPoint(
-                level=level,
-                stats=evaluate_detection(network, result),
-                mistaken_hops=mistaken_hop_distribution(network, result),
-                missing_hops=missing_hop_distribution(network, result),
-            )
+    return [
+        run_error_cell(
+            network,
+            level,
+            model_factory=model_factory,
+            detector_config=detector_config,
+            seed=seed,
         )
-    return points
+        for level in levels
+    ]
 
 
 @dataclass

@@ -20,11 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
-
 from repro.core.config import DetectorConfig
 from repro.core.ubf import candidates_from_outcomes, run_ubf
 from repro.evaluation.reporting import format_table
+from repro.evaluation.seeding import cell_rng, fault_cell_identity
 from repro.network.generator import DeploymentConfig, Network, generate_network
 from repro.observability.tracer import ensure_tracer
 from repro.runtime.faults import FaultPlan, sample_crashes
@@ -75,6 +74,106 @@ class RobustnessPoint:
     quiesced: bool
 
 
+def run_fault_cell(
+    network: Network,
+    loss_rate: float,
+    crash_fraction: float,
+    *,
+    detector_config: DetectorConfig = DetectorConfig(),
+    retry_policy: Optional[RetryPolicy] = None,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    candidates: Optional[Set[int]] = None,
+    tracer=None,
+) -> RobustnessPoint:
+    """One ``(loss, crash)`` fault cell, a pure function of its identity.
+
+    The cell's fault plan and channel draws come from the
+    identity-derived substream ``default_rng([seed, cell])`` (see
+    :mod:`repro.evaluation.seeding`), so its :class:`RobustnessPoint` is
+    byte-identical whether the cell runs standalone, inside
+    :func:`run_robustness_sweep`, or as a campaign job.  Raw and reliable
+    runs of the same cell share the substream, keeping their comparison
+    paired (same crash sample, same channel).
+
+    ``candidates`` lets a sweep pass in the fault-free UBF candidacy it
+    computed once; omitted, the cell recomputes it (deterministic, so the
+    result is unchanged).
+    """
+    tracer = ensure_tracer(tracer)
+    with tracer.span(
+        "robustness.cell",
+        loss_rate=loss_rate,
+        crash_fraction=crash_fraction,
+        reliable=retry_policy is not None,
+    ) as cell_span:
+        if candidates is None:
+            outcomes = run_ubf(network, detector_config.ubf)
+            candidates = candidates_from_outcomes(outcomes)
+        truth = network.truth_boundary_set
+        theta = detector_config.iff.theta
+        ttl = detector_config.iff.ttl
+        rng = cell_rng(seed, fault_cell_identity(loss_rate, crash_fraction))
+        crashes = sample_crashes(candidates, crash_fraction, rng)
+        plan = FaultPlan(loss_rate=loss_rate, crashes=crashes)
+        survivors, iff_result = run_iff_distributed(
+            network.graph,
+            candidates,
+            theta,
+            ttl,
+            fault_plan=plan,
+            retry_policy=retry_policy,
+            rng=rng,
+            max_rounds=max_rounds,
+        )
+        labels, grp_result = run_grouping_distributed(
+            network.graph,
+            survivors,
+            fault_plan=plan,
+            retry_policy=retry_policy,
+            rng=rng,
+            max_rounds=max_rounds,
+        )
+        precision, recall, f1 = precision_recall_f1(survivors, truth)
+        retry = reliable_stats(iff_result)
+        retry_grp = reliable_stats(grp_result)
+        point = RobustnessPoint(
+            loss_rate=loss_rate,
+            crash_fraction=crash_fraction,
+            reliable=retry_policy is not None,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            n_found=len(survivors),
+            n_truth=len(truth),
+            n_groups=len(set(labels.values())),
+            messages_sent=iff_result.messages_sent + grp_result.messages_sent,
+            messages_dropped=iff_result.messages_dropped
+            + grp_result.messages_dropped,
+            retransmissions=retry.retransmissions + retry_grp.retransmissions,
+            gave_up=retry.gave_up + retry_grp.gave_up,
+            rounds=iff_result.rounds + grp_result.rounds,
+            quiesced=iff_result.quiesced and grp_result.quiesced,
+        )
+        if tracer.enabled:
+            cell_span.set_many(
+                {
+                    "precision": point.precision,
+                    "recall": point.recall,
+                    "f1": point.f1,
+                    "n_found": point.n_found,
+                    "n_groups": point.n_groups,
+                    "messages_sent": point.messages_sent,
+                    "messages_dropped": point.messages_dropped,
+                    "retransmissions": point.retransmissions,
+                    "gave_up": point.gave_up,
+                    "rounds": point.rounds,
+                    "quiesced": point.quiesced,
+                }
+            )
+    return point
+
+
 def run_robustness_sweep(
     network: Network,
     loss_rates: Sequence[float] = (0.0, 0.1, 0.3),
@@ -91,11 +190,12 @@ def run_robustness_sweep(
     UBF candidacy is computed once, fault-free, from true local frames --
     channel faults cannot corrupt a node's geometric self-test, only the
     flood traffic that follows (the measurement-error axis is the existing
-    :func:`repro.evaluation.experiments.run_error_sweep`).  For every
-    ``(crash_fraction, loss_rate)`` cell a fresh seeded fault plan crashes
-    that fraction of the candidates at round 1 and applies uniform loss,
-    then the IFF flood and min-label grouping run over the faulty channel;
-    ``retry_policy`` switches the per-hop reliable wrapper on.
+    :func:`repro.evaluation.experiments.run_error_sweep`).  Every
+    ``(crash_fraction, loss_rate)`` cell is one :func:`run_fault_cell`
+    invocation drawing from its identity-derived substream, so the sweep
+    is exactly the concatenation of its standalone cells (order- and
+    shape-independent); ``retry_policy`` switches the per-hop reliable
+    wrapper on.
 
     ``tracer`` (optional :class:`repro.observability.Tracer`) wraps the
     sweep in a ``robustness.sweep`` span with one ``robustness.cell``
@@ -114,84 +214,26 @@ def run_robustness_sweep(
     ) as sweep_span:
         outcomes = run_ubf(network, detector_config.ubf)
         candidates = candidates_from_outcomes(outcomes)
-        truth = network.truth_boundary_set
-        theta = detector_config.iff.theta
-        ttl = detector_config.iff.ttl
         if tracer.enabled:
             sweep_span.set("n_candidates", len(candidates))
-            sweep_span.set("n_truth", len(truth))
+            sweep_span.set("n_truth", len(network.truth_boundary_set))
 
         points: List[RobustnessPoint] = []
-        for cell, (crash_fraction, loss) in enumerate(
-            (c, l) for c in crash_fractions for l in loss_rates
-        ):
-            with tracer.span(
-                "robustness.cell",
-                loss_rate=loss,
-                crash_fraction=crash_fraction,
-                reliable=retry_policy is not None,
-            ) as cell_span:
-                rng = np.random.default_rng([seed, cell])
-                crashes = sample_crashes(candidates, crash_fraction, rng)
-                plan = FaultPlan(loss_rate=loss, crashes=crashes)
-                survivors, iff_result = run_iff_distributed(
-                    network.graph,
-                    candidates,
-                    theta,
-                    ttl,
-                    fault_plan=plan,
-                    retry_policy=retry_policy,
-                    rng=rng,
-                    max_rounds=max_rounds,
-                )
-                labels, grp_result = run_grouping_distributed(
-                    network.graph,
-                    survivors,
-                    fault_plan=plan,
-                    retry_policy=retry_policy,
-                    rng=rng,
-                    max_rounds=max_rounds,
-                )
-                precision, recall, f1 = precision_recall_f1(survivors, truth)
-                retry = reliable_stats(iff_result)
-                retry_grp = reliable_stats(grp_result)
-                point = RobustnessPoint(
-                    loss_rate=loss,
-                    crash_fraction=crash_fraction,
-                    reliable=retry_policy is not None,
-                    precision=precision,
-                    recall=recall,
-                    f1=f1,
-                    n_found=len(survivors),
-                    n_truth=len(truth),
-                    n_groups=len(set(labels.values())),
-                    messages_sent=iff_result.messages_sent
-                    + grp_result.messages_sent,
-                    messages_dropped=iff_result.messages_dropped
-                    + grp_result.messages_dropped,
-                    retransmissions=retry.retransmissions
-                    + retry_grp.retransmissions,
-                    gave_up=retry.gave_up + retry_grp.gave_up,
-                    rounds=iff_result.rounds + grp_result.rounds,
-                    quiesced=iff_result.quiesced and grp_result.quiesced,
-                )
-                points.append(point)
-                if tracer.enabled:
-                    cell_span.set_many(
-                        {
-                            "precision": point.precision,
-                            "recall": point.recall,
-                            "f1": point.f1,
-                            "n_found": point.n_found,
-                            "n_groups": point.n_groups,
-                            "messages_sent": point.messages_sent,
-                            "messages_dropped": point.messages_dropped,
-                            "retransmissions": point.retransmissions,
-                            "gave_up": point.gave_up,
-                            "rounds": point.rounds,
-                            "quiesced": point.quiesced,
-                        }
+        for crash_fraction in crash_fractions:
+            for loss in loss_rates:
+                points.append(
+                    run_fault_cell(
+                        network,
+                        loss,
+                        crash_fraction,
+                        detector_config=detector_config,
+                        retry_policy=retry_policy,
+                        seed=seed,
+                        max_rounds=max_rounds,
+                        candidates=candidates,
+                        tracer=tracer,
                     )
+                )
     return points
 
 

@@ -34,6 +34,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    record_campaign_report,
     record_simulation,
     record_surface_build,
     record_ubf_outcomes,
@@ -63,6 +64,7 @@ __all__ = [
     "ensure_tracer",
     "load_trace",
     "parse_trace",
+    "record_campaign_report",
     "record_simulation",
     "record_surface_build",
     "record_ubf_outcomes",

@@ -195,3 +195,20 @@ def record_surface_build(registry: MetricsRegistry, record: Any) -> None:
     if counts:
         two_faced = sum(1 for c in counts.values() if c == 2) / len(counts)
         registry.histogram("surface.two_faced_fraction").observe(two_faced)
+
+
+def record_campaign_report(registry: MetricsRegistry, report: Any) -> None:
+    """Absorb a campaign-run report (duck-typed) into ``campaign.*`` metrics.
+
+    Expects ``n_cells``, ``submitted``, ``reused``, ``cache_hits``,
+    ``executed``, ``done`` and ``dead`` counts (see
+    ``repro.service.campaign.CampaignReport``).
+    """
+    registry.counter("campaign.runs").inc()
+    registry.counter("campaign.cells.total").inc(report.n_cells)
+    registry.counter("campaign.cells.submitted").inc(report.submitted)
+    registry.counter("campaign.cells.reused").inc(report.reused)
+    registry.counter("campaign.cells.cache_hits").inc(report.cache_hits)
+    registry.counter("campaign.cells.executed").inc(report.executed)
+    registry.counter("campaign.cells.done").inc(report.done)
+    registry.counter("campaign.cells.dead").inc(report.dead)

@@ -5,12 +5,25 @@ batch service: :mod:`repro.service.jobstore` is a file-backed durable
 queue with a content-addressed result cache, :mod:`repro.service.worker`
 is the lease-based polling worker that drives full detection runs
 through it, and :mod:`repro.service.budgets` caps each attempt's wall
-time and memory with a graceful-degradation ladder.  The ``repro-serve``
-CLI (:mod:`repro.service.cli`) fronts all of it.  See
+time and memory with a graceful-degradation ladder.
+:mod:`repro.service.campaign` layers the campaign manager on top --
+declarative experiment sweeps whose cells are content-addressed jobs, so
+campaigns are memoized and resumable for free (``repro-campaign``; see
+``docs/CAMPAIGNS.md``).  The ``repro-serve`` CLI
+(:mod:`repro.service.cli`) fronts the raw job store.  See
 ``docs/SERVICE.md`` for the lifecycle and determinism contracts.
 """
 
 from repro.service.budgets import BudgetExceeded, JobBudget, enforce, peak_rss_mb
+from repro.service.campaign import (
+    CampaignIncomplete,
+    CampaignReport,
+    CampaignStatus,
+    campaign_status,
+    ensure_submitted,
+    render_from_store,
+    run_campaign,
+)
 from repro.service.jobstore import (
     JOB_FORMAT_VERSION,
     JobRecord,
@@ -23,6 +36,13 @@ from repro.service.worker import Worker, detector_config_for, execute_job
 __all__ = [
     "JOB_FORMAT_VERSION",
     "BudgetExceeded",
+    "CampaignIncomplete",
+    "CampaignReport",
+    "CampaignStatus",
+    "campaign_status",
+    "ensure_submitted",
+    "render_from_store",
+    "run_campaign",
     "JobBudget",
     "JobRecord",
     "JobSpec",

@@ -1,0 +1,366 @@
+"""Campaign manager: memoized, resumable sweeps over the durable job store.
+
+A campaign is a :class:`repro.evaluation.campaign.CampaignSpec` executed
+through the PR-7 job service.  Each expanded cell becomes one
+content-addressed :class:`repro.service.jobstore.JobSpec` (``kind`` +
+``cell`` payload), which buys the campaign its two headline properties
+for free:
+
+* **Memoization** -- submit consults the store's content-hash result
+  cache, so a cell whose ``(kind, params)`` already produced a result is
+  born ``done`` without executing; re-running a campaign only computes
+  missing cells.
+* **Resumability** -- cells are matched to *existing* store jobs by cache
+  key before anything is submitted.  An interrupted campaign (killed
+  driver, dead worker) re-run against the same store adopts its previous
+  jobs in whatever state they durably reached and just keeps draining.
+  No separate manifest exists to corrupt: the job store *is* the
+  campaign's progress record.
+
+:func:`run_campaign` does submit -> drain -> render under one
+``campaign.run`` span (``campaign.*`` counters land in the store's
+metrics registry); :func:`campaign_status` reports done/queued/failed
+counts per axis slice without executing anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.evaluation.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    expand,
+    render_campaign_tables,
+)
+from repro.observability.metrics import record_campaign_report
+from repro.observability.tracer import ensure_tracer
+from repro.service.budgets import JobBudget
+from repro.service.jobstore import (
+    STATE_DEAD,
+    STATE_DONE,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    RetryBackoff,
+)
+from repro.service.worker import Worker
+
+__all__ = [
+    "CampaignIncomplete",
+    "CampaignReport",
+    "CampaignStatus",
+    "campaign_status",
+    "cell_job_spec",
+    "collect_results",
+    "ensure_submitted",
+    "render_from_store",
+    "run_campaign",
+]
+
+
+class CampaignIncomplete(RuntimeError):
+    """Raised when rendering is requested but some cells are not ``done``."""
+
+
+def cell_job_spec(cell: CampaignCell) -> JobSpec:
+    """The content-addressed job for one campaign cell.
+
+    The detect-pipeline fields stay at their defaults; the cell's cache
+    identity is exactly its ``(kind, params)`` payload.
+    """
+    return JobSpec(kind=cell.kind, cell=dict(cell.params))
+
+
+def _existing_by_cache_key(store: JobStore) -> Dict[str, JobRecord]:
+    """First job per cache key, in job-id order (the resume index)."""
+    index: Dict[str, JobRecord] = {}
+    for record in store.jobs():
+        key = record.spec.cache_key()
+        if key not in index:
+            index[key] = record
+    return index
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    n_cells: int
+    #: Jobs newly created by this run (includes submit-time cache hits).
+    submitted: int
+    #: Pre-existing store jobs adopted by cache key (the resume path).
+    reused: int
+    #: Submitted jobs born ``done`` from the content-hash result cache.
+    cache_hits: int
+    #: Cells that were not terminal at submit time -- the work this run
+    #: actually had to drain.  A fully memoized re-run has ``executed == 0``.
+    executed: int
+    done: int
+    dead: int
+    degraded: int
+    job_ids: List[str] = field(default_factory=list)
+    tables: Optional[str] = None
+
+
+@dataclass
+class CampaignStatus:
+    """Progress snapshot: per-state counts overall and per axis slice."""
+
+    spec: CampaignSpec
+    cells: List[CampaignCell]
+    #: Aligned with ``cells``; ``None`` marks a cell never yet submitted.
+    records: List[Optional[JobRecord]]
+
+    def state_of(self, position: int) -> str:
+        record = self.records[position]
+        return record.state if record is not None else "unsubmitted"
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for position in range(len(self.cells)):
+            state = self.state_of(position)
+            out[state] = out.get(state, 0) + 1
+        return out
+
+    def slice_counts(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """``axis -> value -> state -> count`` over every cell axis."""
+        out: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for position, cell in enumerate(self.cells):
+            state = self.state_of(position)
+            for axis, value in cell.axes.items():
+                by_value = out.setdefault(axis, {})
+                by_state = by_value.setdefault(str(value), {})
+                by_state[state] = by_state.get(state, 0) + 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(
+            record is not None and record.state == STATE_DONE
+            for record in self.records
+        )
+
+
+def campaign_status(store: JobStore, spec: CampaignSpec) -> CampaignStatus:
+    """Snapshot campaign progress from the store without executing."""
+    cells = expand(spec)
+    index = _existing_by_cache_key(store)
+    records = [index.get(cell_job_spec(cell).cache_key()) for cell in cells]
+    return CampaignStatus(spec=spec, cells=cells, records=records)
+
+
+def ensure_submitted(
+    store: JobStore,
+    spec: CampaignSpec,
+    *,
+    max_attempts: int = 3,
+) -> Tuple[List[JobRecord], Dict[str, int]]:
+    """Adopt-or-submit every cell; returns (records, submit counters).
+
+    Existing store jobs are adopted by cache key (first job-id wins), so a
+    re-run of an interrupted campaign picks up its previous jobs in place
+    -- whatever durable state they reached -- instead of double-submitting.
+    Only genuinely new cells hit :meth:`JobStore.submit` (where the result
+    cache may still satisfy them instantly).
+    """
+    cells = expand(spec)
+    index = _existing_by_cache_key(store)
+    records: List[JobRecord] = []
+    submitted = reused = cache_hits = 0
+    for cell in cells:
+        job_spec = cell_job_spec(cell)
+        key = job_spec.cache_key()
+        record = index.get(key)
+        if record is None:
+            record = store.submit(job_spec, max_attempts=max_attempts)
+            index[key] = record
+            submitted += 1
+            if record.cache_hit:
+                cache_hits += 1
+        else:
+            reused += 1
+        records.append(record)
+    counters = {
+        "submitted": submitted,
+        "reused": reused,
+        "cache_hits": cache_hits,
+    }
+    return records, counters
+
+
+def drain_campaign(
+    store: JobStore,
+    job_ids: List[str],
+    *,
+    workers: int = 1,
+    lease_ttl: float = 30.0,
+    poll_interval: float = 0.05,
+    backoff: Optional[RetryBackoff] = None,
+    budget: Optional[JobBudget] = None,
+    trace_clock: str = "tick",
+    worker_prefix: str = "campaign",
+) -> None:
+    """Run store workers until every campaign job is terminal.
+
+    Workers exit when the queue looks idle, but a failed cell awaiting
+    its retry-backoff window is *pending yet unclaimable* -- hence the
+    outer loop: re-launch workers until all campaign jobs are ``done`` or
+    ``dead``.  With ``workers > 1`` the passes run as threads; the
+    store's file locks arbitrate claims exactly as they do for separate
+    processes.
+    """
+    backoff = backoff if backoff is not None else RetryBackoff()
+    budget = budget if budget is not None else JobBudget()
+    generation = 0
+    while True:
+        pending = [
+            job_id
+            for job_id in job_ids
+            if store.load(job_id).state not in TERMINAL_STATES
+        ]
+        if not pending:
+            return
+        worker_args = dict(
+            lease_ttl=lease_ttl,
+            poll_interval=poll_interval,
+            backoff=backoff,
+            budget=budget,
+            trace_clock=trace_clock,
+        )
+        if workers <= 1:
+            Worker(
+                store, f"{worker_prefix}-g{generation}-w0", **worker_args
+            ).run(exit_when_idle=True)
+        else:
+            threads = [
+                threading.Thread(
+                    target=Worker(
+                        store, f"{worker_prefix}-g{generation}-w{i}", **worker_args
+                    ).run,
+                    kwargs={"exit_when_idle": True},
+                )
+                for i in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        generation += 1
+        time.sleep(poll_interval)
+
+
+def collect_results(
+    store: JobStore, records: List[JobRecord]
+) -> List[Optional[Dict[str, Any]]]:
+    """Reload each record and return its result doc (``None`` if absent)."""
+    return [store.load(record.job_id).result for record in records]
+
+
+def render_from_store(store: JobStore, spec: CampaignSpec) -> str:
+    """Render the campaign's tables from already-completed store jobs.
+
+    Raises :class:`CampaignIncomplete` when any cell is missing or not
+    ``done`` -- use :func:`run_campaign` (or more draining) first.
+    """
+    status = campaign_status(store, spec)
+    if not status.complete:
+        raise CampaignIncomplete(
+            f"campaign {spec.name!r} is incomplete: {status.counts()}"
+        )
+    results = [record.result for record in status.records]
+    return render_campaign_tables(spec, results)
+
+
+def run_campaign(
+    store: JobStore,
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    max_attempts: int = 3,
+    lease_ttl: float = 30.0,
+    poll_interval: float = 0.05,
+    backoff: Optional[RetryBackoff] = None,
+    budget: Optional[JobBudget] = None,
+    trace_clock: str = "tick",
+    tracer=None,
+) -> CampaignReport:
+    """Submit, drain, and aggregate one campaign; returns its report.
+
+    Safe to invoke repeatedly against the same store: already-done cells
+    are adopted (``executed == 0`` on a fully memoized re-run), partially
+    complete campaigns resume, and the rendered tables are byte-identical
+    across any interleaving of interruptions and worker counts.  Dead
+    cells (attempts exhausted) leave ``tables`` unset; the counts in the
+    report say so.
+    """
+    tracer = ensure_tracer(tracer)
+    cells = expand(spec)
+    with tracer.span(
+        "campaign.run",
+        campaign=spec.name,
+        kind=spec.kind,
+        spec_hash=spec.spec_hash()[:16],
+        n_cells=len(cells),
+        workers=workers,
+    ) as run_span:
+        with tracer.span("campaign.submit"):
+            records, counters = ensure_submitted(
+                store, spec, max_attempts=max_attempts
+            )
+        executed = sum(
+            1 for record in records if record.state not in TERMINAL_STATES
+        )
+        with tracer.span("campaign.drain", n_pending=executed):
+            if executed:
+                drain_campaign(
+                    store,
+                    [record.job_id for record in records],
+                    workers=workers,
+                    lease_ttl=lease_ttl,
+                    poll_interval=poll_interval,
+                    backoff=backoff,
+                    budget=budget,
+                    trace_clock=trace_clock,
+                )
+        final = [store.load(record.job_id) for record in records]
+        done = sum(1 for record in final if record.state == STATE_DONE)
+        dead = sum(1 for record in final if record.state == STATE_DEAD)
+        degraded = sum(1 for record in final if record.degraded)
+        tables: Optional[str] = None
+        if dead == 0:
+            with tracer.span("campaign.render"):
+                tables = render_campaign_tables(
+                    spec, [record.result for record in final]
+                )
+        report = CampaignReport(
+            spec=spec,
+            n_cells=len(cells),
+            submitted=counters["submitted"],
+            reused=counters["reused"],
+            cache_hits=counters["cache_hits"],
+            executed=executed,
+            done=done,
+            dead=dead,
+            degraded=degraded,
+            job_ids=[record.job_id for record in final],
+            tables=tables,
+        )
+        if tracer.enabled:
+            run_span.set_many(
+                {
+                    "submitted": report.submitted,
+                    "reused": report.reused,
+                    "cache_hits": report.cache_hits,
+                    "executed": report.executed,
+                    "done": report.done,
+                    "dead": report.dead,
+                }
+            )
+    record_campaign_report(store.metrics, report)
+    return report

@@ -104,8 +104,17 @@ class JobSpec:
     tests to make "worker dies mid-job" and "wall budget exceeded"
     reproducible) and is excluded from the key -- a delayed run of a job
     must still hit the cache entry of its undelayed twin.
+
+    ``kind`` selects the executor: ``"detect"`` is the full
+    boundary-detection pipeline driven by the detect fields below;
+    campaign cell kinds (``eval.*``, see
+    :mod:`repro.evaluation.campaign`) carry their whole payload in
+    ``cell`` and ignore the detect fields.  Both participate in the cache
+    key, so a cell job's identity is exactly its ``(kind, cell)`` content.
     """
 
+    kind: str = "detect"
+    cell: Optional[Dict[str, Any]] = None
     scenario: str = "sphere"
     n_surface: int = 120
     n_interior: int = 200

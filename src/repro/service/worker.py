@@ -40,6 +40,7 @@ from repro.core.config import (
     UBFConfig,
 )
 from repro.core.pipeline import BoundaryDetector
+from repro.evaluation.campaign import execute_cell
 from repro.evaluation.metrics import evaluate_detection
 from repro.network.generator import DeploymentConfig, generate_network
 from repro.network.measurement import NoError, UniformAbsoluteError
@@ -88,8 +89,18 @@ def execute_job(
     The optional ``test_delay_seconds`` sleep runs *inside* the job span
     (and therefore inside the caller's budget window) so the service
     tests can deterministically provoke lease lapses and wall breaches.
+
+    Non-``detect`` kinds are campaign evaluation cells: the whole payload
+    lives in ``spec.cell`` and dispatches to
+    :func:`repro.evaluation.campaign.execute_cell` (an unknown kind
+    raises, which the worker surfaces as a failed attempt).
     """
     tracer = tracer if tracer is not None else Tracer(clock=TickClock())
+    if spec.kind != "detect":
+        with tracer.span("job", kind=spec.kind, degraded=degraded):
+            if spec.test_delay_seconds > 0:
+                time.sleep(spec.test_delay_seconds)
+            return execute_cell(spec.kind, spec.cell, tracer=tracer)
     with tracer.span("job", scenario=spec.scenario, degraded=degraded):
         if spec.test_delay_seconds > 0:
             time.sleep(spec.test_delay_seconds)

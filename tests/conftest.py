@@ -18,6 +18,22 @@ from repro import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the checked-in campaign golden tables instead of "
+        "byte-comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should rewrite goldens rather than compare."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Fresh deterministic RNG per test."""

@@ -1,0 +1,53 @@
+"""Golden-result regression tests for the campaign manager.
+
+Each test runs a small pinned campaign spec (committed next to this file
+under ``tests/golden/``) through a fresh job store and byte-compares the
+rendered tables against the checked-in golden.  Any change to network
+generation, the detection pipeline, the fault simulator, the
+identity-derived cell substreams, or the table renderers shows up here as
+a byte diff.
+
+To intentionally re-pin after such a change::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_campaign_golden.py \
+        --update-goldens
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.campaign import load_spec
+from repro.service.campaign import run_campaign
+from repro.service.jobstore import JobStore
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def run_golden_campaign(tmp_path, name: str, update: bool) -> None:
+    """Run ``tests/golden/<name>.json``; compare (or rewrite) its golden."""
+    spec = load_spec(GOLDEN_DIR / f"{name}.json")
+    store = JobStore(tmp_path / "store")
+    report = run_campaign(store, spec)
+    assert report.dead == 0
+    assert report.tables is not None
+    golden = GOLDEN_DIR / f"{name}.golden.txt"
+    if update:
+        golden.write_text(report.tables, encoding="utf-8")
+        pytest.skip(f"rewrote {golden}")
+    assert golden.exists(), (
+        f"golden {golden} missing -- run with --update-goldens to create it"
+    )
+    assert report.tables == golden.read_text(encoding="utf-8")
+
+
+def test_error_sweep_golden(tmp_path, update_goldens):
+    """Fig. 1(g)-style error sweep, two levels x two config variants."""
+    run_golden_campaign(tmp_path, "error_sweep_small", update_goldens)
+
+
+def test_robustness_golden(tmp_path, update_goldens):
+    """Robustness grid: two loss rates, raw and reliable modes."""
+    run_golden_campaign(tmp_path, "robustness_small", update_goldens)

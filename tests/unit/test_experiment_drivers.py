@@ -29,11 +29,13 @@ class TestPaperLevels:
 
 
 class TestErrorSweepDriver:
-    def test_fresh_measurements_per_level(self, mini_network):
-        """Different levels get different measurement draws (distinct seeds)."""
-        points = run_error_sweep(mini_network, (0.2, 0.2), seed=5)
-        # Same level twice but different derived seeds: results may differ,
-        # but structure must be consistent.
+    def test_identity_derived_measurements_per_level(self, mini_network):
+        """Substreams derive from the cell's identity, not its position:
+        the same level always draws the same measurements, different
+        levels draw from distinct streams."""
+        points = run_error_sweep(mini_network, (0.2, 0.2, 0.4), seed=5)
+        assert points[0] == points[1]  # same identity => identical cell
+        assert points[2].level == 0.4
         for p in points:
             assert p.stats.n_truth == int(mini_network.truth_boundary.sum())
             assert p.stats.n_found == p.stats.n_correct + p.stats.n_mistaken
