@@ -9,7 +9,14 @@ pinned, seeded scenario end to end -- ``generate`` -> ``detect`` ->
   leaks (set iteration, dict displays built from sets), which only vary
   *between* interpreter runs;
 * ``--workers`` in ``{1, 2, 4}`` -- flushes out sharding and
-  pool-scheduling leaks.
+  pool-scheduling leaks (including the shared-memory payload transport);
+* ``--engines`` (optional third axis) -- replays the matrix per
+  localization engine.  Engines legitimately differ at the documented
+  1e-9 coordinate tolerance, so cells are byte-compared only against the
+  first cell *of the same engine*; the axis checks that each engine is
+  individually deterministic across hash seeds and worker counts.  Pair
+  it with ``--error`` > 0, otherwise localization resolves to ``true``
+  and no engine runs at all.
 
 Every artifact the pipeline serializes -- the network JSON, the detection
 result, each exported mesh OBJ, and the JSONL execution trace (recorded
@@ -56,6 +63,11 @@ DEFAULT_HASH_SEEDS = ("0", "1", "random")
 #: Worker counts for the default matrix.
 DEFAULT_WORKERS = (1, 2, 4)
 
+#: Localization engines for the default matrix.  A single entry keeps the
+#: default run a two-axis matrix; pass ``--engines batch,sparse`` (with
+#: ``--error`` > 0) to replay it once per engine.
+DEFAULT_ENGINES = ("batch",)
+
 #: Span attributes that identify the run rather than describe behavior;
 #: stripped from traces before diffing (see module docstring).  Dotted
 #: entries address nested dicts (the ``detect`` span records its whole
@@ -77,14 +89,18 @@ class Cell:
 
     hash_seed: str
     workers: int
+    engine: str = "batch"
 
     @property
     def label(self) -> str:
-        return f"hashseed={self.hash_seed},workers={self.workers}"
+        return (
+            f"hashseed={self.hash_seed},workers={self.workers},"
+            f"engine={self.engine}"
+        )
 
     @property
     def dirname(self) -> str:
-        return f"cell_hs{self.hash_seed}_w{self.workers}"
+        return f"cell_hs{self.hash_seed}_w{self.workers}_{self.engine}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,14 +112,23 @@ class ScenarioSpec:
     interior_nodes: int = 1400
     degree: float = 25.0
     seed: int = 0
+    error: float = 0.0
 
 
 def build_cells(
     hash_seeds: Sequence[str] = DEFAULT_HASH_SEEDS,
     workers: Sequence[int] = DEFAULT_WORKERS,
+    engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> List[Cell]:
-    """The full matrix in deterministic (hash_seed-major) order."""
-    return [Cell(hs, w) for hs in hash_seeds for w in workers]
+    """The full matrix in deterministic (engine-major) order.
+
+    Engine-major ordering keeps each engine's cells contiguous, so the
+    per-engine baseline (the group's first cell) is always the group's
+    ``hash_seed[0] x workers[0]`` corner.
+    """
+    return [
+        Cell(hs, w, e) for e in engines for hs in hash_seeds for w in workers
+    ]
 
 
 def _src_root() -> Path:
@@ -141,6 +166,8 @@ def run_cell(spec: ScenarioSpec, cell: Cell, cell_dir: Path) -> None:
             "detect",
             "--network", "net.json",
             "--seed", str(spec.seed),
+            "--error", str(spec.error),
+            "--engine", cell.engine,
             "--workers", str(cell.workers),
             "--out", "result.json",
             "--trace", "trace.jsonl",
@@ -283,7 +310,13 @@ def run_matrix(
     runner: Runner = run_cell,
     progress: Callable[[str], None] = lambda line: None,
 ) -> Tuple[bool, List[str]]:
-    """Run every cell and byte-diff artifacts against the first cell.
+    """Run every cell and byte-diff artifacts against its engine baseline.
+
+    Cells are compared against the first cell *with the same engine*:
+    engines agree only to the documented 1e-9 coordinate tolerance, so a
+    cross-engine byte-diff would report that tolerance as a divergence.
+    Within one engine, every (hash seed, worker count) cell must be
+    byte-identical.
 
     Returns ``(identical, report_lines)``; raises :class:`CellError` when
     a cell's subprocess fails (exit 2 territory -- nothing to compare).
@@ -291,8 +324,7 @@ def run_matrix(
     if len(cells) < 2:
         raise ValueError("need at least two cells to compare")
     report: List[str] = []
-    baseline_cell = cells[0]
-    baseline: Dict[str, bytes] = {}
+    baselines: Dict[str, Tuple[Cell, Dict[str, bytes]]] = {}
     for index, cell in enumerate(cells):
         cell_dir = workdir / cell.dirname
         cell_dir.mkdir(parents=True, exist_ok=True)
@@ -301,9 +333,10 @@ def run_matrix(
         artifacts = collect_artifacts(cell_dir)
         if not artifacts:
             raise CellError(f"cell {cell.label}: produced no artifacts")
-        if index == 0:
-            baseline = artifacts
+        if cell.engine not in baselines:
+            baselines[cell.engine] = (cell, artifacts)
             continue
+        baseline_cell, baseline = baselines[cell.engine]
         for missing in sorted(set(baseline) - set(artifacts)):
             report.append(f"{missing}: missing in cell {cell.label}")
         for extra in sorted(set(artifacts) - set(baseline)):
@@ -356,6 +389,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--degree", type=float, default=25.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--error",
+        type=float,
+        default=0.0,
+        help="uniform absolute ranging error; > 0 makes detection run MDS "
+        "localization, exercising the --engines axis (default: 0)",
+    )
+    parser.add_argument(
+        "--engines",
+        default=",".join(DEFAULT_ENGINES),
+        help="comma-separated localization engines; each engine forms its "
+        "own byte-diff group (default: batch)",
+    )
+    parser.add_argument(
         "--hash-seeds",
         default=",".join(DEFAULT_HASH_SEEDS),
         help="comma-separated PYTHONHASHSEED values (default: 0,1,random)",
@@ -393,6 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         interior_nodes=args.interior_nodes,
         degree=args.degree,
         seed=args.seed,
+        error=args.error,
     )
     hash_seeds = _parse_csv(args.hash_seeds)
     for hs in hash_seeds:
@@ -404,7 +451,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError:
         print(f"error: invalid --workers {args.workers!r}", file=sys.stderr)
         return 2
-    cells = build_cells(hash_seeds, workers)
+    engines = _parse_csv(args.engines)
+    for engine in engines:
+        if engine not in ("batch", "sparse", "pernode"):
+            print(f"error: invalid engine {engine!r}", file=sys.stderr)
+            return 2
+    cells = build_cells(hash_seeds, workers, engines)
     if len(cells) < 2:
         print("error: matrix needs at least two cells", file=sys.stderr)
         return 2
@@ -428,9 +480,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     if ok:
+        groups = len({cell.engine for cell in cells})
+        group_note = f" in {groups} engine group(s)" if groups > 1 else ""
         print(
-            f"repro-san: OK -- {len(cells)} cells byte-identical "
-            f"({cells[0].label} is the baseline)"
+            f"repro-san: OK -- {len(cells)} cells byte-identical"
+            f"{group_note} ({cells[0].label} is the baseline)"
         )
         if own_workdir:
             shutil.rmtree(workdir, ignore_errors=True)

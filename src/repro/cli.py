@@ -266,6 +266,8 @@ def cmd_bench(args) -> int:
             scenario_id=args.scenario_id,
             repeat=args.repeat,
             time_naive=not args.skip_naive,
+            engine=args.bench_engine,
+            full_oracle=args.oracle,
             tracer=tracer,
         )
     print(render_bench_table(results))
@@ -282,6 +284,7 @@ def cmd_bench(args) -> int:
             counter_rtol=args.counter_rtol,
             min_speedup=args.min_speedup,
             min_engine_speedup=args.min_engine_speedup,
+            rss_factor=args.rss_factor,
         )
         if issues:
             print("\nPERF REGRESSION:")
@@ -610,9 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--engine",
-        choices=("batch", "pernode"),
+        choices=("batch", "sparse", "pernode"),
         default="batch",
-        help="MDS frame-construction engine (pernode is the slow oracle)",
+        help="MDS frame-construction engine (sparse uses native kernels "
+        "where available; pernode is the slow oracle)",
     )
     p.add_argument("--out", default=None)
     _add_trace_arg(p)
@@ -703,6 +707,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="benchmarks/baselines",
         help="directory holding the committed BENCH_<stage>.json baselines",
     )
+    p.add_argument(
+        "--bench-engine",
+        default="sparse",
+        choices=("batch", "sparse"),
+        help="localization engine the bench times (pernode stays the oracle)",
+    )
+    p.add_argument(
+        "--oracle",
+        action="store_true",
+        help="run the pernode oracle over every node instead of the pinned "
+        "subsample (slow; full differential coverage)",
+    )
     p.add_argument("--time-factor", type=float, default=3.0)
     p.add_argument("--counter-rtol", type=float, default=0.02)
     p.add_argument("--min-speedup", type=float, default=2.0)
@@ -710,7 +726,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-engine-speedup",
         type=float,
         default=3.0,
-        help="required batch-over-pernode localization speedup",
+        help="required engine-over-pernode localization speedup",
+    )
+    p.add_argument(
+        "--rss-factor",
+        type=float,
+        default=2.0,
+        help="allowed peak-RSS growth over the baseline artifact",
     )
     _add_trace_arg(p)
     p.set_defaults(func=cmd_bench)

@@ -74,17 +74,20 @@ class LocalizationConfig:
         Frame-construction engine for MDS localization:
         ``"batch"`` (default) builds every node's collection with one
         multi-source BFS sweep and embeds equal-size frames as stacked
-        ``(B, m, m)`` MDS batches; ``"pernode"`` is the scalar per-node
-        oracle the batch engine is differentially tested against (exact
-        members and SMACOF step counts, coordinates within the documented
-        float tolerance -- see :mod:`repro.network.localization`).
+        ``(B, m, m)`` MDS batches; ``"sparse"`` keeps the batch grouping
+        but runs completion/centering/SMACOF through on-demand native
+        kernels (graceful numpy fallback), several times faster at scale;
+        ``"pernode"`` is the scalar per-node oracle both other engines are
+        differentially tested against (exact members and SMACOF step
+        counts, coordinates within the documented float tolerance -- see
+        :mod:`repro.network.localization`).
     """
 
     engine: str = "batch"
 
     def __post_init__(self):
-        if self.engine not in ("batch", "pernode"):
-            raise ValueError("engine must be 'batch' or 'pernode'")
+        if self.engine not in ("batch", "sparse", "pernode"):
+            raise ValueError("engine must be 'batch', 'sparse', or 'pernode'")
 
 
 @dataclass(frozen=True)

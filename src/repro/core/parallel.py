@@ -14,18 +14,33 @@ per-shard result lists back into node order.  Two tasks use it:
 * :func:`run_frames_parallel` -- batched local-frame construction, so the
   pipeline computes every frame once and the UBF stage reuses them.
 
+Payload transport
+-----------------
+Task payloads are dominated by big numpy arrays (positions, CSR adjacency,
+measured distances, precomputed frames).  They are **not pickled** to
+workers: the parent publishes them once into a single
+``multiprocessing.shared_memory`` segment and each worker's initializer
+rehydrates the task -- exactly once per worker -- around zero-copy
+read-only views of that segment (see ``_SharedArrays`` /
+``export_payload``/``import_payload``).  Only a small array-free task
+shell and the segment descriptor travel through the pool's ``initargs``.
+This holds under both ``fork`` and ``spawn``; the spawn path is pinned by
+an explicit regression test via the ``start_method`` override.
+
 Determinism contract
 --------------------
 The driver adds no randomness and no order-dependence: each worker computes
 the same per-node results the sequential path would, shards are contiguous
 slices of the requested node order with boundaries fixed by the task's
 shard size (never by the worker count), and ``ProcessPoolExecutor.map``
-returns them in submission order.  The merged result is therefore
-*identical* -- not just equivalent -- for any worker count, which
-``tests/property/test_prop_parallel_determinism.py`` pins down to the
-serialized byte level for both tasks.  (For frames this leans on the batch
-engine being slice-independent: a frame's bits do not depend on which other
-frames share its MDS batch, so fixed shard boundaries are sufficient.)
+returns them in submission order.  Shared-memory rehydration preserves
+every payload byte and every iteration-order observable, so the merged
+result is *identical* -- not just equivalent -- for any worker count and
+start method, which ``tests/property/test_prop_parallel_determinism.py``
+pins down to the serialized byte level for both tasks.  (For frames this
+leans on the engines being slice-independent: a frame's bits do not depend
+on which other frames share its MDS batch, so fixed shard boundaries are
+sufficient.)
 
 Tracing contract
 ----------------
@@ -45,12 +60,16 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import UBFConfig
 from repro.core.ubf import UBFNodeOutcome, run_ubf, ubf_span_counters
 from repro.network.generator import Network
+from repro.network.graph import NetworkGraph
 from repro.network.localization import (
     DEFAULT_COLLECTION_HOPS,
     DEFAULT_ENGINE,
@@ -76,10 +95,242 @@ SHARD_SIZE = 128
 #: a shard -- too-small shards would starve the size-grouped MDS batches.
 FRAME_SHARD_SIZE = 512
 
-#: Worker-process state installed once per worker by the pool initializer,
-#: so the (potentially large) task payload is pickled once per worker
-#: instead of once per shard.
+#: Worker-process state installed once per worker by the pool initializer.
+#: The heavy task payload (network arrays, measured distances, precomputed
+#: frames) never travels through pickle at all: it is published once into a
+#: shared-memory segment and rehydrated here, exactly once per worker.
 _WORKER_STATE: dict = {}
+
+#: How many times this process has materialized a task payload (0 in the
+#: parent, 1 in a healthy worker).  A regression observable: the spawn
+#: context test asserts every shard saw exactly one install, i.e. shards
+#: never re-pickle or re-hydrate the payload.
+_MATERIALIZED = 0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory payload transport
+# ----------------------------------------------------------------------
+#
+# A shard task's payload is dominated by a handful of large numpy arrays
+# (node positions, CSR adjacency, measured edge values, frame stacks).
+# Pickling them through the pool's initargs costs a serialize/deserialize
+# round per worker and transiently doubles memory per worker under spawn.
+# Instead, the parent copies every payload array into ONE shared-memory
+# segment and ships only a small descriptor (segment name + per-array
+# dtype/shape/offset) plus the array-free task shell.  Workers map the
+# segment and rebuild the task around zero-copy read-only views.
+#
+# Determinism: the views hold the exact bytes the parent's arrays held,
+# and rehydration (``import_payload``) rebuilds objects whose observable
+# state is identical to the originals, so shard results -- and therefore
+# the merged output -- stay byte-identical for any worker count and any
+# start method (``tests`` pin spawn explicitly).
+
+
+@dataclass(frozen=True)
+class _SharedSpec:
+    """Picklable descriptor of one shared-memory segment of named arrays."""
+
+    name: str
+    arrays: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+
+
+class _SharedArrays:
+    """Parent-side owner of a payload segment (create, fill, unlink)."""
+
+    def __init__(self, arrays: Dict[str, np.ndarray]):
+        contiguous = {
+            key: np.ascontiguousarray(value) for key, value in arrays.items()
+        }
+        specs: List[Tuple[str, str, Tuple[int, ...], int]] = []
+        offset = 0
+        for key, value in contiguous.items():
+            offset = (offset + 63) & ~63  # cache-line align each array
+            specs.append((key, value.dtype.str, value.shape, offset))
+            offset += value.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (key, dtype, shape, start), value in zip(specs, contiguous.values()):
+            target = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
+            )
+            target[...] = value
+        self.spec = _SharedSpec(self._shm.name, tuple(specs))
+
+    def dispose(self) -> None:
+        """Release the segment (workers have exited; views are dead)."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _attach_shared(
+    spec: _SharedSpec,
+) -> Tuple[Dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Worker-side: map the segment, return read-only views plus the handle.
+
+    The handle must stay referenced for the views' lifetime (it owns the
+    mapping); the initializer parks it in ``_WORKER_STATE``.
+    """
+    handle = shared_memory.SharedMemory(name=spec.name)
+    views: Dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in spec.arrays:
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=handle.buf, offset=offset
+        )
+        view.flags.writeable = False
+        views[key] = view
+    return views, handle
+
+
+@dataclass(frozen=True)
+class _NetworkHandle:
+    """Array-free stand-in riding a task's ``network`` field in transit."""
+
+    radio_range: float
+    scenario: str
+    scale: float
+    config: Any
+
+
+def _export_network(
+    network: Network, arrays: Dict[str, np.ndarray], prefix: str
+) -> _NetworkHandle:
+    indptr, indices = network.graph.csr()
+    arrays[prefix + "positions"] = network.graph.positions  # lint: allow[LOC001] -- payload transport, not algorithm logic: the worker rebuilds the same Network the caller already holds
+    arrays[prefix + "indptr"] = indptr
+    arrays[prefix + "indices"] = indices
+    arrays[prefix + "truth"] = network.truth_boundary  # lint: allow[LOC001] -- payload transport, not algorithm logic: ground truth rides along for the evaluation stages
+    return _NetworkHandle(
+        radio_range=network.graph.radio_range,
+        scenario=network.scenario,
+        scale=network.scale,
+        config=network.config,
+    )
+
+
+def _import_network(
+    handle: _NetworkHandle, arrays: Dict[str, np.ndarray], prefix: str
+) -> Network:
+    graph = NetworkGraph.from_csr(
+        arrays[prefix + "positions"],
+        handle.radio_range,
+        arrays[prefix + "indptr"],
+        arrays[prefix + "indices"],
+    )
+    return Network(
+        graph=graph,
+        truth_boundary=arrays[prefix + "truth"],
+        scenario=handle.scenario,
+        scale=handle.scale,
+        config=handle.config,
+    )
+
+
+@dataclass(frozen=True)
+class _MeasuredHandle:
+    """Array-free stand-in for a task's ``measured`` field in transit."""
+
+    count: int
+
+
+def _export_measured(
+    measured: Optional[MeasuredDistances],
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+) -> Optional[_MeasuredHandle]:
+    if measured is None:
+        return None
+    items = list(measured.items())
+    pairs = np.array([pair for pair, _ in items], dtype=np.int64).reshape(-1, 2)
+    values = np.array([value for _, value in items], dtype=float)
+    arrays[prefix + "pairs"] = pairs
+    arrays[prefix + "values"] = values
+    return _MeasuredHandle(count=len(items))
+
+
+def _import_measured(
+    handle: Optional[_MeasuredHandle],
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+) -> Optional[MeasuredDistances]:
+    if handle is None:
+        return None
+    pairs = arrays[prefix + "pairs"].tolist()
+    values = arrays[prefix + "values"].tolist()
+    # Insertion order matches the parent's dict, so iteration-order
+    # observables (items()) -- and anything serialized from them -- agree.
+    return MeasuredDistances(
+        {(pair[0], pair[1]): value for pair, value in zip(pairs, values)}
+    )
+
+
+@dataclass(frozen=True)
+class _FramesHandle:
+    """Array-free stand-in for a task's ``frames`` dict in transit."""
+
+    count: int
+
+
+def _export_frames(
+    frames: Optional[Dict[int, LocalFrame]],
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+) -> Optional[_FramesHandle]:
+    if frames is None:
+        return None
+    ordered = list(frames.values())
+    sizes = np.array([len(f.members) for f in ordered], dtype=np.int64)
+    ptr = np.zeros(len(ordered) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=ptr[1:])
+    arrays[prefix + "nodes"] = np.array([f.node for f in ordered], dtype=np.int64)
+    arrays[prefix + "ptr"] = ptr
+    arrays[prefix + "members"] = (
+        np.concatenate([np.asarray(f.members, dtype=np.int64) for f in ordered])
+        if ordered
+        else np.empty(0, dtype=np.int64)
+    )
+    arrays[prefix + "coords"] = (
+        np.concatenate([f.coordinates for f in ordered])
+        if ordered
+        else np.empty((0, 3), dtype=float)
+    )
+    arrays[prefix + "n_one_hop"] = np.array(
+        [f.n_one_hop for f in ordered], dtype=np.int64
+    )
+    arrays[prefix + "iterations"] = np.array(
+        [f.smacof_iterations for f in ordered], dtype=np.int64
+    )
+    return _FramesHandle(count=len(ordered))
+
+
+def _import_frames(
+    handle: Optional[_FramesHandle],
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+) -> Optional[Dict[int, LocalFrame]]:
+    if handle is None:
+        return None
+    nodes = arrays[prefix + "nodes"]
+    ptr = arrays[prefix + "ptr"]
+    members = arrays[prefix + "members"]
+    coords = arrays[prefix + "coords"]
+    n_one_hop = arrays[prefix + "n_one_hop"]
+    iterations = arrays[prefix + "iterations"]
+    frames: Dict[int, LocalFrame] = {}
+    for k in range(handle.count):
+        lo, hi = int(ptr[k]), int(ptr[k + 1])
+        frame = LocalFrame(
+            node=int(nodes[k]),
+            members=members[lo:hi].tolist(),
+            coordinates=coords[lo:hi],
+            n_one_hop=int(n_one_hop[k]),
+            smacof_iterations=int(iterations[k]),
+        )
+        frames[frame.node] = frame
+    return frames
 
 
 def shard_nodes(node_ids: Sequence[int], workers: int) -> List[List[int]]:
@@ -154,6 +405,26 @@ class _UBFShardTask:
     def counters(self, results: List[UBFNodeOutcome]) -> Dict[str, Any]:
         return ubf_span_counters(results)
 
+    def export_payload(self) -> Tuple["_UBFShardTask", Dict[str, np.ndarray]]:
+        """Split into an array-free shell plus the payload arrays."""
+        arrays: Dict[str, np.ndarray] = {}
+        shell = replace(
+            self,
+            network=_export_network(self.network, arrays, "net."),
+            measured=_export_measured(self.measured, arrays, "meas."),
+            frames=_export_frames(self.frames, arrays, "frames."),
+        )
+        return shell, arrays
+
+    def import_payload(self, arrays: Dict[str, np.ndarray]) -> "_UBFShardTask":
+        """Rebuild the full task around shared-memory array views."""
+        return replace(
+            self,
+            network=_import_network(self.network, arrays, "net."),
+            measured=_import_measured(self.measured, arrays, "meas."),
+            frames=_import_frames(self.frames, arrays, "frames."),
+        )
+
 
 def frame_span_counters(frames: List[LocalFrame]) -> Dict[str, int]:
     """Deterministic span counters summarizing a batch of local frames.
@@ -213,9 +484,70 @@ class _FrameShardTask:
     def counters(self, results: List[LocalFrame]) -> Dict[str, Any]:
         return frame_span_counters(results)
 
+    def export_payload(self) -> Tuple["_FrameShardTask", Dict[str, np.ndarray]]:
+        """Split into an array-free shell plus the payload arrays."""
+        arrays: Dict[str, np.ndarray] = {}
+        shell = replace(
+            self,
+            network=_export_network(self.network, arrays, "net."),
+            measured=_export_measured(self.measured, arrays, "meas."),
+        )
+        return shell, arrays
 
-def _pool_context():
-    """Fork where available (cheap, inherits the payload); spawn otherwise."""
+    def import_payload(self, arrays: Dict[str, np.ndarray]) -> "_FrameShardTask":
+        """Rebuild the full task around shared-memory array views."""
+        return replace(
+            self,
+            network=_import_network(self.network, arrays, "net."),
+            measured=_import_measured(self.measured, arrays, "meas."),
+        )
+
+
+@dataclass(frozen=True)
+class _PayloadProbeTask:
+    """Test-support shard task observing per-worker payload installs.
+
+    ``run`` echoes, for every node, the worker's materialization counter
+    and the rehydrated network size -- letting the spawn-context
+    regression test assert that each shard ran against a payload that was
+    materialized exactly once in its worker, whichever worker that was.
+    """
+
+    network: Network
+
+    span_name = "payload.probe"
+    shard_span_name = "payload.probe.shard"
+    shard_size = 16
+
+    def span_attrs(self, node_ids: List[int]) -> Dict[str, Any]:
+        return {"n_nodes": len(node_ids)}
+
+    def run(self, node_ids: List[int]) -> List[Tuple[int, int, int]]:
+        return [
+            (int(n), _MATERIALIZED, self.network.graph.n_nodes) for n in node_ids
+        ]
+
+    def counters(self, results: list) -> Dict[str, Any]:
+        return {"n_probes": len(results)}
+
+    def export_payload(self) -> Tuple["_PayloadProbeTask", Dict[str, np.ndarray]]:
+        arrays: Dict[str, np.ndarray] = {}
+        return replace(self, network=_export_network(self.network, arrays, "net.")), arrays
+
+    def import_payload(self, arrays: Dict[str, np.ndarray]) -> "_PayloadProbeTask":
+        return replace(self, network=_import_network(self.network, arrays, "net."))
+
+
+def _pool_context(start_method: Optional[str] = None):
+    """Fork where available (cheap start-up); spawn otherwise.
+
+    ``start_method`` forces a specific method -- the spawn regression test
+    uses it to exercise the cold-import worker path on fork platforms.
+    Results are start-method independent: the payload travels by shared
+    memory either way.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
@@ -251,12 +583,22 @@ def _shard_span_dict(
     }
 
 
-def _init_worker(task, trace, clock_factory) -> None:
+def _init_worker(task, shm_spec, trace, clock_factory) -> None:
     # Install the read-only payload exactly once per worker process.  The
     # parent never reads _WORKER_STATE back; shard results travel through
-    # the pool's return channel, so the one-way write is safe.
+    # the pool's return channel, so the one-way write is safe.  The task
+    # arrives as an array-free shell; its arrays are mapped (not copied)
+    # from the parent's shared-memory segment and the shell is rehydrated
+    # around them, bumping the per-process materialization counter the
+    # spawn regression test reads back through _PayloadProbeTask.
+    global _MATERIALIZED
+    handle = None
+    if shm_spec is not None:
+        views, handle = _attach_shared(shm_spec)
+        task = task.import_payload(views)
+    _MATERIALIZED += 1  # lint: allow[PAR008] -- write-once per-process install count, read back only through shard results (test observable), never by the parent
     _WORKER_STATE.update(  # lint: allow[PAR008] -- sanctioned initializer idiom: write-once per-process payload install, never read by the parent
-        {"task": task, "trace": trace, "clock_factory": clock_factory}
+        {"task": task, "trace": trace, "clock_factory": clock_factory, "shm": handle}
     )
 
 
@@ -293,6 +635,7 @@ def run_sharded(
     *,
     workers: int = 1,
     tracer=None,
+    start_method: Optional[str] = None,
 ) -> list:
     """Run a per-node shard task over ``node_ids``, optionally in parallel.
 
@@ -324,17 +667,29 @@ def run_sharded(
                 for index, shard in enumerate(shards)
             ]
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(shards)),
-                mp_context=_pool_context(),
-                initializer=_init_worker,
-                initargs=(
-                    task,
-                    tracer.enabled,
-                    tracer.shard_clock if tracer.enabled else None,
-                ),
-            ) as pool:
-                results = list(pool.map(_run_shard, enumerate(shards)))
+            # Publish the payload arrays once into shared memory; workers
+            # receive only the array-free task shell plus the segment spec.
+            if hasattr(task, "export_payload"):
+                shell, payload = task.export_payload()
+            else:  # tasks without large payloads ship as-is
+                shell, payload = task, {}
+            shared = _SharedArrays(payload) if payload else None
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(shards)),
+                    mp_context=_pool_context(start_method),
+                    initializer=_init_worker,
+                    initargs=(
+                        shell,
+                        shared.spec if shared is not None else None,
+                        tracer.enabled,
+                        tracer.shard_clock if tracer.enabled else None,
+                    ),
+                ) as pool:
+                    results = list(pool.map(_run_shard, enumerate(shards)))
+            finally:
+                if shared is not None:
+                    shared.dispose()
         merged = [item for shard_results, _ in results for item in shard_results]
         if tracer.enabled:
             tracer.attach([doc for _, doc in results if doc is not None])
@@ -353,6 +708,7 @@ def run_ubf_parallel(
     nodes: Optional[Sequence[int]] = None,
     frames: Optional[Dict[int, LocalFrame]] = None,
     tracer=None,
+    start_method: Optional[str] = None,
 ) -> List[UBFNodeOutcome]:
     """Phase 1 over the whole network, sharded across worker processes.
 
@@ -372,7 +728,9 @@ def run_ubf_parallel(
         find_first=find_first,
         frames=frames,
     )
-    return run_sharded(task, node_ids, workers=workers, tracer=tracer)
+    return run_sharded(
+        task, node_ids, workers=workers, tracer=tracer, start_method=start_method
+    )
 
 
 def run_frames_parallel(
@@ -385,6 +743,7 @@ def run_frames_parallel(
     workers: int = 1,
     nodes: Optional[Sequence[int]] = None,
     tracer=None,
+    start_method: Optional[str] = None,
 ) -> List[LocalFrame]:
     """Step (I) over the whole network, sharded across worker processes.
 
@@ -406,4 +765,6 @@ def run_frames_parallel(
     task = _FrameShardTask(
         network=network, measured=measured, mode=mode, hops=hops, engine=engine
     )
-    return run_sharded(task, node_ids, workers=workers, tracer=tracer)
+    return run_sharded(
+        task, node_ids, workers=workers, tracer=tracer, start_method=start_method
+    )

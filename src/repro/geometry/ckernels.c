@@ -1,0 +1,367 @@
+/* Native hot-path kernels for the "sparse" localization engine.
+ *
+ * Compiled on demand by repro.geometry.native with the system C compiler
+ * (see native.py for the cache/fallback protocol); every routine has a
+ * pure-numpy twin in repro.geometry.mds / repro.network.localization that
+ * the engine falls back to when no compiler is available.
+ *
+ * Numerical contracts
+ * -------------------
+ * - fw_complete_batch mirrors the numpy Floyd-Warshall relaxation
+ *   bit-for-bit: identical pivot order (k outer), identical elementwise
+ *   min/add, no FMA contraction (-ffp-contract=off in the build flags).
+ * - smacof_refine_frames reproduces smacof_refine_counted's majorization
+ *   (including the d > 1e-12 ratio guard and the relative stress stopping
+ *   rule) with reassociated reductions; coordinates agree within
+ *   SMACOF_BATCH_COORD_TOL and step counts agree exactly.
+ * - No routine reads clocks, RNGs, or global state: outputs depend only
+ *   on inputs, so results are byte-stable across processes and batch
+ *   compositions (the repro-san property).
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ---------------------------------------------------------------- */
+/* Frame assembly: partial distance matrices + undirected edge lists */
+/* ---------------------------------------------------------------- */
+
+/* Fill per-frame partial distance matrices and measured edge lists from
+ * the global CSR adjacency.  `local_index` is an n_nodes scratch array
+ * that must be -1-filled on entry; it is restored to -1 on exit.
+ * Returns the total number of undirected edges written. */
+int64_t assemble_frames(
+    const int64_t *members, const int64_t *frame_ptr,
+    const int64_t *indptr, const int64_t *indices, const double *edge_vals,
+    int64_t n_frames,
+    double *partial_flat, const int64_t *partial_ptr,
+    int32_t *edge_src, int32_t *edge_dst, double *edge_delta,
+    int64_t *edge_ptr, int32_t *local_index)
+{
+    int64_t ne_total = 0;
+    edge_ptr[0] = 0;
+    for (int64_t f = 0; f < n_frames; ++f) {
+        const int64_t *mem = members + frame_ptr[f];
+        int64_t m = frame_ptr[f + 1] - frame_ptr[f];
+        double *partial = partial_flat + partial_ptr[f];
+        for (int64_t i = 0; i < m; ++i)
+            local_index[mem[i]] = (int32_t)i;
+        for (int64_t i = 0; i < m * m; ++i)
+            partial[i] = INFINITY;
+        for (int64_t i = 0; i < m; ++i)
+            partial[i * m + i] = 0.0;
+        for (int64_t li = 0; li < m; ++li) {
+            int64_t u = mem[li];
+            for (int64_t p = indptr[u]; p < indptr[u + 1]; ++p) {
+                int32_t lj = local_index[indices[p]];
+                if (lj < 0)
+                    continue;
+                double val = edge_vals[p];
+                partial[li * m + lj] = val;
+                if (lj > li) {
+                    edge_src[ne_total] = (int32_t)li;
+                    edge_dst[ne_total] = lj;
+                    edge_delta[ne_total] = val;
+                    ++ne_total;
+                }
+            }
+        }
+        for (int64_t i = 0; i < m; ++i)
+            local_index[mem[i]] = -1;
+        edge_ptr[f + 1] = ne_total;
+    }
+    return ne_total;
+}
+
+/* ---------------------------------------------------------------- */
+/* Floyd-Warshall completion                                        */
+/* ---------------------------------------------------------------- */
+
+/* In-place Floyd-Warshall over a (b, m, m) stack; identical relaxation
+ * order to complete_distance_matrix_batch.  `rowk` buffers pivot row k
+ * so the inner loop carries no aliasing (i == k) and vectorizes. */
+void fw_complete_batch(double *d, int64_t b, int64_t m,
+                       double unreachable, double *rowk)
+{
+    for (int64_t s = 0; s < b; ++s) {
+        double *ds = d + s * m * m;
+        for (int64_t k = 0; k < m; ++k) {
+            memcpy(rowk, ds + k * m, (size_t)m * sizeof(double));
+            for (int64_t i = 0; i < m; ++i) {
+                double dik = ds[i * m + k];
+                double *restrict rowi = ds + i * m;
+                for (int64_t j = 0; j < m; ++j) {
+                    double via = dik + rowk[j];
+                    rowi[j] = via < rowi[j] ? via : rowi[j];
+                }
+            }
+        }
+        for (int64_t i = 0; i < m * m; ++i)
+            if (isinf(ds[i]))
+                ds[i] = unreachable;
+    }
+}
+
+/* ---------------------------------------------------------------- */
+/* Double centering                                                 */
+/* ---------------------------------------------------------------- */
+
+/* numpy's pairwise summation over a contiguous double vector, transcribed
+ * from numpy's pairwise_sum_DOUBLE: sequential below 8 elements, an
+ * 8-accumulator unrolled block up to 128, and a halving recursion (split
+ * rounded down to a multiple of 8) above.  The 8 accumulators are
+ * independent, so auto-vectorization cannot reassociate them -- the bits
+ * match np.sum / np.mean reductions exactly, which the centering below
+ * relies on to stay bit-identical to torgerson_gram_batch. */
+static double pairwise_sum(const double *a, int64_t n)
+{
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; ++i)
+            res += a[i];
+        return res;
+    }
+    if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i;
+        for (i = 8; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0];
+            r1 += a[i + 1];
+            r2 += a[i + 2];
+            r3 += a[i + 3];
+            r4 += a[i + 4];
+            r5 += a[i + 5];
+            r6 += a[i + 6];
+            r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; ++i)
+            res += a[i];
+        return res;
+    }
+    int64_t n2 = n / 2;
+    n2 -= n2 % 8;
+    return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
+}
+
+/* In-place Torgerson double centering of a (b, m, m) stack of *symmetric*
+ * completed distance matrices: D -> -1/2 J D^2 J with J = I - 11^T/m.
+ * Row and column means coincide by symmetry.  `rowmean` is an m-sized
+ * scratch buffer.
+ *
+ * Bit-identical to torgerson_gram_batch: means use numpy's pairwise
+ * summation (the grand mean is the mean of the row means, as
+ * row.mean(axis=-2) computes it), and the combine step follows the ufunc
+ * chain ((sq - row) - row^T) + total, scaled by -0.5.  The downstream
+ * eigenvectors sit near-degenerate in places, so last-ulp centering
+ * differences would otherwise be amplified past the engine tolerance. */
+void center_gram_batch(double *d, int64_t b, int64_t m, double *rowmean)
+{
+    double dm = (double)m;
+    for (int64_t s = 0; s < b; ++s) {
+        double *ds = d + s * m * m;
+        for (int64_t i = 0; i < m * m; ++i)
+            ds[i] *= ds[i];
+        for (int64_t i = 0; i < m; ++i)
+            rowmean[i] = pairwise_sum(ds + i * m, m) / dm;
+        double totalmean = pairwise_sum(rowmean, m) / dm;
+        for (int64_t i = 0; i < m; ++i) {
+            double *rowi = ds + i * m;
+            double ri = rowmean[i];
+            for (int64_t j = 0; j < m; ++j)
+                rowi[j] = -0.5 * (((rowi[j] - ri) - rowmean[j]) + totalmean);
+        }
+    }
+}
+
+/* ---------------------------------------------------------------- */
+/* SMACOF majorization over concatenated frames                     */
+/* ---------------------------------------------------------------- */
+
+/* Unblocked Cholesky (lower) of an SPD matrix, in place.  Returns 0 on
+ * success, -1 if a pivot is non-positive (rank-deficient input). */
+static int cholesky(double *a, int64_t m)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j <= i; ++j) {
+            double s = a[i * m + j];
+            for (int64_t k = 0; k < j; ++k)
+                s -= a[i * m + k] * a[j * m + k];
+            if (i == j) {
+                if (s <= 0.0)
+                    return -1;
+                a[i * m + i] = sqrt(s);
+            } else {
+                a[i * m + j] = s / a[j * m + j];
+            }
+        }
+    }
+    return 0;
+}
+
+/* Invert an SPD matrix given its in-place Cholesky factor L (lower):
+ * writes A^{-1} into `ainv` (row-major, full symmetric).  Computed as a
+ * matrix-wide forward substitution (L Y = I, exploiting Y's lower
+ * triangularity) followed by a matrix-wide backward substitution
+ * (L^T Z = Y); the inner loops run over contiguous rows, so they
+ * vectorize -- the whole inverse costs about ten majorization steps'
+ * worth of triangular solves and is amortized over every iteration. */
+static void cholesky_inverse(const double *L, double *ainv, int64_t m)
+{
+    for (int64_t i = 0; i < m * m; ++i)
+        ainv[i] = 0.0;
+    for (int64_t i = 0; i < m; ++i)
+        ainv[i * m + i] = 1.0;
+    for (int64_t k = 0; k < m; ++k) {
+        double *restrict yk = ainv + k * m;
+        double inv = 1.0 / L[k * m + k];
+        for (int64_t j = 0; j <= k; ++j)
+            yk[j] *= inv;
+        for (int64_t i = k + 1; i < m; ++i) {
+            double lik = L[i * m + k];
+            double *restrict yi = ainv + i * m;
+            for (int64_t j = 0; j <= k; ++j)
+                yi[j] -= lik * yk[j];
+        }
+    }
+    for (int64_t i = m - 1; i >= 0; --i) {
+        double *restrict zi = ainv + i * m;
+        double inv = 1.0 / L[i * m + i];
+        for (int64_t j = 0; j < m; ++j)
+            zi[j] *= inv;
+        for (int64_t k = 0; k < i; ++k) {
+            double lik = L[i * m + k];
+            double *restrict zk = ainv + k * m;
+            for (int64_t j = 0; j < m; ++j)
+                zk[j] -= lik * zi[j];
+        }
+    }
+}
+
+/* Weighted-stress majorization over concatenated frames.
+ *
+ * x            (total_members, 3) coordinates, refined in place
+ * frame_ptr    (n_frames + 1) member offsets into x
+ * edge_src/dst (total_edges) local member indices, src < dst, per frame
+ * edge_delta   (total_edges) measured distances
+ * edge_ptr     (n_frames + 1) edge offsets
+ * steps_out    (n_frames) majorization step counts (output)
+ * a            max_m * max_m scratch (Laplacian + Cholesky factor)
+ * ainv         max_m * max_m scratch (explicit (V + 11^T/m)^{-1})
+ * bxt          3 * max_m scratch (majorization right-hand side, B X
+ *              stored transposed so the per-iteration apply reads three
+ *              contiguous streams)
+ * dcache       max_edges scratch (embedded distances per edge)
+ * diffcache    max_edges * 3 scratch (embedded differences per edge)
+ *
+ * Per frame this mirrors smacof_refine_counted: the update is
+ * X <- (V + 11^T/m)^{-1} (B X) - (11^T/m)(B X), equal to pinv(V) B X for
+ * the connected weight graphs the engines build; like the numpy batch
+ * twin (smacof_refine_batch) the inverse is formed once per frame and
+ * applied as a dense product each step.  The stopping rule is
+ * last - current <= tol * max(last, 1e-12) on the half-stress.
+ * Returns 0, or -1 if any frame's Cholesky failed (caller falls back). */
+int smacof_refine_frames(
+    double *x, const int64_t *frame_ptr,
+    const int32_t *edge_src, const int32_t *edge_dst,
+    const double *edge_delta, const int64_t *edge_ptr,
+    int64_t n_frames, int64_t iterations, double tol,
+    double *a, double *ainv, double *bxt, double *dcache, double *diffcache,
+    int64_t *steps_out)
+{
+    for (int64_t f = 0; f < n_frames; ++f) {
+        int64_t m = frame_ptr[f + 1] - frame_ptr[f];
+        int64_t ne = edge_ptr[f + 1] - edge_ptr[f];
+        steps_out[f] = 0;
+        if (m <= 1 || ne == 0)
+            continue;
+        double *xf = x + frame_ptr[f] * 3;
+        const int32_t *es = edge_src + edge_ptr[f];
+        const int32_t *ed = edge_dst + edge_ptr[f];
+        const double *et = edge_delta + edge_ptr[f];
+        double invm = 1.0 / (double)m;
+
+        /* A = V + 11^T/m with V the unit-weight Laplacian of the
+         * measured-pair graph. */
+        for (int64_t i = 0; i < m * m; ++i)
+            a[i] = invm;
+        for (int64_t e = 0; e < ne; ++e) {
+            int64_t i = es[e], j = ed[e];
+            a[i * m + j] -= 1.0;
+            a[j * m + i] -= 1.0;
+            a[i * m + i] += 1.0;
+            a[j * m + j] += 1.0;
+        }
+        if (cholesky(a, m) != 0)
+            return -1;
+        cholesky_inverse(a, ainv, m);
+
+        double last = 0.0;
+        for (int64_t e = 0; e < ne; ++e) {
+            int64_t i = es[e], j = ed[e];
+            double dx = xf[i * 3] - xf[j * 3];
+            double dy = xf[i * 3 + 1] - xf[j * 3 + 1];
+            double dz = xf[i * 3 + 2] - xf[j * 3 + 2];
+            double dd = sqrt(dx * dx + dy * dy + dz * dz);
+            diffcache[e * 3] = dx;
+            diffcache[e * 3 + 1] = dy;
+            diffcache[e * 3 + 2] = dz;
+            dcache[e] = dd;
+            double r = dd - et[e];
+            last += r * r;
+        }
+        double *bxx = bxt, *bxy = bxt + m, *bxz = bxt + 2 * m;
+        for (int64_t it = 0; it < iterations; ++it) {
+            memset(bxt, 0, (size_t)(m * 3) * sizeof(double));
+            for (int64_t e = 0; e < ne; ++e) {
+                double dd = dcache[e];
+                double r = dd > 1e-12 ? et[e] / dd : 0.0;
+                int64_t i = es[e], j = ed[e];
+                double cx = r * diffcache[e * 3];
+                double cy = r * diffcache[e * 3 + 1];
+                double cz = r * diffcache[e * 3 + 2];
+                bxx[i] += cx; bxy[i] += cy; bxz[i] += cz;
+                bxx[j] -= cx; bxy[j] -= cy; bxz[j] -= cz;
+            }
+            double mx = 0.0, my = 0.0, mz = 0.0;
+            for (int64_t i = 0; i < m; ++i) {
+                mx += bxx[i]; my += bxy[i]; mz += bxz[i];
+            }
+            mx *= invm; my *= invm; mz *= invm;
+            for (int64_t i = 0; i < m; ++i) {
+                const double *restrict ai = ainv + i * m;
+                double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+                for (int64_t j = 0; j < m; ++j) {
+                    s0 += ai[j] * bxx[j];
+                    s1 += ai[j] * bxy[j];
+                    s2 += ai[j] * bxz[j];
+                }
+                xf[i * 3] = s0 - mx;
+                xf[i * 3 + 1] = s1 - my;
+                xf[i * 3 + 2] = s2 - mz;
+            }
+            steps_out[f] += 1;
+            double cur = 0.0;
+            for (int64_t e = 0; e < ne; ++e) {
+                int64_t i = es[e], j = ed[e];
+                double dx = xf[i * 3] - xf[j * 3];
+                double dy = xf[i * 3 + 1] - xf[j * 3 + 1];
+                double dz = xf[i * 3 + 2] - xf[j * 3 + 2];
+                double dd = sqrt(dx * dx + dy * dy + dz * dz);
+                diffcache[e * 3] = dx;
+                diffcache[e * 3 + 1] = dy;
+                diffcache[e * 3 + 2] = dz;
+                dcache[e] = dd;
+                double r = dd - et[e];
+                cur += r * r;
+            }
+            double floor_ = last > 1e-12 ? last : 1e-12;
+            if (last - cur <= tol * floor_)
+                break;
+            last = cur;
+        }
+    }
+    return 0;
+}

@@ -59,6 +59,21 @@ SMACOF_BATCH_COORD_TOL = 1e-9
 #: the L2 cache, which the relaxation's m full passes reward.
 FW_CHUNK_SLICES = 8
 
+#: Eigenvalues below this fraction of the leading eigenvalue are treated
+#: as exact zeros by classical MDS.  Such directions are pure rounding
+#: noise (a fully collinear collection has two mathematically-zero
+#: eigenvalues that materialize as ~1e-16 * lambda_max), and their
+#: eigenvectors are numerically arbitrary -- different LAPACK drivers
+#: return entirely different bases for the near-null subspace, which
+#: would break the cross-engine coordinate contract.  Zeroing them makes
+#: every engine emit the same (zero) coordinate for a degenerate axis.
+DEGENERATE_EIGENVALUE_RATIO = 1e-12
+
+#: Max rows per block-diagonal Dijkstra call in
+#: :func:`complete_distance_matrix_sparse`: bounds the dense
+#: ``(rows, rows)`` distance output of one scipy call to a few megabytes.
+SPARSE_COMPLETION_BLOCK_ROWS = 1024
+
 
 def complete_distance_matrix(
     partial: np.ndarray,
@@ -144,13 +159,218 @@ def complete_distance_matrix_batch(
     return dist
 
 
+def _canonicalize_axis_signs(vecs: np.ndarray) -> np.ndarray:
+    """Flip eigenvector columns to a driver-independent sign convention.
+
+    An eigenvector's sign is arbitrary, and different LAPACK drivers
+    (``syevd`` behind ``np.linalg.eigh``, MRRR ``syevr`` behind the sparse
+    engine's subset solve) make different choices.  Each column is flipped
+    so that its largest-magnitude component is positive, which every engine
+    applies identically; negation is exact in IEEE arithmetic, so the
+    convention costs no precision.  Operates on the trailing two axes of a
+    ``(..., m, k)`` stack and returns a new array.
+    """
+    if vecs.shape[-2] == 0 or vecs.shape[-1] == 0:
+        return vecs
+    amax = np.argmax(np.abs(vecs), axis=-2)
+    picked = np.take_along_axis(vecs, amax[..., None, :], axis=-2)
+    return vecs * np.where(picked < 0.0, -1.0, 1.0)
+
+
+def complete_distance_matrix_sparse(
+    partial: np.ndarray,
+    *,
+    missing_value: float = np.inf,
+    unreachable: float = UNREACHABLE_LOCAL_DISTANCE,
+) -> np.ndarray:
+    """Sparse-graph shortest-path completion of an ``(B, m, m)`` stack.
+
+    Same contract as :func:`complete_distance_matrix_batch`, computed with
+    ``scipy.sparse.csgraph.dijkstra`` instead of the dense Floyd-Warshall
+    relaxation: the measured entries of every slice become one
+    block-diagonal CSR graph (blocks are independent, so batching cannot
+    couple frames) and a single multi-source Dijkstra call completes up to
+    :data:`SPARSE_COMPLETION_BLOCK_ROWS` rows at a time.
+
+    Dijkstra accumulates each path sum left-to-right along the shortest
+    path whereas Floyd-Warshall folds sub-path sums, so the two are not
+    bit-identical -- they agree to well within the 1e-9 engine contract
+    (property-tested in the engine-equivalence suite).  Cost is
+    ``O(m^2 log m)`` per frame versus ``O(m^3)`` dense, which wins for
+    large frames; below :data:`~repro.network.localization.SPARSE_DIJKSTRA_MIN_MEMBERS`
+    the dense relaxation's contiguous arithmetic is faster in practice.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra
+
+    dist = np.array(partial, dtype=float)
+    if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
+        raise ValueError("partial distance stack must be (B, m, m)")
+    if np.isfinite(missing_value):
+        dist[dist == missing_value] = np.inf
+    n_batch, m, _ = dist.shape
+    if n_batch == 0 or m == 0:
+        return dist
+    diag = np.arange(m)
+    dist[:, diag, diag] = 0.0
+    frames_per_call = max(1, SPARSE_COMPLETION_BLOCK_ROWS // m)
+    out = np.empty_like(dist)
+    for start in range(0, n_batch, frames_per_call):
+        block = dist[start : start + frames_per_call]
+        nb = block.shape[0]
+        mask = np.isfinite(block)
+        mask[:, diag, diag] = False
+        counts = mask.sum(axis=2)
+        indptr = np.zeros(nb * m + 1, dtype=np.int64)
+        np.cumsum(counts.reshape(-1), out=indptr[1:])
+        rows_b, _, cols = np.nonzero(mask)
+        graph = csr_matrix(
+            (block[mask], rows_b * m + cols, indptr), shape=(nb * m, nb * m)
+        )
+        full = dijkstra(graph, directed=True)
+        picked = np.arange(nb)
+        out[start : start + nb] = full.reshape(nb, m, nb, m)[picked, :, picked, :]
+    out[~np.isfinite(out)] = unreachable
+    return out
+
+
+def torgerson_gram_batch(distances: np.ndarray) -> np.ndarray:
+    """Double-center a distance stack into the classical-MDS Gram stack.
+
+    Computes ``-1/2 J D^2 J`` for every ``(m, m)`` slice using the O(m^2)
+    mean-subtraction identity (``J S J = S - r 1^T - 1 r^T + t`` with row
+    means ``r`` and total mean ``t``).  Every engine centers through this
+    one routine (or its bit-identical native twin ``center_gram_batch``):
+    the classical-MDS seed must match across engines bit for bit, because
+    SMACOF's ``t / d`` majorization terms amplify seed differences by
+    orders of magnitude on frames with near-zero measured distances.
+    Accepts a single ``(m, m)`` matrix or any ``(..., m, m)`` stack; the
+    per-slice reduction order is identical either way.
+    """
+    sq = np.ascontiguousarray(distances, dtype=float) ** 2
+    row = sq.mean(axis=-1, keepdims=True)
+    total = row.mean(axis=-2, keepdims=True)
+    return -0.5 * (sq - row - np.swapaxes(row, -1, -2) + total)
+
+
+def classical_mds_from_gram(gram: np.ndarray, n_components: int = 3) -> np.ndarray:
+    """Embed one pre-centered Gram matrix via a top-``n_components`` solve.
+
+    The per-frame MDS eigensolve shared by every engine: it asks LAPACK's
+    MRRR driver (``syevr``) for just the top eigenpairs, which is ~5x
+    cheaper than a full ``syevd`` factorization at typical frame sizes.
+    Eigenvector signs are canonicalized and near-null eigenvalues zeroed
+    identically everywhere, and :func:`classical_mds` routes through this
+    same solve, so the classical-MDS seed is bit-identical across the
+    pernode, batch, and sparse engines -- a hard requirement, since the
+    SMACOF refinement that follows can amplify a last-ulp seed difference
+    past the 1e-9 engine contract on ill-conditioned frames.  ``gram`` is
+    overwritten.
+    """
+    m = gram.shape[0]
+    if m == 0:
+        return np.empty((0, n_components))
+    k = min(n_components, m)
+    try:
+        from scipy.linalg import eigh as scipy_eigh
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        eigvals, eigvecs = np.linalg.eigh(gram)
+        vals = eigvals[::-1][:k]
+        vecs = eigvecs[:, ::-1][:, :k]
+    else:
+        vals, vecs = scipy_eigh(
+            gram,
+            subset_by_index=[m - k, m - 1],
+            driver="evr",
+            lower=False,
+            check_finite=False,
+            overwrite_a=True,
+        )
+        vals = vals[::-1]
+        vecs = vecs[:, ::-1]
+    top_vals = np.clip(vals, 0.0, None)
+    top_vals = np.where(
+        top_vals < DEGENERATE_EIGENVALUE_RATIO * top_vals[..., :1], 0.0, top_vals
+    )
+    coords = _canonicalize_axis_signs(vecs) * np.sqrt(top_vals)[None, :]
+    if coords.shape[1] < n_components:
+        pad = np.zeros((m, n_components - coords.shape[1]))
+        coords = np.hstack([coords, pad])
+    return coords
+
+
+_SYEVR_CACHE = None
+
+
+def _syevr():
+    """The raw LAPACK ``dsyevr`` handle (or ``None`` without scipy)."""
+    global _SYEVR_CACHE
+    if _SYEVR_CACHE is None:
+        try:
+            from scipy.linalg import get_lapack_funcs
+        except ImportError:  # pragma: no cover - scipy is a hard dependency
+            _SYEVR_CACHE = (None,)
+        else:
+            _SYEVR_CACHE = get_lapack_funcs(("syevr",), (np.empty((1, 1)),))
+    return _SYEVR_CACHE[0]
+
+
+def classical_mds_from_gram_stack(
+    gram: np.ndarray, n_components: int = 3
+) -> np.ndarray:
+    """Batched :func:`classical_mds_from_gram` over a ``(B, m, m)`` stack.
+
+    The sparse engine's MDS hot loop: one raw LAPACK ``dsyevr`` call per
+    slice (skipping the scipy wrapper's per-call validation), with the
+    clip / degenerate-cutoff / sign-canonicalization / scaling epilogue
+    vectorized across the whole stack.
+    """
+    n_batch, m, _ = gram.shape
+    if m == 0:
+        return np.zeros((n_batch, 0, n_components))
+    k = min(n_components, m)
+    vals = np.empty((n_batch, k))
+    vecs = np.empty((n_batch, m, k))
+    syevr = _syevr()
+    for b in range(n_batch):
+        if syevr is not None:
+            w, z, _, _, info = syevr(
+                gram[b], compute_v=1, range="I", il=m - k + 1, iu=m, lower=0
+            )
+        else:  # pragma: no cover - scipy is a hard dependency
+            info = 1
+        if syevr is None or info != 0:
+            ew, ev = np.linalg.eigh(gram[b])
+            vals[b] = ew[::-1][:k]
+            vecs[b] = ev[:, ::-1][:, :k]
+        else:
+            vals[b] = w[k - 1 :: -1]
+            vecs[b] = z[:, ::-1]
+    top_vals = np.clip(vals, 0.0, None)
+    top_vals = np.where(
+        top_vals < DEGENERATE_EIGENVALUE_RATIO * top_vals[..., :1], 0.0, top_vals
+    )
+    coords = _canonicalize_axis_signs(vecs) * np.sqrt(top_vals)[:, None, :]
+    if k < n_components:
+        pad = np.zeros((n_batch, m, n_components - k))
+        coords = np.concatenate([coords, pad], axis=2)
+    return coords
+
+
 def classical_mds(distances: np.ndarray, n_components: int = 3) -> np.ndarray:
     """Classical (Torgerson) MDS embedding of a distance matrix.
 
-    Double-centers the squared distance matrix and takes the top
-    ``n_components`` eigenpairs.  Negative eigenvalues (which arise when the
-    input is not exactly Euclidean, e.g. after shortest-path completion or
-    under measurement noise) are clipped to zero.
+    Double-centers the squared distance matrix via
+    :func:`torgerson_gram_batch` and takes the top ``n_components``
+    eigenpairs via :func:`classical_mds_from_gram` -- the exact chain the
+    sparse engine runs per frame, so the seed every engine hands to SMACOF
+    is bit-identical.  Negative eigenvalues (which arise when the input is
+    not exactly Euclidean, e.g. after shortest-path completion or under
+    measurement noise) are clipped to zero; eigenvalues below
+    :data:`DEGENERATE_EIGENVALUE_RATIO` of the leading one are zeroed (their
+    eigenvectors are numerically arbitrary), and eigenvector signs follow
+    the canonical convention of :func:`_canonicalize_axis_signs` so every
+    engine produces the same embedding.
 
     Parameters
     ----------
@@ -173,27 +393,15 @@ def classical_mds(distances: np.ndarray, n_components: int = 3) -> np.ndarray:
     if not np.all(np.isfinite(dist)):
         raise ValueError("distance matrix must be finite; complete it first")
 
-    sq = dist ** 2
-    centering = np.eye(m) - np.full((m, m), 1.0 / m)
-    gram = -0.5 * centering @ sq @ centering
-    # eigh returns ascending order; take the largest n_components.
-    eigvals, eigvecs = np.linalg.eigh((gram + gram.T) / 2.0)
-    order = np.argsort(eigvals)[::-1][:n_components]
-    top_vals = np.clip(eigvals[order], 0.0, None)
-    coords = eigvecs[:, order] * np.sqrt(top_vals)[None, :]
-    if coords.shape[1] < n_components:
-        pad = np.zeros((m, n_components - coords.shape[1]))
-        coords = np.hstack([coords, pad])
-    return coords
+    return classical_mds_from_gram(torgerson_gram_batch(dist), n_components)
 
 
 def classical_mds_batch(distances: np.ndarray, n_components: int = 3) -> np.ndarray:
     """Batched :func:`classical_mds` over an ``(B, m, m)`` stack.
 
-    Mirrors the scalar implementation expression for expression; the
-    double-centering matmuls and the ``eigh`` gufunc loop the identical
-    routines per slice, so slice ``b`` equals
-    ``classical_mds(distances[b], n_components)`` bit for bit.
+    Same centering identity and per-slice ``syevr`` solve as the scalar
+    path, so slice ``b`` equals ``classical_mds(distances[b],
+    n_components)`` bit for bit.
     """
     dist = np.asarray(distances, dtype=float)
     if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
@@ -204,19 +412,7 @@ def classical_mds_batch(distances: np.ndarray, n_components: int = 3) -> np.ndar
     if not np.all(np.isfinite(dist)):
         raise ValueError("distance stack must be finite; complete it first")
 
-    sq = dist ** 2
-    centering = np.eye(m) - np.full((m, m), 1.0 / m)
-    gram = -0.5 * centering @ sq @ centering
-    sym = (gram + np.swapaxes(gram, -1, -2)) / 2.0
-    eigvals, eigvecs = np.linalg.eigh(sym)
-    order = np.argsort(eigvals, axis=-1)[:, ::-1][:, :n_components]
-    top_vals = np.clip(np.take_along_axis(eigvals, order, axis=-1), 0.0, None)
-    coords = np.take_along_axis(eigvecs, order[:, None, :], axis=2)
-    coords = coords * np.sqrt(top_vals)[:, None, :]
-    if coords.shape[2] < n_components:
-        pad = np.zeros((n_batch, m, n_components - coords.shape[2]))
-        coords = np.concatenate([coords, pad], axis=2)
-    return coords
+    return classical_mds_from_gram_stack(torgerson_gram_batch(dist), n_components)
 
 
 def smacof_refine(

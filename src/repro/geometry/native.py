@@ -1,0 +1,243 @@
+"""On-demand native kernels for the sparse localization engine.
+
+The sparse engine's hot loops (frame assembly, Floyd-Warshall completion,
+double centering, SMACOF majorization) are written once in portable C
+(``ckernels.c``) and compiled lazily with the system C compiler the first
+time they are requested.  The resulting shared object is cached on disk
+keyed by the source hash, so every later process (including pool workers)
+dlopens the same binary -- a precondition for the byte-identical sharded
+outputs repro-san checks.
+
+No new dependency is introduced: the build shells out to ``cc`` (or
+``$CC``) with ``ctypes`` doing the loading.  When no compiler is
+available, compilation fails, or ``REPRO_NATIVE=0`` is set, callers
+receive ``None`` and fall back to the pure-numpy twins in
+:mod:`repro.geometry.mds` -- same results, more wall clock.
+
+The build pins ``-ffp-contract=off`` (no FMA contraction) so the C
+relaxation arithmetic matches the numpy ufunc chain operation for
+operation; see ckernels.c for the per-routine contracts.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Environment variable gating native kernels; set to ``0`` to force the
+#: pure-numpy fallback path (used by the differential tests).
+NATIVE_ENV_VAR = "REPRO_NATIVE"
+
+#: Environment variable overriding the shared-object cache directory.
+NATIVE_CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
+
+_C_SOURCE = os.path.join(os.path.dirname(__file__), "ckernels.c")
+
+_CFLAGS = ["-O3", "-march=native", "-ffp-contract=off", "-fPIC", "-shared"]
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+_INT64_P = ctypes.POINTER(ctypes.c_int64)
+_INT32_P = ctypes.POINTER(ctypes.c_int32)
+
+
+def _ptr(array: np.ndarray, ctype) -> "ctypes.pointer":
+    return array.ctypes.data_as(ctypes.POINTER(ctype))
+
+
+class NativeKernels:
+    """Thin typed wrappers over the compiled ``ckernels`` shared object."""
+
+    def __init__(self, library: ctypes.CDLL, path: str):
+        self.path = path
+        self._lib = library
+        library.assemble_frames.restype = ctypes.c_int64
+        library.assemble_frames.argtypes = [
+            _INT64_P, _INT64_P, _INT64_P, _INT64_P, _DOUBLE_P,
+            ctypes.c_int64, _DOUBLE_P, _INT64_P,
+            _INT32_P, _INT32_P, _DOUBLE_P, _INT64_P, _INT32_P,
+        ]
+        library.fw_complete_batch.restype = None
+        library.fw_complete_batch.argtypes = [
+            _DOUBLE_P, ctypes.c_int64, ctypes.c_int64, ctypes.c_double,
+            _DOUBLE_P,
+        ]
+        library.center_gram_batch.restype = None
+        library.center_gram_batch.argtypes = [
+            _DOUBLE_P, ctypes.c_int64, ctypes.c_int64, _DOUBLE_P,
+        ]
+        library.smacof_refine_frames.restype = ctypes.c_int
+        library.smacof_refine_frames.argtypes = [
+            _DOUBLE_P, _INT64_P, _INT32_P, _INT32_P, _DOUBLE_P, _INT64_P,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_double,
+            _DOUBLE_P, _DOUBLE_P, _DOUBLE_P, _DOUBLE_P, _DOUBLE_P, _INT64_P,
+        ]
+
+    def assemble_frames(
+        self,
+        members: np.ndarray,
+        frame_ptr: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_vals: np.ndarray,
+        partial_flat: np.ndarray,
+        partial_ptr: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_delta: np.ndarray,
+        edge_ptr: np.ndarray,
+        local_index: np.ndarray,
+    ) -> int:
+        """Fill partial matrices + edge lists; returns the edge count."""
+        n_frames = frame_ptr.shape[0] - 1
+        return int(self._lib.assemble_frames(
+            _ptr(members, ctypes.c_int64), _ptr(frame_ptr, ctypes.c_int64),
+            _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
+            _ptr(edge_vals, ctypes.c_double), n_frames,
+            _ptr(partial_flat, ctypes.c_double),
+            _ptr(partial_ptr, ctypes.c_int64),
+            _ptr(edge_src, ctypes.c_int32), _ptr(edge_dst, ctypes.c_int32),
+            _ptr(edge_delta, ctypes.c_double), _ptr(edge_ptr, ctypes.c_int64),
+            _ptr(local_index, ctypes.c_int32),
+        ))
+
+    def fw_complete(self, stack: np.ndarray, unreachable: float) -> None:
+        """In-place Floyd-Warshall over a C-contiguous (B, m, m) stack."""
+        b, m, _ = stack.shape
+        rowk = np.empty(m, dtype=np.float64)
+        self._lib.fw_complete_batch(
+            _ptr(stack, ctypes.c_double), b, m, unreachable,
+            _ptr(rowk, ctypes.c_double),
+        )
+
+    def center_gram(self, stack: np.ndarray) -> None:
+        """In-place Torgerson centering of a symmetric (B, m, m) stack."""
+        b, m, _ = stack.shape
+        rowmean = np.empty(m, dtype=np.float64)
+        self._lib.center_gram_batch(
+            _ptr(stack, ctypes.c_double), b, m,
+            _ptr(rowmean, ctypes.c_double),
+        )
+
+    def smacof_refine(
+        self,
+        coords: np.ndarray,
+        frame_ptr: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_delta: np.ndarray,
+        edge_ptr: np.ndarray,
+        *,
+        iterations: int,
+        tol: float,
+        max_members: int,
+        max_edges: int,
+    ) -> Optional[np.ndarray]:
+        """Refine concatenated frame coordinates in place.
+
+        Returns the per-frame step counts, or ``None`` when a frame's
+        weight Laplacian was rank-deficient (disconnected measured-pair
+        graph) and the caller must fall back to the numpy path.
+        """
+        n_frames = frame_ptr.shape[0] - 1
+        steps = np.zeros(n_frames, dtype=np.int64)
+        scratch_a = np.empty(max(max_members * max_members, 1), dtype=np.float64)
+        scratch_ainv = np.empty_like(scratch_a)
+        scratch_bxt = np.empty(max(max_members * 3, 1), dtype=np.float64)
+        scratch_d = np.empty(max(max_edges, 1), dtype=np.float64)
+        scratch_diff = np.empty(max(max_edges * 3, 1), dtype=np.float64)
+        rc = self._lib.smacof_refine_frames(
+            _ptr(coords, ctypes.c_double), _ptr(frame_ptr, ctypes.c_int64),
+            _ptr(edge_src, ctypes.c_int32), _ptr(edge_dst, ctypes.c_int32),
+            _ptr(edge_delta, ctypes.c_double), _ptr(edge_ptr, ctypes.c_int64),
+            n_frames, iterations, tol,
+            _ptr(scratch_a, ctypes.c_double), _ptr(scratch_ainv, ctypes.c_double),
+            _ptr(scratch_bxt, ctypes.c_double),
+            _ptr(scratch_d, ctypes.c_double), _ptr(scratch_diff, ctypes.c_double),
+            _ptr(steps, ctypes.c_int64),
+        )
+        if rc != 0:
+            return None
+        return steps
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(NATIVE_CACHE_ENV_VAR)
+    if override:
+        return override
+    tag = f"repro-native-{os.getuid()}" if hasattr(os, "getuid") else "repro-native"
+    return os.path.join(tempfile.gettempdir(), tag)
+
+
+def _source_digest(source_path: str) -> str:
+    with open(source_path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()[:16]
+
+
+def _compile(source_path: str, out_path: str) -> bool:
+    compiler = os.environ.get("CC", "cc")
+    tmp_path = f"{out_path}.{os.getpid()}.tmp"
+    command = [compiler, *_CFLAGS, "-o", tmp_path, source_path, "-lm"]
+    try:
+        result = subprocess.run(
+            command, capture_output=True, timeout=120, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    if result.returncode != 0:
+        return False
+    try:
+        os.replace(tmp_path, out_path)
+    except OSError:
+        return False
+    return True
+
+
+_CACHED: Tuple[bool, Optional[NativeKernels]] = (False, None)
+
+
+def load_kernels() -> Optional[NativeKernels]:
+    """Load (compiling if needed) the native kernels, or ``None``.
+
+    The result is cached per process.  ``None`` means "use the numpy
+    fallback": the environment disabled native kernels, no working C
+    compiler was found, or the compile/load failed.
+    """
+    global _CACHED
+    if _CACHED[0]:
+        return _CACHED[1]
+    kernels = _load_uncached()
+    _CACHED = (True, kernels)
+    return kernels
+
+
+def reset_kernel_cache() -> None:
+    """Forget the per-process kernel handle (test hook)."""
+    global _CACHED
+    _CACHED = (False, None)
+
+
+def _load_uncached() -> Optional[NativeKernels]:
+    if os.environ.get(NATIVE_ENV_VAR, "1").lower() in ("0", "off", "no", "false"):
+        return None
+    if not os.path.exists(_C_SOURCE):
+        return None
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"ckernels-{_source_digest(_C_SOURCE)}.so")
+    if not os.path.exists(so_path):
+        try:
+            os.makedirs(cache, exist_ok=True)
+        except OSError:
+            return None
+        if not _compile(_C_SOURCE, so_path):
+            return None
+    try:
+        library = ctypes.CDLL(so_path)
+        return NativeKernels(library, so_path)
+    except OSError:
+        return None

@@ -83,6 +83,42 @@ class NetworkGraph:
         )
         self._edge_array: Optional[np.ndarray] = None
 
+    @classmethod
+    def from_csr(
+        cls,
+        positions: np.ndarray,
+        radio_range: float,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "NetworkGraph":
+        """Rebuild a graph from a previously exported CSR adjacency.
+
+        The inverse of :meth:`csr` (plus ``positions``/``radio_range``):
+        per-row neighbor columns must already be sorted ascending, exactly
+        as :meth:`csr` emits them.  Unlike the constructor, nothing is
+        re-derived or copied -- ``positions`` and ``indices`` are adopted
+        as-is (read-only shared-memory buffers included), and the per-node
+        adjacency list holds views into ``indices``.  This is the
+        zero-copy rehydration path workers use for shared-memory payloads.
+        """
+        self = cls.__new__(cls)
+        pos = as_points(positions)
+        if radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        self._positions = pos
+        self._radio_range = float(radio_range)
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._indices = np.asarray(indices, dtype=np.int64)
+        n = pos.shape[0]
+        if self._indptr.shape != (n + 1,) or self._indptr[-1] != self._indices.size:
+            raise ValueError("indptr does not describe indices")
+        self._adjacency = (
+            np.split(self._indices, self._indptr[1:-1]) if n else []
+        )
+        self._neighbor_sets = [set(map(int, a)) for a in self._adjacency]
+        self._edge_array = None
+        return self
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

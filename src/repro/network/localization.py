@@ -21,7 +21,7 @@ because each ball's far side is invisible to the check.
 
 Engines
 -------
-:func:`build_frames` constructs every node's frame through one of two
+:func:`build_frames` constructs every node's frame through one of three
 engines with *observably identical* results:
 
 ``pernode``
@@ -33,15 +33,37 @@ engines with *observably identical* results:
     indexing the CSR edge arrays, and frames of equal size stacked into
     ``(B, m, m)`` batches for the batched MDS chain in
     :mod:`repro.geometry.mds`.
+``sparse``
+    The performance engine: same collection sweep and same-size grouping
+    as ``batch``, but the MDS chain exploits sparsity end to end --
+    shortest-path completion runs ``scipy.sparse.csgraph.dijkstra`` over
+    per-frame CSR blocks for large frames (and a cache-blocked dense
+    relaxation below :data:`SPARSE_DIJKSTRA_MIN_MEMBERS`, where dense
+    arithmetic is empirically faster), classical MDS solves only the top
+    three eigenpairs (MRRR subset driver) instead of the full spectrum,
+    and SMACOF iterates over the measured *edge list* rather than dense
+    ``(m, m)`` weight matrices.  Assembly, completion, centering, and
+    refinement use the optional native kernels from
+    :mod:`repro.geometry.native` when a C compiler is available, with
+    numpy fallbacks (:func:`~repro.geometry.mds.torgerson_gram_batch`,
+    :func:`~repro.geometry.mds.smacof_refine_batch`) behind the same
+    contract otherwise.
 
 The engine contract (enforced by the differential tests): member lists,
 one-hop counts, and SMACOF iteration counts agree *exactly*; coordinates
 agree within :data:`repro.geometry.mds.SMACOF_BATCH_COORD_TOL` (the batch
-SMACOF restructures its arithmetic -- Gram-identity distances, algebraic
-stress expansion -- which perturbs results at the 1e-12 level while
-taking the identical number of majorization steps).  Frames smaller than
+and sparse chains restructure SMACOF's float arithmetic -- Gram-identity
+distances, algebraic stress expansion, edge-list updates -- which
+perturbs results at the ~1e-14..1e-10 level while taking the identical
+number of majorization steps).  The classical-MDS seed handed to SMACOF
+is *bit-identical* across engines -- every engine centers through
+``torgerson_gram_batch`` (or its native twin) and eigensolves through
+the ``syevr`` subset driver -- because on frames with near-noise-floor
+measured distances the majorization amplifies a last-ulp seed difference
+by several orders of magnitude, past the contract tolerance.  Frames
+smaller than
 :data:`SCALAR_FALLBACK_MEMBERS` are delegated to the scalar MDS kernel
-*inside* the batch engine: near-isolated collections produce
+*inside* the batch and sparse engines: near-isolated collections produce
 rank-deficient systems whose majorization trajectory is sensitive at the
 last-ulp level, batching amortizes nothing over their O(1) work, and the
 delegation makes them bit-identical to the oracle by construction.
@@ -54,7 +76,17 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.geometry.mds import local_mds_embedding, local_mds_embedding_batch
+from repro.geometry.mds import (
+    UNREACHABLE_LOCAL_DISTANCE,
+    classical_mds_from_gram_stack,
+    complete_distance_matrix_batch,
+    complete_distance_matrix_sparse,
+    local_mds_embedding,
+    local_mds_embedding_batch,
+    smacof_refine_batch,
+    torgerson_gram_batch,
+)
+from repro.geometry.native import load_kernels
 from repro.network.graph import NetworkGraph
 from repro.network.measurement import MeasuredDistances
 
@@ -62,7 +94,7 @@ from repro.network.measurement import MeasuredDistances
 DEFAULT_COLLECTION_HOPS = 2
 
 #: Frame-construction engines :func:`build_frames` accepts.
-ENGINES = ("batch", "pernode")
+ENGINES = ("batch", "pernode", "sparse")
 
 #: Default engine (see the module docstring's "Engines" section).
 DEFAULT_ENGINE = "batch"
@@ -84,6 +116,16 @@ MAX_BATCH_ELEMENTS = 1 << 22
 #: which costs nothing, as batching has no overhead to amortize at O(1)
 #: frame sizes.
 SCALAR_FALLBACK_MEMBERS = 8
+
+#: Frame size at which the sparse engine switches its shortest-path
+#: completion from the cache-blocked dense relaxation to
+#: ``scipy.sparse.csgraph.dijkstra`` over per-frame CSR blocks.  Dijkstra
+#: is asymptotically cheaper (``O(m^2 log m)`` vs ``O(m^3)``) but pays
+#: heap and CSR-construction overhead per source; measured on this
+#: hardware the dense relaxation's contiguous SIMD arithmetic wins up to
+#: roughly twice the typical 2-hop collection size, with crossover near
+#: m ~ 192 (see docs/PERFORMANCE.md).
+SPARSE_DIJKSTRA_MIN_MEMBERS = 192
 
 
 @dataclass
@@ -196,14 +238,14 @@ def build_frames(
 ) -> List[LocalFrame]:
     """MDS local frames for ``nodes`` (all nodes by default), in order.
 
-    ``engine`` selects ``"batch"`` (default) or the ``"pernode"`` oracle;
-    both produce observably identical frames -- exact members and SMACOF
-    step counts, coordinates within a documented float tolerance (see the
-    module docstring).  Every
-    node's frame still reads only its own ``hops``-hop collection -- the
-    batch engine changes how the per-node computations are *scheduled*,
-    never what information they consume, so the paper's locality argument
-    is untouched.
+    ``engine`` selects ``"batch"`` (default), ``"sparse"``, or the
+    ``"pernode"`` oracle; all produce observably identical frames -- exact
+    members and SMACOF step counts, coordinates within a documented float
+    tolerance (see the module docstring).  Every node's frame still reads
+    only its own ``hops``-hop collection -- the batch and sparse engines
+    change how the per-node computations are *scheduled*, never what
+    information they consume, so the paper's locality argument is
+    untouched.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -215,7 +257,121 @@ def build_frames(
             establish_local_frame(graph, measured, node, hops=hops)
             for node in node_ids
         ]
+    if engine == "sparse":
+        return _build_frames_sparse(graph, measured, node_ids, hops)
     return _build_frames_batch(graph, measured, node_ids, hops)
+
+
+def _measured_edge_values(
+    graph: NetworkGraph,
+    measured: MeasuredDistances,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> np.ndarray:
+    """CSR-aligned measured values, via the vectorized store fast path."""
+    fast = getattr(measured, "csr_values", None)
+    if fast is not None:
+        return fast(indptr, indices)
+    return graph.edge_values(measured.get)
+
+
+def _collect_frame_metas(
+    graph: NetworkGraph, node_ids: List[int], hops: int
+) -> List[tuple]:
+    """Per-node ``(node, members, n_one_hop)`` tuples from one BFS sweep.
+
+    Ordered member arrays mirror :func:`_frame_members`: the node itself,
+    then its one-hop neighbors ascending, then the farther collection
+    ascending (``k_hop_collections`` returns nodes sorted ascending).
+    """
+    collections = graph.k_hop_collections(hops, sources=node_ids)
+    n_sources = len(node_ids)
+    counts = np.fromiter(
+        (c[0].size for c in collections), dtype=np.int64, count=n_sources
+    )
+    # One flat pass over every collection: a stable per-segment sort moving
+    # hop >= 2 members behind the one-hop ones (each segment arrives
+    # node-sorted, so stability preserves the ascending order within both
+    # halves), then the owning node is spliced in at each segment start.
+    all_nodes = (
+        np.concatenate([c[0] for c in collections]).astype(np.int64, copy=False)
+        if n_sources
+        else np.empty(0, dtype=np.int64)
+    )
+    all_hops = (
+        np.concatenate([c[1] for c in collections])
+        if n_sources
+        else np.empty(0, dtype=np.int64)
+    )
+    segment = np.repeat(np.arange(n_sources, dtype=np.int64), counts)
+    keep = all_hops >= 1  # collections may include the hop-0 source itself
+    all_nodes = all_nodes[keep]
+    all_hops = all_hops[keep]
+    segment = segment[keep]
+    farther_flag = all_hops >= 2
+    ordered = all_nodes[np.lexsort((farther_flag, segment))]
+    n_one_hop = np.bincount(
+        segment, weights=all_hops == 1, minlength=n_sources
+    ).astype(np.int64)
+
+    sizes = np.bincount(segment, minlength=n_sources).astype(np.int64) + 1
+    frame_ptr = np.zeros(n_sources + 1, dtype=np.int64)
+    np.cumsum(sizes, out=frame_ptr[1:])
+    members_flat = np.empty(int(frame_ptr[-1]), dtype=np.int64)
+    starts = frame_ptr[:-1]
+    members_flat[starts] = np.asarray(node_ids, dtype=np.int64)
+    fill = np.ones(members_flat.size, dtype=bool)
+    fill[starts] = False
+    members_flat[fill] = ordered
+
+    metas: List[tuple] = []
+    for i, node in enumerate(node_ids):
+        members = members_flat[frame_ptr[i] : frame_ptr[i + 1]]
+        metas.append((node, members, int(n_one_hop[i])))
+    return metas
+
+
+def _group_by_size(metas: List[tuple]) -> Dict[int, List[int]]:
+    """Frame indices grouped by member count for same-size stacking."""
+    by_size: Dict[int, List[int]] = {}
+    for i, (_, members, _) in enumerate(metas):
+        by_size.setdefault(int(members.size), []).append(i)
+    return by_size
+
+
+def _assemble_partial_stack(
+    metas: List[tuple],
+    chunk: List[int],
+    m: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_vals: np.ndarray,
+    local_index: np.ndarray,
+) -> np.ndarray:
+    """Measured partial-distance ``(len(chunk), m, m)`` stack via CSR gather.
+
+    ``local_index`` is a caller-owned ``(n_nodes,)`` int64 scratch filled
+    with -1; it is restored to -1 before returning.
+    """
+    local_rows = np.arange(m, dtype=np.int64)
+    partial = np.full((len(chunk), m, m), np.inf)
+    partial[:, local_rows, local_rows] = 0.0
+    for b, i in enumerate(chunk):
+        members = metas[i][1]
+        local_index[members] = local_rows
+        row_starts = indptr[members]
+        counts = indptr[members + 1] - row_starts
+        total = int(counts.sum())
+        rows = np.repeat(local_rows, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        csr_pos = np.repeat(row_starts, counts) + offsets
+        cols = local_index[indices[csr_pos]]
+        inside = cols >= 0
+        partial[b, rows[inside], cols[inside]] = edge_vals[csr_pos[inside]]
+        local_index[members] = -1
+    return partial
 
 
 def _build_frames_batch(
@@ -235,48 +391,20 @@ def _build_frames_batch(
     if not node_ids:
         return []
     indptr, indices = graph.csr()
-    edge_vals = graph.edge_values(measured.get)
-    collections = graph.k_hop_collections(hops, sources=node_ids)
-
-    # Ordered member arrays, mirroring _frame_members: the node itself,
-    # then its one-hop neighbors ascending, then the farther collection
-    # ascending (k_hop_collections returns nodes sorted ascending).
-    metas: List[tuple] = []
-    for node, (coll_nodes, coll_hops) in zip(node_ids, collections):
-        one_hop = coll_nodes[coll_hops == 1]
-        farther = coll_nodes[coll_hops >= 2]
-        members = np.concatenate((np.array([node], dtype=np.int64), one_hop, farther))
-        metas.append((node, members, int(one_hop.size)))
-
-    by_size: Dict[int, List[int]] = {}
-    for i, (_, members, _) in enumerate(metas):
-        by_size.setdefault(int(members.size), []).append(i)
+    edge_vals = _measured_edge_values(graph, measured, indptr, indices)
+    metas = _collect_frame_metas(graph, node_ids, hops)
+    by_size = _group_by_size(metas)
 
     frames: List[Optional[LocalFrame]] = [None] * len(metas)
     # Scratch global->local index map, reset after each frame's gather.
     local_index = np.full(graph.n_nodes, -1, dtype=np.int64)
     for m, group in sorted(by_size.items()):
         cap = max(1, min(MAX_BATCH_FRAMES, MAX_BATCH_ELEMENTS // max(1, m * m)))
-        local_rows = np.arange(m, dtype=np.int64)
         for start in range(0, len(group), cap):
             chunk = group[start : start + cap]
-            partial = np.full((len(chunk), m, m), np.inf)
-            partial[:, local_rows, local_rows] = 0.0
-            for b, i in enumerate(chunk):
-                members = metas[i][1]
-                local_index[members] = local_rows
-                row_starts = indptr[members]
-                counts = indptr[members + 1] - row_starts
-                total = int(counts.sum())
-                rows = np.repeat(local_rows, counts)
-                offsets = np.arange(total, dtype=np.int64) - np.repeat(
-                    np.cumsum(counts) - counts, counts
-                )
-                csr_pos = np.repeat(row_starts, counts) + offsets
-                cols = local_index[indices[csr_pos]]
-                inside = cols >= 0
-                partial[b, rows[inside], cols[inside]] = edge_vals[csr_pos[inside]]
-                local_index[members] = -1
+            partial = _assemble_partial_stack(
+                metas, chunk, m, indptr, indices, edge_vals, local_index
+            )
             if m < SCALAR_FALLBACK_MEMBERS:
                 # Rank-deficient tiny frames: run the oracle's kernel
                 # per slice (see SCALAR_FALLBACK_MEMBERS).
@@ -288,16 +416,158 @@ def _build_frames_batch(
                     iters[b] = info["smacof_iterations"]
             else:
                 coords, iters = local_mds_embedding_batch(partial)
-            for b, i in enumerate(chunk):
-                node, members, n_one_hop = metas[i]
-                frames[i] = LocalFrame(
-                    node=node,
-                    members=[int(x) for x in members],
-                    coordinates=coords[b].copy(),
-                    n_one_hop=n_one_hop,
-                    smacof_iterations=int(iters[b]),
-                )
+            _emit_frames(frames, metas, chunk, coords, iters)
     return frames  # type: ignore[return-value]
+
+
+def _build_frames_sparse(
+    graph: NetworkGraph,
+    measured: MeasuredDistances,
+    node_ids: List[int],
+    hops: int,
+) -> List[LocalFrame]:
+    """The ``sparse`` engine behind :func:`build_frames`.
+
+    Same sweep/grouping as the batch engine, different MDS chain (see the
+    module docstring): sparsity-aware completion, top-3 subset
+    eigensolves, and edge-list SMACOF, with the hot loops running in the
+    optional native kernels when available.  Per-frame computations stay
+    independent -- grouping, chunk caps, and kernel availability cannot
+    change any frame's result beyond the documented engine tolerance, so
+    sharded runs remain partition-invariant.
+    """
+    if not node_ids:
+        return []
+    kernels = load_kernels()
+    indptr, indices = graph.csr()
+    edge_vals = _measured_edge_values(graph, measured, indptr, indices)
+    metas = _collect_frame_metas(graph, node_ids, hops)
+    by_size = _group_by_size(metas)
+
+    frames: List[Optional[LocalFrame]] = [None] * len(metas)
+    # Scratch global->local maps (int32 for the C kernel, int64 for the
+    # numpy gather), reset to -1 after each frame's assembly.
+    local_index64 = np.full(graph.n_nodes, -1, dtype=np.int64)
+    local_index32 = (
+        np.full(graph.n_nodes, -1, dtype=np.int32) if kernels is not None else None
+    )
+    for m, group in sorted(by_size.items()):
+        cap = max(1, min(MAX_BATCH_FRAMES, MAX_BATCH_ELEMENTS // max(1, m * m)))
+        diag = np.arange(m)
+        for start in range(0, len(group), cap):
+            chunk = group[start : start + cap]
+            nb = len(chunk)
+
+            if m < SCALAR_FALLBACK_MEMBERS:
+                # Tiny rank-deficient frames: the oracle's scalar kernel,
+                # exactly as in the batch engine.
+                partial = _assemble_partial_stack(
+                    metas, chunk, m, indptr, indices, edge_vals, local_index64
+                )
+                coords = np.empty((nb, m, 3))
+                iters: np.ndarray = np.zeros(nb, dtype=int)
+                for b in range(nb):
+                    info: Dict[str, int] = {}
+                    coords[b] = local_mds_embedding(partial[b], info=info)
+                    iters[b] = info["smacof_iterations"]
+                _emit_frames(frames, metas, chunk, coords, iters)
+                continue
+
+            frame_ptr = np.arange(nb + 1, dtype=np.int64) * m
+            edge_src = edge_dst = edge_delta = edge_ptr = None
+            partial = None
+            if kernels is not None:
+                members_cat = np.concatenate([metas[i][1] for i in chunk])
+                stack = np.empty((nb, m, m))
+                partial_ptr = np.arange(nb + 1, dtype=np.int64) * (m * m)
+                degree_sum = int(
+                    (indptr[members_cat + 1] - indptr[members_cat]).sum()
+                )
+                edge_cap = degree_sum // 2 + 1
+                edge_src = np.empty(edge_cap, dtype=np.int32)
+                edge_dst = np.empty(edge_cap, dtype=np.int32)
+                edge_delta = np.empty(edge_cap, dtype=np.float64)
+                edge_ptr = np.zeros(nb + 1, dtype=np.int64)
+                kernels.assemble_frames(
+                    members_cat, frame_ptr, indptr, indices, edge_vals,
+                    stack, partial_ptr,
+                    edge_src, edge_dst, edge_delta, edge_ptr, local_index32,
+                )
+            else:
+                stack = _assemble_partial_stack(
+                    metas, chunk, m, indptr, indices, edge_vals, local_index64
+                )
+                partial = stack
+
+            # Shortest-path completion: Dijkstra over per-frame CSR blocks
+            # for large frames, the dense relaxation below the crossover.
+            if m >= SPARSE_DIJKSTRA_MIN_MEMBERS:
+                completed = complete_distance_matrix_sparse(stack)
+            elif kernels is not None:
+                kernels.fw_complete(stack, UNREACHABLE_LOCAL_DISTANCE)
+                completed = stack
+            else:
+                completed = complete_distance_matrix_batch(stack)
+
+            # Torgerson centering + top-3 subset eigensolve per frame.
+            if kernels is not None:
+                kernels.center_gram(completed)
+                gram = completed
+            else:
+                gram = torgerson_gram_batch(completed)
+            coords = classical_mds_from_gram_stack(gram)
+
+            # Edge-list SMACOF against the measured distances only.
+            steps = None
+            if kernels is not None:
+                steps = kernels.smacof_refine(
+                    coords.reshape(-1, 3), frame_ptr,
+                    edge_src, edge_dst, edge_delta, edge_ptr,
+                    iterations=30, tol=1e-6,
+                    max_members=m, max_edges=int(np.diff(edge_ptr).max()),
+                )
+            if steps is None:
+                if partial is None:
+                    # Native refinement declined (rank-deficient weight
+                    # Laplacian) or kernels are absent: rebuild the dense
+                    # measured matrices from the edge lists for the numpy
+                    # batch refinement.
+                    n_edges = int(edge_ptr[-1])
+                    partial = np.full((nb, m, m), np.inf)
+                    partial[:, diag, diag] = 0.0
+                    frame_of = np.repeat(np.arange(nb), np.diff(edge_ptr))
+                    src = edge_src[:n_edges]
+                    dst = edge_dst[:n_edges]
+                    val = edge_delta[:n_edges]
+                    partial[frame_of, src, dst] = val
+                    partial[frame_of, dst, src] = val
+                mask = np.isfinite(partial)
+                weights = mask.astype(float)
+                weights[:, diag, diag] = 0.0
+                coords, steps = smacof_refine_batch(
+                    coords, np.where(mask, partial, 0.0), weights, iterations=30
+                )
+            _emit_frames(frames, metas, chunk, coords, steps)
+    return frames  # type: ignore[return-value]
+
+
+def _emit_frames(
+    frames: List[Optional[LocalFrame]],
+    metas: List[tuple],
+    chunk: List[int],
+    coords: np.ndarray,
+    iters: np.ndarray,
+) -> None:
+    """Materialize one chunk's ``LocalFrame`` objects into ``frames``."""
+    for b, i in enumerate(chunk):
+        node, members, n_one_hop = metas[i]
+        frames[i] = LocalFrame(
+            node=node,
+            members=members.tolist(),
+            coordinates=coords[b].copy(),
+            n_one_hop=n_one_hop,
+            smacof_iterations=int(iters[b]),
+        )
 
 
 def local_frames(

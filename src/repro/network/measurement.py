@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -120,6 +120,7 @@ class MeasuredDistances:
 
     def __init__(self, values: Dict[Tuple[int, int], float]):
         self._values = values
+        self._sorted_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     @staticmethod
     def _key(u: int, v: int) -> Tuple[int, int]:
@@ -128,6 +129,46 @@ class MeasuredDistances:
     def get(self, u: int, v: int) -> float:
         """Measured distance between neighbors ``u`` and ``v``."""
         return self._values[self._key(u, v)]
+
+    def csr_values(self, indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Per-directed-CSR-entry measured values, vectorized.
+
+        The bulk twin of ``graph.edge_values(self.get)``: the value for
+        the edge stored at CSR position ``p`` (row ``u``, column
+        ``indices[p]``) is ``result[p]``, with no per-entry dict lookup.
+        Pairs are encoded as ``min * n + max`` and resolved with one
+        ``searchsorted`` against a sorted snapshot of the measured pairs,
+        built once and cached on the instance.  Raises ``KeyError`` when
+        the CSR contains an unmeasured pair, mirroring :meth:`get`.
+        """
+        n = int(indptr.size) - 1
+        cache = self._sorted_cache
+        if cache is None or cache[0] != n:
+            if self._values:
+                pairs = np.array(list(self._values), dtype=np.int64)
+                keys = pairs[:, 0] * n + pairs[:, 1]
+                vals = np.fromiter(
+                    self._values.values(), dtype=float, count=len(self._values)
+                )
+                order = np.argsort(keys)
+                keys = keys[order]
+                vals = vals[order]
+            else:
+                keys = np.empty(0, dtype=np.int64)
+                vals = np.empty(0, dtype=float)
+            cache = (n, keys, vals)
+            self._sorted_cache = cache
+        _, keys, vals = cache
+        heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        cols = indices.astype(np.int64, copy=False)
+        encoded = np.minimum(heads, cols) * n + np.maximum(heads, cols)
+        pos = np.searchsorted(keys, encoded)
+        if encoded.size and (
+            pos.max(initial=0) >= keys.size
+            or not np.array_equal(keys[np.minimum(pos, keys.size - 1)], encoded)
+        ):
+            raise KeyError("CSR adjacency contains an unmeasured pair")
+        return vals[pos]
 
     def __contains__(self, pair: Tuple[int, int]) -> bool:
         u, v = pair

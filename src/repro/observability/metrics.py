@@ -144,6 +144,41 @@ class MetricsRegistry:
         return snapshot
 
 
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes, or ``None``.
+
+    Reads ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` -- a process-wide
+    high-water mark, reported in KiB on Linux and bytes on macOS.  Returns
+    ``None`` where the ``resource`` module is unavailable (Windows), so
+    callers can skip recording instead of writing platform-shaped zeros.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-dependent
+        return int(peak)
+    return int(peak) * 1024
+
+
+def record_peak_rss(registry: MetricsRegistry, stage: str) -> Optional[int]:
+    """Record peak RSS so far under the gauge ``rss.<stage>.peak_bytes``.
+
+    ``ru_maxrss`` never decreases, so a value recorded right after a stage
+    means "the high-water mark up to and including this stage" -- a cheap,
+    allocation-free way to see which pipeline stage first pushed memory to
+    its peak.  Returns the recorded value, or ``None`` (and records
+    nothing) where the platform cannot report it.
+    """
+    value = peak_rss_bytes()
+    if value is None:  # pragma: no cover - non-POSIX platform
+        return None
+    registry.gauge(f"rss.{stage}.peak_bytes").set(value)
+    return value
+
+
 def record_ubf_outcomes(registry: MetricsRegistry, outcomes: Iterable[Any]) -> None:
     """Absorb ``UBFNodeOutcome``-shaped records (duck-typed) into metrics.
 

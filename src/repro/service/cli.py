@@ -43,7 +43,7 @@ def _add_submit_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--localization", default="auto",
                         choices=["auto", "mds", "trilateration", "true"])
     parser.add_argument("--engine", default="batch",
-                        choices=["batch", "pernode"])
+                        choices=["batch", "sparse", "pernode"])
     parser.add_argument("--workers", type=int, default=1,
                         help="pipeline worker processes inside the job")
     parser.add_argument("--no-surface", action="store_true",

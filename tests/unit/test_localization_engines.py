@@ -1,23 +1,37 @@
-"""Differential tests for the batched localization engine.
+"""Differential tests for the batched and sparse localization engines.
 
 The engine contract (see :mod:`repro.network.localization`): for every
-node, ``batch`` and ``pernode`` produce the same member list, the same
-one-hop count, and *exactly* the same SMACOF iteration count, with
-coordinates within :data:`repro.geometry.mds.SMACOF_BATCH_COORD_TOL`.
-The contract is checked across every library scenario and both noise
-regimes (perfect ranging and the paper's 30% measured-mode error).
+node, ``batch``, ``sparse``, and ``pernode`` produce the same member
+list, the same one-hop count, and *exactly* the same SMACOF iteration
+count, with coordinates within
+:data:`repro.geometry.mds.SMACOF_BATCH_COORD_TOL`.  The contract is
+checked across every library scenario and both noise regimes (perfect
+ranging and the paper's 30% measured-mode error), at the exact member
+counts that straddle the scalar-fallback boundary, and on degenerate
+(single-member, fully collinear) frames.  A property test additionally
+pins the sparse shortest-path completion to the dense Floyd-Warshall
+relaxation within the same 1e-9 tolerance, unreachable pairs included.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.configschema import extract_config_schema
 from repro.core.config import DetectorConfig, LocalizationConfig
-from repro.geometry.mds import SMACOF_BATCH_COORD_TOL
+from repro.geometry.mds import (
+    SMACOF_BATCH_COORD_TOL,
+    UNREACHABLE_LOCAL_DISTANCE,
+    complete_distance_matrix_batch,
+    complete_distance_matrix_sparse,
+)
 from repro.network.generator import DeploymentConfig, generate_network
+from repro.network.graph import NetworkGraph
 from repro.network.localization import (
+    SCALAR_FALLBACK_MEMBERS,
     LocalFrame,
     build_frames,
     establish_local_frame,
@@ -34,6 +48,8 @@ NOISE_MODELS = {
     "perfect": NoError(),
     "measured_30pct": UniformAbsoluteError(0.3),
 }
+
+ENGINES_UNDER_TEST = ("batch", "sparse")
 
 
 def _small_network(scenario: str):
@@ -61,29 +77,31 @@ def _assert_frames_observably_identical(batch, pernode):
 
 
 class TestEngineDifferential:
+    @pytest.mark.parametrize("engine", ENGINES_UNDER_TEST)
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
     @pytest.mark.parametrize("noise", sorted(NOISE_MODELS))
-    def test_batch_matches_pernode_oracle(self, scenario, noise):
+    def test_engine_matches_pernode_oracle(self, scenario, noise, engine):
         network = _small_network(scenario)
         measured = measure_distances(
             network.graph, NOISE_MODELS[noise], np.random.default_rng(23)
         )
-        batch = build_frames(network.graph, measured, engine="batch")
+        frames = build_frames(network.graph, measured, engine=engine)
         pernode = build_frames(network.graph, measured, engine="pernode")
-        _assert_frames_observably_identical(batch, pernode)
+        _assert_frames_observably_identical(frames, pernode)
 
-    def test_engines_agree_on_node_subsets(self):
+    @pytest.mark.parametrize("engine", ENGINES_UNDER_TEST)
+    def test_engines_agree_on_node_subsets(self, engine):
         network = _small_network("sphere")
         measured = measure_distances(
             network.graph, UniformAbsoluteError(0.3), np.random.default_rng(3)
         )
         nodes = [5, 0, 42, 17]
-        batch = build_frames(network.graph, measured, nodes=nodes)
+        frames = build_frames(network.graph, measured, engine=engine, nodes=nodes)
         pernode = build_frames(
             network.graph, measured, engine="pernode", nodes=nodes
         )
-        assert [f.node for f in batch] == nodes
-        _assert_frames_observably_identical(batch, pernode)
+        assert [f.node for f in frames] == nodes
+        _assert_frames_observably_identical(frames, pernode)
 
     def test_batch_is_partition_invariant(self):
         """A frame's bits must not depend on which batch it lands in."""
@@ -120,6 +138,158 @@ class TestEngineDifferential:
         )
         with pytest.raises(ValueError, match="engine"):
             build_frames(network.graph, measured, engine="fast")
+
+
+def _cluster_graph(m: int, *, seed: int = 0, collinear: bool = False):
+    """A complete-graph cluster: every node's frame has exactly ``m`` members.
+
+    Points are confined to a ball of radius 0.3 (radio range 1.0), so all
+    pairs are mutually in range and each collection is the whole cluster.
+    ``collinear=True`` places them on a line instead -- a fully degenerate
+    (rank-1) configuration whose classical-MDS Gram matrix has two
+    mathematically-zero eigenvalues.
+    """
+    rng = np.random.default_rng(seed)
+    if collinear:
+        positions = np.zeros((m, 3))
+        positions[:, 0] = np.sort(rng.uniform(0.0, 0.6, size=m))
+    else:
+        positions = rng.uniform(-0.17, 0.17, size=(m, 3))
+    return NetworkGraph(positions, radio_range=1.0)
+
+
+def _all_engine_frames(graph, *, noise_seed: int = 5):
+    measured = measure_distances(
+        graph, UniformAbsoluteError(0.3), np.random.default_rng(noise_seed)
+    )
+    return {
+        engine: build_frames(graph, measured, engine=engine)
+        for engine in ENGINES_UNDER_TEST + ("pernode",)
+    }
+
+
+class TestExactMemberCounts:
+    """The scalar-fallback boundary: frames of exactly 7, 8, and 9 members.
+
+    :data:`SCALAR_FALLBACK_MEMBERS` (= 8) routes sub-threshold frames to
+    the scalar MDS kernel inside the batched engines; 7/8/9 pin the
+    below/at/above cases so a routing bug on either side of the boundary
+    cannot hide in mixed-size networks.
+    """
+
+    def test_boundary_straddles_the_fallback_constant(self):
+        assert SCALAR_FALLBACK_MEMBERS == 8
+
+    @pytest.mark.parametrize(
+        "m",
+        [
+            SCALAR_FALLBACK_MEMBERS - 1,
+            SCALAR_FALLBACK_MEMBERS,
+            SCALAR_FALLBACK_MEMBERS + 1,
+        ],
+    )
+    def test_engines_agree_at_exact_member_count(self, m):
+        graph = _cluster_graph(m, seed=m)
+        frames = _all_engine_frames(graph)
+        for engine_frames in frames.values():
+            assert all(len(f.members) == m for f in engine_frames)
+        for engine in ENGINES_UNDER_TEST:
+            _assert_frames_observably_identical(
+                frames[engine], frames["pernode"]
+            )
+
+
+class TestDegenerateFrames:
+    def test_single_member_frame(self):
+        """An isolated node's frame is just itself, in every engine."""
+        positions = np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0], [9.0, 0.0, 0.0]])
+        graph = NetworkGraph(positions, radio_range=1.0)
+        frames = _all_engine_frames(graph)
+        for engine_frames in frames.values():
+            for f in engine_frames:
+                assert f.members == [f.node]
+                assert f.n_one_hop == 0
+                assert f.coordinates.shape == (1, 3)
+        for engine in ENGINES_UNDER_TEST:
+            _assert_frames_observably_identical(
+                frames[engine], frames["pernode"]
+            )
+
+    @pytest.mark.parametrize("m", [5, 9, 16])
+    def test_fully_collinear_frame(self, m):
+        """Rank-1 configurations: degenerate eigenvalues must not break
+        the cross-engine coordinate contract (the near-null eigenvectors
+        are numerically arbitrary unless zeroed consistently)."""
+        graph = _cluster_graph(m, seed=m, collinear=True)
+        frames = _all_engine_frames(graph)
+        for engine in ENGINES_UNDER_TEST:
+            _assert_frames_observably_identical(
+                frames[engine], frames["pernode"]
+            )
+
+
+class TestSparseCompletionProperty:
+    """Sparse Dijkstra completion vs dense Floyd-Warshall, within 1e-9.
+
+    Randomized partial frames, missing entries included; slices whose
+    measured subgraph is disconnected must substitute
+    :data:`UNREACHABLE_LOCAL_DISTANCE` identically in both paths.
+    """
+
+    @staticmethod
+    def _random_partial(seed: int, b: int, m: int, p_missing: float):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0.0, 1.0, size=(b, m, 3))
+        full = np.linalg.norm(pts[:, :, None, :] - pts[:, None, :, :], axis=-1)
+        missing = rng.uniform(size=(b, m, m)) < p_missing
+        missing |= missing.swapaxes(1, 2)  # keep the matrix symmetric
+        partial = np.where(missing, np.inf, full)
+        diag = np.arange(m)
+        partial[:, diag, diag] = 0.0
+        return partial
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        b=st.integers(1, 4),
+        m=st.integers(2, 24),
+        p_missing=st.floats(0.0, 0.95),
+    )
+    def test_sparse_matches_dense_fw(self, seed, b, m, p_missing):
+        partial = self._random_partial(seed, b, m, p_missing)
+        dense = complete_distance_matrix_batch(partial)
+        sparse = complete_distance_matrix_sparse(partial)
+        assert np.isfinite(dense).all() and np.isfinite(sparse).all()
+        deviation = float(np.abs(dense - sparse).max())
+        assert deviation <= SMACOF_BATCH_COORD_TOL
+
+    def test_unreachable_pairs_hit_the_sentinel(self):
+        # Two 3-node components inside one 6-member frame: cross-component
+        # pairs stay unreachable and both completions must emit the
+        # sentinel, not inf and not a path sum.
+        m = 6
+        partial = np.full((1, m, m), np.inf)
+        diag = np.arange(m)
+        partial[0, diag, diag] = 0.0
+        for i, j in [(0, 1), (1, 2), (3, 4), (4, 5)]:
+            partial[0, i, j] = partial[0, j, i] = 0.4
+        dense = complete_distance_matrix_batch(partial)
+        sparse = complete_distance_matrix_sparse(partial)
+        assert np.array_equal(dense, sparse)
+        assert dense[0, 0, 3] == UNREACHABLE_LOCAL_DISTANCE
+        assert dense[0, 5, 2] == UNREACHABLE_LOCAL_DISTANCE
+        assert dense[0, 0, 2] == pytest.approx(0.8)
+
+    def test_fully_disconnected_frame_is_all_sentinel(self):
+        m = 4
+        partial = np.full((2, m, m), np.inf)
+        diag = np.arange(m)
+        partial[:, diag, diag] = 0.0
+        dense = complete_distance_matrix_batch(partial)
+        sparse = complete_distance_matrix_sparse(partial)
+        assert np.array_equal(dense, sparse)
+        off_diag = ~np.eye(m, dtype=bool)
+        assert (dense[:, off_diag] == UNREACHABLE_LOCAL_DISTANCE).all()
 
 
 class TestResidualVectorization:
