@@ -17,6 +17,11 @@ pinned, seeded scenario end to end -- ``generate`` -> ``detect`` ->
   individually deterministic across hash seeds and worker counts.  Pair
   it with ``--error`` > 0, otherwise localization resolves to ``true``
   and no engine runs at all.
+* ``--ubf-kernels`` (optional fourth axis) -- replays the matrix per UBF
+  emptiness kernel.  Unlike engines, kernels promise *identical*
+  observables, so all kernels of one engine share a single byte-diff
+  group: a vectorized cell and a batched cell must produce the same
+  bytes.
 
 Every artifact the pipeline serializes -- the network JSON, the detection
 result, each exported mesh OBJ, and the JSONL execution trace (recorded
@@ -68,11 +73,27 @@ DEFAULT_WORKERS = (1, 2, 4)
 #: ``--error`` > 0) to replay it once per engine.
 DEFAULT_ENGINES = ("batch",)
 
+#: UBF kernels for the default matrix.  A single entry keeps the default
+#: run small; pass ``--ubf-kernels vectorized,batched`` to assert the
+#: kernels are byte-interchangeable end to end.
+DEFAULT_KERNELS = ("vectorized",)
+
+#: UBF kernels ``repro detect --kernel`` accepts (hardcoded: this module
+#: is stdlib-only by design and must not import repro.geometry).
+VALID_KERNELS = ("naive", "vectorized", "batched", "native")
+
 #: Span attributes that identify the run rather than describe behavior;
 #: stripped from traces before diffing (see module docstring).  Dotted
 #: entries address nested dicts (the ``detect`` span records its whole
-#: config, worker count included).
-RUN_IDENTITY_ATTRS = ("workers", "config.workers")
+#: config, worker count and kernel included).  ``kernel`` qualifies
+#: because the kernels contract *is* byte-identical outputs -- the cells
+#: must only differ in the attribute naming the kernel.
+RUN_IDENTITY_ATTRS = (
+    "workers",
+    "config.workers",
+    "kernel",
+    "config.ubf.kernel",
+)
 
 #: Serialization settings matching repro.observability.export, so a
 #: normalized trace that drops nothing round-trips byte-identically.
@@ -90,17 +111,21 @@ class Cell:
     hash_seed: str
     workers: int
     engine: str = "batch"
+    kernel: str = "vectorized"
 
     @property
     def label(self) -> str:
         return (
             f"hashseed={self.hash_seed},workers={self.workers},"
-            f"engine={self.engine}"
+            f"engine={self.engine},kernel={self.kernel}"
         )
 
     @property
     def dirname(self) -> str:
-        return f"cell_hs{self.hash_seed}_w{self.workers}_{self.engine}"
+        return (
+            f"cell_hs{self.hash_seed}_w{self.workers}"
+            f"_{self.engine}_{self.kernel}"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,15 +144,21 @@ def build_cells(
     hash_seeds: Sequence[str] = DEFAULT_HASH_SEEDS,
     workers: Sequence[int] = DEFAULT_WORKERS,
     engines: Sequence[str] = DEFAULT_ENGINES,
+    kernels: Sequence[str] = DEFAULT_KERNELS,
 ) -> List[Cell]:
     """The full matrix in deterministic (engine-major) order.
 
     Engine-major ordering keeps each engine's cells contiguous, so the
     per-engine baseline (the group's first cell) is always the group's
-    ``hash_seed[0] x workers[0]`` corner.
+    ``kernel[0] x hash_seed[0] x workers[0]`` corner.  Kernels deliberately
+    do *not* form their own groups -- see the module docstring.
     """
     return [
-        Cell(hs, w, e) for e in engines for hs in hash_seeds for w in workers
+        Cell(hs, w, e, kn)
+        for e in engines
+        for kn in kernels
+        for hs in hash_seeds
+        for w in workers
     ]
 
 
@@ -168,6 +199,7 @@ def run_cell(spec: ScenarioSpec, cell: Cell, cell_dir: Path) -> None:
             "--seed", str(spec.seed),
             "--error", str(spec.error),
             "--engine", cell.engine,
+            "--kernel", cell.kernel,
             "--workers", str(cell.workers),
             "--out", "result.json",
             "--trace", "trace.jsonl",
@@ -402,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
         "own byte-diff group (default: batch)",
     )
     parser.add_argument(
+        "--ubf-kernels",
+        default=",".join(DEFAULT_KERNELS),
+        help="comma-separated UBF kernels; kernels share one byte-diff "
+        "group per engine -- their artifacts must be byte-identical "
+        "(default: vectorized)",
+    )
+    parser.add_argument(
         "--hash-seeds",
         default=",".join(DEFAULT_HASH_SEEDS),
         help="comma-separated PYTHONHASHSEED values (default: 0,1,random)",
@@ -456,7 +495,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if engine not in ("batch", "sparse", "pernode"):
             print(f"error: invalid engine {engine!r}", file=sys.stderr)
             return 2
-    cells = build_cells(hash_seeds, workers, engines)
+    kernels = _parse_csv(args.ubf_kernels)
+    for kernel in kernels:
+        if kernel not in VALID_KERNELS:
+            print(f"error: invalid kernel {kernel!r}", file=sys.stderr)
+            return 2
+    cells = build_cells(hash_seeds, workers, engines, kernels)
     if len(cells) < 2:
         print("error: matrix needs at least two cells", file=sys.stderr)
         return 2

@@ -268,6 +268,7 @@ def cmd_bench(args) -> int:
             time_naive=not args.skip_naive,
             engine=args.bench_engine,
             full_oracle=args.oracle,
+            ubf_kernel=args.ubf_kernel,
             tracer=tracer,
         )
     print(render_bench_table(results))
@@ -601,9 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kernel",
-        choices=("naive", "vectorized"),
+        choices=("naive", "vectorized", "batched", "native"),
         default="vectorized",
-        help="UBF emptiness-search kernel (naive is the slow oracle)",
+        help="UBF emptiness-search kernel (naive is the slow oracle; "
+        "batched flattens all nodes into one workset; native adds the C "
+        "scan with numpy fallback)",
     )
     p.add_argument(
         "--localization",
@@ -686,8 +689,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stages",
         default=None,
-        help="comma-separated subset of localization,ubf,iff,grouping,mesh "
-        "(default: all)",
+        help="comma-separated subset of localization,ubf,iff,grouping,mesh,"
+        "e2e (default: all but e2e)",
     )
     p.add_argument("--scenario-id", default="ubf_2k", help="pinned bench scenario")
     p.add_argument("--repeat", type=int, default=5, help="median-of-k repetitions")
@@ -712,6 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="sparse",
         choices=("batch", "sparse"),
         help="localization engine the bench times (pernode stays the oracle)",
+    )
+    p.add_argument(
+        "--ubf-kernel",
+        default="batched",
+        choices=("vectorized", "batched", "native"),
+        help="UBF kernel the ubf/e2e stages time (naive stays the oracle)",
     )
     p.add_argument(
         "--oracle",

@@ -31,13 +31,20 @@ class UBFConfig:
         interior with false positives at realistic densities).
     kernel:
         Emptiness-search implementation: ``"vectorized"`` (default) batches
-        all Eq.-1 candidate centers and checks emptiness via chunked
-        broadcasted distance matrices; ``"naive"`` is the per-pair Python
-        oracle the vectorized kernel is differentially tested against (see
-        docs/PERFORMANCE.md).  Both produce identical results and counters.
+        all Eq.-1 candidate centers per node and checks emptiness via
+        chunked broadcasted distance matrices; ``"batched"`` flattens the
+        candidate balls of every node in a batch into one network-wide
+        workset and runs the emptiness waves with a single broadcast per
+        chunk (the wire-speed path for large networks); ``"native"`` uses
+        the batched enumeration with the C ``ubf_empty_check`` scan from
+        :mod:`repro.geometry.native` (graceful fallback to ``"batched"``
+        when no compiler is available); ``"naive"`` is the per-pair Python
+        oracle the other kernels are differentially tested against (see
+        docs/PERFORMANCE.md).  All produce identical results and counters.
     chunk_size:
-        Candidate balls per distance-matrix batch in the vectorized kernel;
-        the knob behind its early-exit strategy.  Ignored by ``"naive"``.
+        Candidate balls per distance-matrix batch in the vectorized and
+        batched kernels; the knob behind their early-exit strategy.
+        Ignored by ``"naive"``.
     """
 
     epsilon: float = 1e-3
@@ -53,8 +60,10 @@ class UBFConfig:
             raise ValueError("ball_radius must be positive")
         if self.collection_hops < 1:
             raise ValueError("collection_hops must be at least 1")
-        if self.kernel not in ("naive", "vectorized"):
-            raise ValueError("kernel must be 'naive' or 'vectorized'")
+        if self.kernel not in ("naive", "vectorized", "batched", "native"):
+            raise ValueError(
+                "kernel must be 'naive', 'vectorized', 'batched', or 'native'"
+            )
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
 

@@ -21,6 +21,7 @@ from repro.geometry.ballfit import (
     DEFAULT_CHUNK_SIZE,
     BallFitResult,
     empty_ball_exists,
+    empty_ball_exists_batch,
 )
 from repro.network.generator import Network
 from repro.network.graph import NetworkGraph
@@ -57,6 +58,13 @@ class UBFNodeOutcome:
     balls_tested: int
     neighborhood_size: int
     points_checked: int = 0
+
+
+#: Nodes classified per :func:`repro.geometry.ballfit.empty_ball_exists_batch`
+#: call when ``UBFConfig.kernel`` is batched/native.  Purely a memory bound
+#: on the flattened candidate arrays (a few hundred MB at degree ~24);
+#: results are per-node and independent of the slicing.
+UBF_BATCH_NODES = 8192
 
 
 def ubf_classify_frame(
@@ -178,18 +186,26 @@ def _run_ubf_nodes(
     graph = network.graph
     radius = config.radius
     hops = config.collection_hops
-    outcomes: List[UBFNodeOutcome] = []
-    for node in node_ids:
+
+    def frame_of(node: int) -> LocalFrame:
         if frames is not None:
-            frame = frames[node]
-        elif localization == "mds":
-            frame = establish_local_frame(graph, measured, node, hops=hops)
-        elif localization == "trilateration":
+            return frames[node]
+        if localization == "mds":
+            return establish_local_frame(graph, measured, node, hops=hops)
+        if localization == "trilateration":
             from repro.network.trilateration import trilateration_local_frame
 
-            frame = trilateration_local_frame(graph, measured, node, hops=hops)
-        else:
-            frame = true_local_frame(graph, node, hops=hops)
+            return trilateration_local_frame(graph, measured, node, hops=hops)
+        return true_local_frame(graph, node, hops=hops)
+
+    node_list = list(node_ids)
+    if config.kernel in ("batched", "native"):
+        return _run_ubf_nodes_batched(
+            node_list, frame_of, radius, config, find_first
+        )
+    outcomes: List[UBFNodeOutcome] = []
+    for node in node_list:
+        frame = frame_of(node)
         fit = ubf_classify_frame(
             frame,
             radius,
@@ -206,6 +222,50 @@ def _run_ubf_nodes(
                 points_checked=fit.points_checked,
             )
         )
+    return outcomes
+
+
+def _run_ubf_nodes_batched(
+    node_list: List[int],
+    frame_of,
+    radius: float,
+    config: UBFConfig,
+    find_first: bool,
+) -> List[UBFNodeOutcome]:
+    """Batched/native classification: whole node slices per kernel call.
+
+    Frames are still built one node at a time (that is the localization
+    stage's job), but the emptiness search runs network-wide through
+    :func:`repro.geometry.ballfit.empty_ball_exists_batch` in slices of
+    :data:`UBF_BATCH_NODES`, eliminating the per-node dispatch of the
+    vectorized kernel.  Outcome order and observables are identical to the
+    per-node loop.
+    """
+    outcomes: List[UBFNodeOutcome] = []
+    for s in range(0, len(node_list), UBF_BATCH_NODES):
+        chunk = node_list[s : s + UBF_BATCH_NODES]
+        batch_frames = [frame_of(node) for node in chunk]
+        fits = empty_ball_exists_batch(
+            np.stack([f.origin_coordinates for f in batch_frames])
+            if batch_frames
+            else np.empty((0, 3)),
+            [f.neighbor_coordinates for f in batch_frames],
+            radius,
+            check_sets=[f.collection_coordinates for f in batch_frames],
+            find_first=find_first,
+            kernel=config.kernel,
+            chunk_size=config.chunk_size,
+        )
+        for node, frame, fit in zip(chunk, batch_frames, fits):
+            outcomes.append(
+                UBFNodeOutcome(
+                    node=node,
+                    is_candidate=fit.is_boundary,
+                    balls_tested=fit.balls_tested,
+                    neighborhood_size=len(frame.members) - 1,
+                    points_checked=fit.points_checked,
+                )
+            )
     return outcomes
 
 

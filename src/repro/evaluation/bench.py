@@ -50,9 +50,18 @@ from repro.core.config import IFFConfig, UBFConfig
 from repro.core.grouping import group_boundary_nodes
 from repro.core.iff import run_iff
 from repro.core.ubf import candidates_from_outcomes, ubf_classify_frame
+from repro.geometry.ballfit import (
+    empty_ball_exists_batch,
+    empty_ball_exists_batch_arrays,
+)
 from repro.geometry.mds import SMACOF_BATCH_COORD_TOL
+from repro.geometry.native import load_kernels
 from repro.network.generator import DeploymentConfig, generate_network
-from repro.network.localization import build_frames, true_local_frame
+from repro.network.localization import (
+    _collect_frame_metas,
+    build_frames,
+    true_local_frame,
+)
 from repro.network.measurement import UniformAbsoluteError, measure_distances
 from repro.observability.export import write_atomic
 from repro.observability.tracer import ensure_tracer
@@ -61,8 +70,24 @@ from repro.surface.pipeline import SurfaceBuilder, SurfaceConfig
 
 FORMAT_VERSION = 1
 
-#: Stages `repro-bench` knows how to time, in pipeline order.
+#: Stages `repro-bench` times by default, in pipeline order.  The ``e2e``
+#: stage (one full generate -> UBF -> IFF -> grouping pass, built for the
+#: 100k-node scale check) is opt-in via ``--stages e2e``.
 STAGES = ("localization", "ubf", "iff", "grouping", "mesh")
+
+#: Every stage name `repro-bench` accepts, renderable order.
+ALL_STAGES = STAGES + ("e2e",)
+
+#: UBF kernel the bench times by default: the network-batched kernel is
+#: the production hot path.  The numpy waves (not the native C scan) keep
+#: the committed wall-time baselines meaningful on runners without a C
+#: compiler; ``--ubf-kernel native`` opts in to the C path.
+DEFAULT_BENCH_KERNEL = "batched"
+
+#: Node-slice size of the e2e stage's UBF pass; memory bound only (the
+#: flattened candidate arrays of a slice stay a few hundred MB at the
+#: pinned degree), never observable in results.
+E2E_UBF_SLICE = 25_000
 
 #: Default multiplicative slack for absolute wall-time comparisons; wide on
 #: purpose -- cross-machine variance is absorbed here, while counters and
@@ -153,13 +178,32 @@ BENCH_SCENARIOS: Dict[str, BenchScenario] = {
         target_degree=16.0,
         seed=11,
     ),
+    "e2e_100k": BenchScenario(
+        name="e2e_100k",
+        shape="sphere",
+        n_surface=30000,
+        n_interior=70000,
+        target_degree=24.0,
+        seed=11,
+    ),
 }
 
 DEFAULT_SCENARIO = "ubf_2k"
 
 
-def _median_time(fn: Callable[[], object], repeat: int) -> Tuple[float, List[float], object]:
-    """Median-of-``repeat`` wall time of ``fn`` plus its last return value."""
+def _median_time(
+    fn: Callable[[], object], repeat: int, *, warmup: bool = True
+) -> Tuple[float, List[float], object]:
+    """Median-of-``repeat`` wall time of ``fn`` plus its last return value.
+
+    One untimed warm-up call precedes the timed repeats by default, so
+    one-time costs (lazy imports, native-kernel compile/load, allocator
+    growth) never land in ``median_seconds`` -- the artifact measures
+    steady state.  Oracle sides and minutes-scale stages opt out with
+    ``warmup=False``.
+    """
+    if warmup:
+        fn()
     timings: List[float] = []
     result: object = None
     for _ in range(max(1, repeat)):
@@ -218,6 +262,19 @@ def build_context(
 
 def _classify_all(ctx: BenchContext, kernel: str) -> List[object]:
     cfg = ctx.ubf_config
+    if kernel in ("batched", "native"):
+        frames = ctx.frames
+        return empty_ball_exists_batch(
+            np.stack([f.origin_coordinates for f in frames])
+            if frames
+            else np.empty((0, 3)),
+            [f.neighbor_coordinates for f in frames],
+            cfg.radius,
+            check_sets=[f.collection_coordinates for f in frames],
+            find_first=True,
+            kernel=kernel,
+            chunk_size=cfg.chunk_size,
+        )
     return [
         ubf_classify_frame(
             frame,
@@ -230,14 +287,23 @@ def _classify_all(ctx: BenchContext, kernel: str) -> List[object]:
     ]
 
 
-def bench_ubf(ctx: BenchContext, repeat: int, *, time_naive: bool = True) -> dict:
+def bench_ubf(
+    ctx: BenchContext,
+    repeat: int,
+    *,
+    time_naive: bool = True,
+    kernel: str = DEFAULT_BENCH_KERNEL,
+) -> dict:
     """Time the UBF emptiness kernel over all node frames.
 
-    Frame construction is excluded -- it is shared by both kernels and by
+    Frame construction is excluded -- it is shared by every kernel and by
     every localization mode; what is timed is exactly the per-node
     candidate-enumeration + emptiness-check work Theorem 1 bounds.
+    ``kernel`` selects the timed implementation (the batched network-wide
+    kernel by default); the naive oracle side of the ``speedup_vs_naive``
+    gate is kernel-independent.
     """
-    median, timings, fits = _median_time(lambda: _classify_all(ctx, "vectorized"), repeat)
+    median, timings, fits = _median_time(lambda: _classify_all(ctx, kernel), repeat)
     balls = np.array([f.balls_tested for f in fits], dtype=float)
     checks = np.array([f.points_checked for f in fits], dtype=float)
     degrees = ctx.network.graph.degrees()
@@ -254,11 +320,12 @@ def bench_ubf(ctx: BenchContext, repeat: int, *, time_naive: bool = True) -> dic
         "checks_per_degree_cubed": float(checks.mean() / mean_degree**3),
     }
     doc = _artifact("ubf", ctx, repeat, median, timings, counters)
-    doc["kernel"] = "vectorized"
+    doc["kernel"] = kernel
+    doc["native_available"] = load_kernels() is not None
     doc["chunk_size"] = ctx.ubf_config.chunk_size
     if time_naive:
         naive_seconds, _, naive_fits = _median_time(
-            lambda: _classify_all(ctx, "naive"), 1
+            lambda: _classify_all(ctx, "naive"), 1, warmup=False
         )
         doc["naive_seconds"] = naive_seconds
         doc["speedup_vs_naive"] = naive_seconds / median if median > 0 else float("inf")
@@ -357,12 +424,14 @@ def bench_localization(
                     graph, measured, hops=hops, engine=engine, nodes=nodes
                 ),
                 1,
+                warmup=False,
             )
         pernode_seconds, _, oracle = _median_time(
             lambda: build_frames(
                 graph, measured, hops=hops, engine="pernode", nodes=nodes
             ),
             1,
+            warmup=False,
         )
         doc["oracle"] = "full" if full_oracle else "sampled"
         doc["oracle_nodes"] = len(nodes)
@@ -378,7 +447,7 @@ def bench_localization(
 
 def bench_iff(ctx: BenchContext, repeat: int) -> dict:
     """Time Isolated Fragment Filtering on the UBF candidate set."""
-    fits = _classify_all(ctx, "vectorized")
+    fits = _classify_all(ctx, DEFAULT_BENCH_KERNEL)
     candidates = {i for i, f in enumerate(fits) if f.is_boundary}
     graph = ctx.network.graph
     median, timings, boundary = _median_time(
@@ -394,7 +463,7 @@ def bench_iff(ctx: BenchContext, repeat: int) -> dict:
 
 def bench_grouping(ctx: BenchContext, repeat: int) -> dict:
     """Time boundary grouping on the IFF-filtered boundary set."""
-    fits = _classify_all(ctx, "vectorized")
+    fits = _classify_all(ctx, DEFAULT_BENCH_KERNEL)
     candidates = {i for i, f in enumerate(fits) if f.is_boundary}
     graph = ctx.network.graph
     boundary = run_iff(graph, candidates, ctx.iff_config)
@@ -411,7 +480,7 @@ def bench_grouping(ctx: BenchContext, repeat: int) -> dict:
 
 def bench_mesh(ctx: BenchContext, repeat: int) -> dict:
     """Time triangular boundary-surface construction on the groups."""
-    fits = _classify_all(ctx, "vectorized")
+    fits = _classify_all(ctx, DEFAULT_BENCH_KERNEL)
     candidates = {i for i, f in enumerate(fits) if f.is_boundary}
     graph = ctx.network.graph
     boundary = run_iff(graph, candidates, ctx.iff_config)
@@ -427,6 +496,113 @@ def bench_mesh(ctx: BenchContext, repeat: int) -> dict:
         "total_triangles": sum(len(m.triangles()) for m in meshes),
     }
     return _artifact("mesh", ctx, repeat, median, timings, counters)
+
+
+def _ubf_candidates_scale(
+    network,
+    ubf_config: UBFConfig,
+    *,
+    kernel: str = DEFAULT_BENCH_KERNEL,
+    slice_size: int = E2E_UBF_SLICE,
+) -> Tuple[set, int, int]:
+    """UBF candidacy for every node via the array-native batch path.
+
+    Builds each slice's true-coordinate frames as flat arrays straight
+    from the batch BFS sweep (no per-node ``LocalFrame`` objects -- at
+    100k nodes the Python assembly would dwarf the kernel) and feeds them
+    to :func:`repro.geometry.ballfit.empty_ball_exists_batch_arrays`.
+    Verdicts and counters are identical to :func:`repro.core.ubf.run_ubf`
+    with true localization -- the member order of the flat frames is
+    exactly ``_frame_members``'s.
+
+    Returns ``(candidates, total_balls_tested, total_points_checked)``.
+    """
+    graph = network.graph
+    positions = graph.positions
+    n = graph.n_nodes
+    hops = ubf_config.collection_hops
+    candidates: set = set()
+    total_balls = 0
+    total_checked = 0
+    for s0 in range(0, n, slice_size):
+        ids = list(range(s0, min(s0 + slice_size, n)))
+        metas = _collect_frame_metas(graph, ids, hops)
+        k = len(ids)
+        sizes = np.fromiter((m[1].size for m in metas), dtype=np.int64, count=k)
+        probe_ptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(sizes, out=probe_ptr[1:])
+        members_flat = np.concatenate([m[1] for m in metas])
+        probe_flat = positions[members_flat]
+        n_one = np.fromiter((m[2] for m in metas), dtype=np.int64, count=k)
+        # Neighbor rows are each probe segment's rows 1 .. n_one (the node
+        # itself occupies row 0, the farther collection follows).
+        seg = np.repeat(np.arange(k, dtype=np.int64), sizes)
+        off = np.arange(members_flat.size, dtype=np.int64) - np.repeat(
+            probe_ptr[:-1], sizes
+        )
+        nbr_mask = (off >= 1) & (off <= n_one[seg])
+        nbr_ptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(n_one, out=nbr_ptr[1:])
+        fits = empty_ball_exists_batch_arrays(
+            positions[np.asarray(ids, dtype=np.int64)],
+            probe_flat[nbr_mask],
+            nbr_ptr,
+            probe_flat,
+            probe_ptr,
+            ubf_config.radius,
+            find_first=True,
+            kernel=kernel,
+            chunk_size=ubf_config.chunk_size,
+        )
+        for i, fit in enumerate(fits):
+            total_balls += fit.balls_tested
+            total_checked += fit.points_checked
+            if fit.is_boundary:
+                candidates.add(s0 + i)
+    return candidates, total_balls, total_checked
+
+
+def bench_e2e(
+    ctx: BenchContext, repeat: int, *, kernel: str = DEFAULT_BENCH_KERNEL
+) -> dict:
+    """Time one full generate -> UBF -> IFF -> grouping pass.
+
+    The 100k-scale check behind ROADMAP item 3: everything -- deployment
+    generation included -- runs inside the timed function, so the artifact
+    pins the wall time and peak RSS of the whole pipeline at scale, not of
+    one stage.  No warm-up run (the stage is minutes-scale at 100k; the
+    native-kernel load is already warmed by :func:`run_bench`).
+    """
+    scenario = ctx.scenario
+    cfg = ctx.ubf_config
+
+    def run() -> dict:
+        network = generate_network(
+            scenario_by_name(scenario.shape),
+            scenario.deployment(),
+            scenario=scenario.shape,
+        )
+        graph = network.graph
+        candidates, total_balls, total_checked = _ubf_candidates_scale(
+            network, cfg, kernel=kernel
+        )
+        boundary = run_iff(graph, candidates, ctx.iff_config)
+        groups = group_boundary_nodes(graph, boundary)
+        return {
+            "n_candidates": len(candidates),
+            "total_balls_tested": float(total_balls),
+            "total_points_checked": float(total_checked),
+            "n_boundary": len(boundary),
+            "n_groups": len(groups),
+            "largest_group": max((len(g) for g in groups), default=0),
+        }
+
+    median, timings, counters = _median_time(run, repeat, warmup=False)
+    doc = _artifact("e2e", ctx, repeat, median, timings, counters)
+    doc["kernel"] = kernel
+    doc["native_available"] = load_kernels() is not None
+    doc["chunk_size"] = cfg.chunk_size
+    return doc
 
 
 def _artifact(
@@ -457,6 +633,7 @@ _STAGE_RUNNERS: Dict[str, Callable[..., dict]] = {
     "iff": bench_iff,
     "grouping": bench_grouping,
     "mesh": bench_mesh,
+    "e2e": bench_e2e,
 }
 
 
@@ -468,6 +645,7 @@ def run_bench(
     time_naive: bool = True,
     engine: str = DEFAULT_LOCALIZATION_ENGINE,
     full_oracle: bool = False,
+    ubf_kernel: str = DEFAULT_BENCH_KERNEL,
     tracer=None,
     registry=None,
 ) -> Dict[str, dict]:
@@ -499,9 +677,15 @@ def run_bench(
         )
     if registry is None:
         registry = MetricsRegistry()
-    # The localization bench never reads the ground-truth context frames;
-    # skip the per-node loop that builds them when no other stage runs.
-    with_frames = any(stage != "localization" for stage in stages)
+    # The localization bench never reads the ground-truth context frames,
+    # and the e2e stage builds its own flat-array frames inside the timed
+    # run; skip the per-node loop that builds them when no other stage
+    # runs (at e2e_100k scale it would dwarf everything).
+    with_frames = any(stage not in ("localization", "e2e") for stage in stages)
+    # Warm the native-kernel cache before any timing: the first load pays
+    # a one-time compile (or a failed compiler probe), which must never
+    # land inside a timed repeat.
+    load_kernels()
     tracer = ensure_tracer(tracer)
     with tracer.span("bench", scenario=scenario_id, repeat=repeat) as root:
         with tracer.span("bench.context") as ctx_span:
@@ -513,7 +697,11 @@ def run_bench(
         for stage in stages:
             with tracer.span(f"bench.{stage}") as stage_span:
                 if stage == "ubf":
-                    doc = bench_ubf(ctx, repeat, time_naive=time_naive)
+                    doc = bench_ubf(
+                        ctx, repeat, time_naive=time_naive, kernel=ubf_kernel
+                    )
+                elif stage == "e2e":
+                    doc = bench_e2e(ctx, repeat, kernel=ubf_kernel)
                 elif stage == "localization":
                     doc = bench_localization(
                         ctx,
@@ -691,7 +879,7 @@ def render_bench_table(results: Dict[str, dict]) -> str:
         f"{'stage':<10} {'nodes':>6} {'median_s':>10} {'key counters'}",
         "-" * 72,
     ]
-    for stage in STAGES:
+    for stage in ALL_STAGES:
         if stage not in results:
             continue
         doc = results[stage]

@@ -19,14 +19,15 @@ boundary node.
 
 Kernels
 -------
-The emptiness search ships in two interchangeable implementations selected
-by the ``kernel`` argument of :func:`empty_ball_exists`:
+The emptiness search ships in four interchangeable implementations selected
+by the ``kernel`` argument of :func:`empty_ball_exists` (and batch-wide by
+:func:`empty_ball_exists_batch`):
 
 ``"naive"``
     The literal per-pair reading of Algorithm 1: a Python loop over neighbor
     pairs, the scalar Eq.-1 solver per pair, and a point-by-point probe loop
     per candidate ball.  Slow by design -- it is the differential-test
-    oracle the vectorized kernel is checked against, and the baseline the
+    oracle the other kernels are checked against, and the baseline the
     ``repro-bench`` speedup criterion is measured from.
 
 ``"vectorized"``
@@ -36,15 +37,31 @@ by the ``kernel`` argument of :func:`empty_ball_exists`:
     ``chunk_size`` candidates so the common "an empty ball appears early"
     case exits before touching the remaining candidates.
 
-Both kernels enumerate candidates in the same canonical order (lexicographic
-neighbor pairs, the ``+offset`` center before the ``-offset`` center) and
-report identical observables: the same boundary verdict, the same witness
-ball, and the same ``balls_tested`` / ``points_checked`` counters.  The
-counters are *semantic* work counts -- the number of candidate balls and
-point probes the sequential algorithm performs, with per-ball early exit at
-the first strictly-inside point -- so they are hardware- and
-implementation-independent observables of Theorem 1's ``Theta(rho^2)``
-candidate bound and ``Theta(rho^3)`` total probe bound.
+``"batched"``
+    The network-batched kernel: candidate balls of *all* nodes in a batch
+    are flattened into one node-major, pair-major workset (one Eq.-1
+    evaluation over every neighbor pair of every node), and emptiness runs
+    in synchronized waves -- each wave advances every still-active node by
+    ``chunk_size`` candidates with one broadcast distance computation for
+    the whole batch, so the per-node Python dispatch of the vectorized
+    kernel disappears while the chunk-granular early exit is preserved.
+
+``"native"``
+    The batched enumeration above, with the emptiness scan handed to the
+    ``ubf_empty_check`` C kernel (:mod:`repro.geometry.native`): a true
+    per-point early-exit loop per candidate, one call per batch.  Falls
+    back to ``"batched"`` -- same results by construction -- when no C
+    compiler is available or ``REPRO_NATIVE=0`` disables native kernels.
+
+All kernels enumerate candidates in the same canonical order (node-major,
+lexicographic neighbor pairs, the ``+offset`` center before the ``-offset``
+center) and report identical observables: the same boundary verdict, the
+same witness ball, and the same ``balls_tested`` / ``points_checked``
+counters.  The counters are *semantic* work counts -- the number of
+candidate balls and point probes the sequential algorithm performs, with
+per-ball early exit at the first strictly-inside point -- so they are
+hardware- and implementation-independent observables of Theorem 1's
+``Theta(rho^2)`` candidate bound and ``Theta(rho^3)`` total probe bound.
 """
 
 from __future__ import annotations
@@ -69,13 +86,30 @@ INSIDE_TOL = 1e-7
 COINCIDENT_TOL = 1e-7
 
 #: Kernel names accepted by :func:`empty_ball_exists`.
-KERNELS = ("naive", "vectorized")
+KERNELS = ("naive", "vectorized", "batched", "native")
 
 #: Candidate balls processed per distance-matrix batch in the vectorized
 #: kernel.  Small enough that a boundary node whose first empty ball sits
 #: among the early pairs never materializes the full candidate family,
 #: large enough that interior nodes amortize the numpy dispatch overhead.
 DEFAULT_CHUNK_SIZE = 64
+
+#: Neighbor pairs evaluated per Eq.-1 block in the batched enumeration.
+#: Purely a memory bound (each block materializes a handful of ``(B, 3)``
+#: temporaries); results never depend on it because every step is
+#: row-wise.
+BATCH_PAIR_BLOCK = 1 << 20
+
+#: Ball-point distance entries per broadcast in the batched emptiness
+#: waves; bounds the ``(balls, probes, 3)`` temporaries to a few dozen MB.
+#: A memory knob only -- counters and verdicts are independent of it.
+BATCH_PROBE_BUDGET = 1 << 21
+
+#: Probe columns scanned per early-exit round of :func:`_batch_probe`.
+#: Most candidate balls contain a neighborhood point within the first few
+#: probes, so narrow rounds retire them without touching the rest of the
+#: collection.  A work/overhead knob only -- results are independent.
+PROBE_COL_WAVE = 16
 
 
 def balls_through_three_points(p1, p2, p3, radius: float) -> List[np.ndarray]:
@@ -412,12 +446,15 @@ def empty_ball_exists(
         candidate and report the total count tested, which benches use to
         measure Theorem 1's complexity.
     kernel:
-        ``"vectorized"`` (default) for the batched chunked-early-exit
-        implementation, ``"naive"`` for the per-pair Python oracle.  Both
-        return identical results and counters (see the module docstring).
+        One of :data:`KERNELS`: ``"vectorized"`` (default) for the per-node
+        chunked-early-exit implementation, ``"naive"`` for the per-pair
+        Python oracle, ``"batched"``/``"native"`` for the network-batched
+        implementations (single-node facade over
+        :func:`empty_ball_exists_batch`).  All return identical results
+        and counters (see the module docstring).
     chunk_size:
-        Candidates per distance-matrix batch in the vectorized kernel;
-        ignored by the naive kernel.
+        Candidates per distance-matrix batch in the vectorized and batched
+        kernels; ignored by the naive kernel.
 
     Returns
     -------
@@ -445,4 +482,440 @@ def empty_ball_exists(
 
     if kernel == "naive":
         return _naive_search(origin, pts, check, radius, find_first)
+    if kernel in ("batched", "native"):
+        return empty_ball_exists_batch(
+            origin[None, :],
+            [pts],
+            radius,
+            check_sets=[check],
+            find_first=find_first,
+            kernel=kernel,
+            chunk_size=chunk_size,
+        )[0]
     return _vectorized_search(origin, pts, check, radius, find_first, chunk_size)
+
+
+def _batch_enumerate(
+    origins: np.ndarray,
+    nbr_flat: np.ndarray,
+    nbr_ptr: np.ndarray,
+    radius: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Eq.-1 candidate centers for a whole batch of nodes at once.
+
+    Flattens every node's neighbor pairs into one node-major, pair-major
+    workset and evaluates :func:`balls_through_point_pairs`'s arithmetic on
+    it block by block.  The per-row operations are exactly the per-node
+    ones (the origin is broadcast per row instead of per call), so the
+    centers are bit-identical to what ``balls_through_point_pairs`` returns
+    node by node, concatenated in node order.
+
+    Returns ``(centers, pairs, cand_node, cand_ptr)``: candidate centers
+    ``(K, 3)``, their local neighbor-pair indices ``(K, 2)``, the owning
+    node's row for every candidate, and per-node candidate offsets
+    ``(N + 1,)``.
+    """
+    n_nodes = origins.shape[0]
+    m = np.diff(nbr_ptr)
+    pair_counts = m * (m - 1) // 2
+    pair_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(pair_counts, out=pair_ptr[1:])
+    total_pairs = int(pair_ptr[-1])
+    if total_pairs == 0:
+        return (
+            np.empty((0, 3)),
+            np.empty((0, 2), dtype=int),
+            np.empty(0, dtype=np.int64),
+            np.zeros(n_nodes + 1, dtype=np.int64),
+        )
+
+    # Scatter each degree group's (cached) triu pattern into the global
+    # node-major pair arrays -- no per-node Python dispatch.
+    gj = np.empty(total_pairs, dtype=np.int64)
+    gk = np.empty(total_pairs, dtype=np.int64)
+    loc_j = np.empty(total_pairs, dtype=np.int32)
+    loc_k = np.empty(total_pairs, dtype=np.int32)
+    for mu in np.unique(m):
+        if mu < 2:
+            continue
+        sel = np.flatnonzero(m == mu)
+        tj, tk = np.triu_indices(int(mu), k=1)
+        dest = pair_ptr[sel][:, None] + np.arange(tj.size)[None, :]
+        gj[dest] = nbr_ptr[sel][:, None] + tj[None, :]
+        gk[dest] = nbr_ptr[sel][:, None] + tk[None, :]
+        loc_j[dest] = tj[None, :]
+        loc_k[dest] = tk[None, :]
+    pair_node = np.repeat(np.arange(n_nodes, dtype=np.int64), pair_counts)
+
+    coincident_sq = (COINCIDENT_TOL * radius) ** 2
+    centers_blocks: List[np.ndarray] = []
+    pairs_blocks: List[np.ndarray] = []
+    node_blocks: List[np.ndarray] = []
+    for s in range(0, total_pairs, BATCH_PAIR_BLOCK):
+        e = min(s + BATCH_PAIR_BLOCK, total_pairs)
+        origin_rows = origins[pair_node[s:e]]
+        a = nbr_flat[gj[s:e]] - origin_rows
+        b = nbr_flat[gk[s:e]] - origin_rows
+        n = np.cross(a, b)
+        n2 = np.einsum("ij,ij->i", n, n)
+        aa = np.einsum("ij,ij->i", a, a)
+        bb = np.einsum("ij,ij->i", b, b)
+        valid = (
+            (aa > coincident_sq)
+            & (bb > coincident_sq)
+            & (n2 > DEGENERACY_TOL * aa * bb)
+        )
+        if not np.any(valid):
+            continue
+        rows = np.flatnonzero(valid)
+        a, b, n, n2 = a[rows], b[rows], n[rows], n2[rows]
+        aa, bb = aa[rows][:, None], bb[rows][:, None]
+        origin_rows = origin_rows[rows]
+        center0 = origin_rows + (
+            aa * np.cross(b, n) + bb * np.cross(n, a)
+        ) / (2.0 * n2[:, None])
+        delta = center0 - origin_rows
+        circum_sq = np.einsum("ij,ij->i", delta, delta)
+        h_sq = radius * radius - circum_sq
+        fits = h_sq > -INSIDE_TOL * radius * radius
+        if not np.any(fits):
+            continue
+        keep = rows[fits] + s  # global pair rows surviving both filters
+        center0, n, n2, h_sq = center0[fits], n[fits], n2[fits], h_sq[fits]
+
+        tangent = h_sq <= (INSIDE_TOL * radius) ** 2
+        h = np.sqrt(np.clip(h_sq, 0.0, None))
+        unit_n = n / np.sqrt(n2)[:, None]
+        offset = h[:, None] * unit_n
+        counts = np.where(tangent, 1, 2)
+        starts = np.cumsum(counts) - counts
+        total = int(counts.sum())
+        centers = np.empty((total, 3))
+        centers[starts] = np.where(tangent[:, None], center0, center0 + offset)
+        centers[starts[~tangent] + 1] = (center0 - offset)[~tangent]
+        pair_cols = np.column_stack([loc_j[keep], loc_k[keep]]).astype(int)
+        centers_blocks.append(centers)
+        pairs_blocks.append(np.repeat(pair_cols, counts, axis=0))
+        node_blocks.append(np.repeat(pair_node[keep], counts))
+
+    if not centers_blocks:
+        return (
+            np.empty((0, 3)),
+            np.empty((0, 2), dtype=int),
+            np.empty(0, dtype=np.int64),
+            np.zeros(n_nodes + 1, dtype=np.int64),
+        )
+    centers = np.concatenate(centers_blocks)
+    pairs = np.concatenate(pairs_blocks)
+    cand_node = np.concatenate(node_blocks)
+    cand_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(cand_node, minlength=n_nodes), out=cand_ptr[1:])
+    return centers, pairs, cand_node, cand_ptr
+
+
+def _batch_probe(
+    centers_sel: np.ndarray,
+    ball_node: np.ndarray,
+    probe_flat: np.ndarray,
+    probe_base: np.ndarray,
+    probe_len: np.ndarray,
+    threshold: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Semantic probe counts and emptiness for a wave of candidate balls.
+
+    For each ball: the index of the first strictly-inside probe point plus
+    one (the work the sequential scan performs), or the full probe count
+    when the ball is empty.  Memory-bounded by :data:`BATCH_PROBE_BUDGET`.
+    """
+    count = centers_sel.shape[0]
+    mpts = probe_len[ball_node]
+    base = probe_base[ball_node]
+    probes = np.empty(count, dtype=np.int64)
+    empty = np.empty(count, dtype=bool)
+    row_step = max(1, BATCH_PROBE_BUDGET // PROBE_COL_WAVE)
+    for s in range(0, count, row_step):
+        e = min(s + row_step, count)
+        # Probe-level early exit: scan PROBE_COL_WAVE probe columns at a
+        # time and retire every ball whose first inside point has been
+        # found.  The mean witness probe sits at a handful of points
+        # (Theorem 1's early exit), so most balls resolve in one round
+        # instead of paying for their node's full collection.
+        alive = np.arange(s, e, dtype=np.int64)
+        posa = np.zeros(alive.size, dtype=np.int64)
+        while alive.size:
+            rem = mpts[alive] - posa
+            w = min(PROBE_COL_WAVE, int(rem.max()))
+            col = np.arange(w, dtype=np.int64)
+            mask = col[None, :] < rem[:, None]
+            idx = np.where(
+                mask, base[alive, None] + posa[:, None] + col[None, :], 0
+            )
+            diff = centers_sel[alive, None, :] - probe_flat[idx]
+            dist_sq = np.einsum("ijk,ijk->ij", diff, diff)
+            inside = (dist_sq < threshold) & mask
+            any_inside = inside.any(axis=1)
+            hit = alive[any_inside]
+            probes[hit] = posa[any_inside] + inside.argmax(axis=1)[any_inside] + 1
+            empty[hit] = False
+            keep = ~any_inside
+            alive = alive[keep]
+            posa = posa[keep] + np.minimum(rem[keep], w)
+            done = posa >= mpts[alive]
+            fin = alive[done]
+            probes[fin] = mpts[fin]
+            empty[fin] = True
+            alive = alive[~done]
+            posa = posa[~done]
+    return probes, empty
+
+
+def _batched_search(
+    origins: np.ndarray,
+    nbr_flat: np.ndarray,
+    nbr_ptr: np.ndarray,
+    probe_flat: np.ndarray,
+    probe_base: np.ndarray,
+    probe_len: np.ndarray,
+    radius: float,
+    find_first: bool,
+    chunk_size: int,
+    use_native: bool,
+) -> List[BallFitResult]:
+    """Network-batched emptiness search over a batch of nodes.
+
+    Candidates are enumerated once for the whole batch
+    (:func:`_batch_enumerate`), then scanned either by the native
+    ``ubf_empty_check`` kernel (one C call) or in numpy waves: every wave
+    advances each still-active node by ``chunk_size`` candidates with one
+    broadcast for the entire batch, so a boundary node stops contributing
+    work at the wave after its witness -- the same chunk-granular early
+    exit the vectorized kernel performs per node, without its per-node
+    Python dispatch.  Counters are the semantic sequential work counts, so
+    they match the naive oracle exactly.
+    """
+    n_nodes = origins.shape[0]
+    centers, pairs, _, cand_ptr = _batch_enumerate(
+        origins, nbr_flat, nbr_ptr, radius
+    )
+    threshold = _inside_threshold(radius)
+    cand_counts = np.diff(cand_ptr)
+
+    tested = np.zeros(n_nodes, dtype=np.int64)
+    checked = np.zeros(n_nodes, dtype=np.int64)
+    witness = np.full(n_nodes, -1, dtype=np.int64)
+
+    native = _native_ubf_kernels() if use_native and centers.shape[0] else None
+    if native is not None:
+        native.ubf_empty_check(
+            centers,
+            cand_ptr,
+            probe_flat,
+            probe_base,
+            probe_len,
+            threshold,
+            find_first,
+            tested,
+            checked,
+            witness,
+        )
+    elif centers.shape[0]:
+        pos = cand_ptr[:-1].copy()
+        active = cand_counts > 0
+        while True:
+            cur = np.flatnonzero(active & (pos < cand_ptr[1:]))
+            if cur.size == 0:
+                break
+            take = np.minimum(cand_ptr[1:][cur] - pos[cur], chunk_size)
+            total = int(take.sum())
+            seg_base = np.cumsum(take) - take
+            ball_idx = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(seg_base, take)
+                + np.repeat(pos[cur], take)
+            )
+            ball_node = np.repeat(cur, take)
+            probes, empty = _batch_probe(
+                centers[ball_idx], ball_node, probe_flat, probe_base,
+                probe_len, threshold,
+            )
+            cum = np.cumsum(probes)
+            seg_end = seg_base + take
+            seg_sum = cum[seg_end - 1] - np.where(
+                seg_base > 0, cum[seg_base - 1], 0
+            )
+            if empty.any():
+                empty_rows = np.flatnonzero(empty)
+                # ball_node is non-decreasing, so np.unique's first
+                # occurrence is each node's earliest empty ball this wave.
+                first_nodes, first_at = np.unique(
+                    ball_node[empty_rows], return_index=True
+                )
+                first_rows = empty_rows[first_at]
+            else:
+                first_nodes = np.empty(0, dtype=np.int64)
+                first_rows = np.empty(0, dtype=np.int64)
+            if find_first and first_nodes.size:
+                rank = np.searchsorted(cur, first_nodes)
+                local = first_rows - seg_base[rank]
+                prefix = cum[first_rows] - np.where(
+                    seg_base[rank] > 0, cum[seg_base[rank] - 1], 0
+                )
+                tested[first_nodes] += local + 1
+                checked[first_nodes] += prefix
+                witness[first_nodes] = ball_idx[first_rows]
+                active[first_nodes] = False
+                rest = np.ones(cur.size, dtype=bool)
+                rest[rank] = False
+                tested[cur[rest]] += take[rest]
+                checked[cur[rest]] += seg_sum[rest]
+            else:
+                tested[cur] += take
+                checked[cur] += seg_sum
+                if first_nodes.size:
+                    fresh = witness[first_nodes] < 0
+                    witness[first_nodes[fresh]] = ball_idx[first_rows[fresh]]
+            pos[cur] += take
+
+    results: List[BallFitResult] = []
+    for u in range(n_nodes):
+        if cand_counts[u] == 0:
+            # No candidate ball fits (or fewer than two neighbors): the
+            # node sits against empty space -- conservative boundary.
+            results.append(
+                BallFitResult(is_boundary=True, balls_tested=0, points_checked=0)
+            )
+        elif witness[u] >= 0:
+            w = int(witness[u])
+            results.append(
+                BallFitResult(
+                    is_boundary=True,
+                    empty_center=centers[w].copy(),
+                    witness_pair=(int(pairs[w, 0]), int(pairs[w, 1])),
+                    balls_tested=int(tested[u]),
+                    points_checked=int(checked[u]),
+                )
+            )
+        else:
+            results.append(
+                BallFitResult(
+                    is_boundary=False,
+                    balls_tested=int(tested[u]),
+                    points_checked=int(checked[u]),
+                )
+            )
+    return results
+
+
+def _native_ubf_kernels():
+    """The native kernel table, or None when unavailable (numpy fallback)."""
+    from repro.geometry.native import load_kernels
+
+    return load_kernels()
+
+
+def empty_ball_exists_batch_arrays(
+    origins,
+    nbr_flat,
+    nbr_ptr,
+    probe_flat,
+    probe_ptr,
+    radius: float,
+    *,
+    find_first: bool = True,
+    kernel: str = "batched",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> List[BallFitResult]:
+    """Batch emptiness search over pre-flattened per-node arrays.
+
+    The array-native entry point behind :func:`empty_ball_exists_batch`:
+    ``nbr_flat``/``nbr_ptr`` hold every node's one-hop neighbor positions
+    concatenated (CSR layout), ``probe_flat``/``probe_ptr`` the emptiness
+    probe sets with **each node's own position as the first probe row** --
+    the probe order the sequential scan uses.  Callers that already hold
+    flattened collections (the 100k-scale pipeline) avoid any per-node
+    Python assembly.
+    """
+    if kernel not in ("batched", "native"):
+        raise ValueError(f"kernel must be 'batched' or 'native', got {kernel!r}")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    origins = as_points(origins)
+    nbr_ptr = np.asarray(nbr_ptr, dtype=np.int64)
+    probe_ptr = np.asarray(probe_ptr, dtype=np.int64)
+    nbr_flat = as_points(nbr_flat) if len(nbr_flat) else np.empty((0, 3))
+    probe_flat = as_points(probe_flat) if len(probe_flat) else np.empty((0, 3))
+    return _batched_search(
+        origins,
+        nbr_flat,
+        nbr_ptr,
+        probe_flat,
+        probe_ptr[:-1],
+        np.diff(probe_ptr),
+        radius,
+        find_first,
+        chunk_size,
+        kernel == "native",
+    )
+
+
+def empty_ball_exists_batch(
+    origins,
+    neighbor_sets: Sequence,
+    radius: float,
+    *,
+    check_sets: Optional[Sequence] = None,
+    find_first: bool = True,
+    kernel: str = "batched",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> List[BallFitResult]:
+    """Run the UBF emptiness search for a whole batch of nodes at once.
+
+    The batch twin of :func:`empty_ball_exists`: ``origins`` is ``(N, 3)``,
+    ``neighbor_sets[i]`` the ``(m_i, 3)`` one-hop neighbors of node ``i``
+    and ``check_sets[i]`` its emptiness-check set (defaults to the
+    neighbors, as in the single-node API).  Results are identical, node by
+    node, to calling :func:`empty_ball_exists` per node with any kernel --
+    the flattening changes only how the work is dispatched.
+    """
+    origins = as_points(origins)
+    n_nodes = origins.shape[0]
+    if len(neighbor_sets) != n_nodes:
+        raise ValueError("neighbor_sets length must match origins")
+    if check_sets is not None and len(check_sets) != n_nodes:
+        raise ValueError("check_sets length must match origins")
+    nbrs = [
+        as_points(nb) if len(nb) else np.empty((0, 3)) for nb in neighbor_sets
+    ]
+    # Nodes with fewer than two neighbors never enumerate (conservative
+    # boundary, zero counters) -- drop their neighbors so the enumeration
+    # skips them, matching the single-node guard.
+    nbrs = [nb if nb.shape[0] >= 2 else np.empty((0, 3)) for nb in nbrs]
+    nbr_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum([nb.shape[0] for nb in nbrs], out=nbr_ptr[1:])
+    nbr_flat = np.concatenate(nbrs) if n_nodes else np.empty((0, 3))
+    probe_rows: List[np.ndarray] = []
+    for i in range(n_nodes):
+        check = (
+            nbrs[i]
+            if check_sets is None
+            else (
+                as_points(check_sets[i])
+                if len(check_sets[i])
+                else np.empty((0, 3))
+            )
+        )
+        probe_rows.append(np.vstack([origins[i][None, :], check]))
+    probe_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum([p.shape[0] for p in probe_rows], out=probe_ptr[1:])
+    probe_flat = np.concatenate(probe_rows) if n_nodes else np.empty((0, 3))
+    return empty_ball_exists_batch_arrays(
+        origins,
+        nbr_flat,
+        nbr_ptr,
+        probe_flat,
+        probe_ptr,
+        radius,
+        find_first=find_first,
+        kernel=kernel,
+        chunk_size=chunk_size,
+    )

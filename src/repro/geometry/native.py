@@ -1,9 +1,9 @@
-"""On-demand native kernels for the sparse localization engine.
+"""On-demand native kernels for the sparse localization engine and UBF.
 
-The sparse engine's hot loops (frame assembly, Floyd-Warshall completion,
-double centering, SMACOF majorization) are written once in portable C
-(``ckernels.c``) and compiled lazily with the system C compiler the first
-time they are requested.  The resulting shared object is cached on disk
+The hot loops (frame assembly, Floyd-Warshall completion, double
+centering, SMACOF majorization, and the UBF emptiness scan) are written
+once in portable C (``ckernels.c``) and compiled lazily with the system C
+compiler the first time they are requested.  The resulting shared object is cached on disk
 keyed by the source hash, so every later process (including pool workers)
 dlopens the same binary -- a precondition for the byte-identical sharded
 outputs repro-san checks.
@@ -12,7 +12,8 @@ No new dependency is introduced: the build shells out to ``cc`` (or
 ``$CC``) with ``ctypes`` doing the loading.  When no compiler is
 available, compilation fails, or ``REPRO_NATIVE=0`` is set, callers
 receive ``None`` and fall back to the pure-numpy twins in
-:mod:`repro.geometry.mds` -- same results, more wall clock.
+:mod:`repro.geometry.mds` / :mod:`repro.geometry.ballfit` -- same
+results, more wall clock.
 
 The build pins ``-ffp-contract=off`` (no FMA contraction) so the C
 relaxation arithmetic matches the numpy ufunc chain operation for
@@ -76,6 +77,12 @@ class NativeKernels:
             _DOUBLE_P, _INT64_P, _INT32_P, _INT32_P, _DOUBLE_P, _INT64_P,
             ctypes.c_int64, ctypes.c_int64, ctypes.c_double,
             _DOUBLE_P, _DOUBLE_P, _DOUBLE_P, _DOUBLE_P, _DOUBLE_P, _INT64_P,
+        ]
+        library.ubf_empty_check.restype = None
+        library.ubf_empty_check.argtypes = [
+            _DOUBLE_P, _INT64_P, _DOUBLE_P, _INT64_P, _INT64_P,
+            ctypes.c_int64, ctypes.c_double, ctypes.c_int,
+            _INT64_P, _INT64_P, _INT64_P,
         ]
 
     def assemble_frames(
@@ -164,6 +171,42 @@ class NativeKernels:
         if rc != 0:
             return None
         return steps
+
+    def ubf_empty_check(
+        self,
+        centers: np.ndarray,
+        cand_ptr: np.ndarray,
+        probe_flat: np.ndarray,
+        probe_base: np.ndarray,
+        probe_len: np.ndarray,
+        threshold_sq: float,
+        find_first: bool,
+        balls_tested: np.ndarray,
+        points_checked: np.ndarray,
+        witness: np.ndarray,
+    ) -> None:
+        """Sequential UBF emptiness scan over batched candidate balls.
+
+        Fills the per-node ``balls_tested`` / ``points_checked`` /
+        ``witness`` output arrays in place; results are identical to the
+        numpy waves of the batched kernel (see ckernels.c for the
+        floating-point contract).
+        """
+        n_nodes = cand_ptr.shape[0] - 1
+        centers = np.ascontiguousarray(centers, dtype=np.float64)
+        probe_flat = np.ascontiguousarray(probe_flat, dtype=np.float64)
+        cand_ptr = np.ascontiguousarray(cand_ptr, dtype=np.int64)
+        probe_base = np.ascontiguousarray(probe_base, dtype=np.int64)
+        probe_len = np.ascontiguousarray(probe_len, dtype=np.int64)
+        self._lib.ubf_empty_check(
+            _ptr(centers, ctypes.c_double), _ptr(cand_ptr, ctypes.c_int64),
+            _ptr(probe_flat, ctypes.c_double),
+            _ptr(probe_base, ctypes.c_int64), _ptr(probe_len, ctypes.c_int64),
+            n_nodes, threshold_sq, 1 if find_first else 0,
+            _ptr(balls_tested, ctypes.c_int64),
+            _ptr(points_checked, ctypes.c_int64),
+            _ptr(witness, ctypes.c_int64),
+        )
 
 
 def _cache_dir() -> str:

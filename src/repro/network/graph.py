@@ -26,7 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 import numpy as np
 
 from repro.geometry.primitives import as_points
-from repro.geometry.spatial_index import UniformGridIndex
+from repro.geometry.spatial_index import UniformGridIndex, auto_cell_size
 
 #: Sources swept per block in :meth:`NetworkGraph.k_hop_collections`; bounds
 #: the ``block x n`` hop table to a few MB regardless of network size.  The
@@ -59,28 +59,42 @@ class NetworkGraph:
         self._radio_range = float(radio_range)
         n = self._positions.shape[0]
         if adjacency is None:
+            # Build the CSR form directly from one batched neighbor-pair
+            # sweep (no per-node Python loop): directed copies of every
+            # pair, lexsorted by (row, column), give sorted rows in place.
             if n:
-                index = UniformGridIndex(self._positions, cell_size=self._radio_range)
-                neighbor_lists = index.neighbor_lists(self._radio_range)
+                index = UniformGridIndex(
+                    self._positions, cell_size=auto_cell_size(self._radio_range)
+                )
+                pairs = index.neighbor_pairs_array(self._radio_range)
             else:
-                neighbor_lists = []
-            self._adjacency = [np.sort(nbrs).astype(int) for nbrs in neighbor_lists]
+                pairs = np.empty((0, 2), dtype=np.int64)
+            heads = np.concatenate([pairs[:, 0], pairs[:, 1]])
+            tails = np.concatenate([pairs[:, 1], pairs[:, 0]])
+            order = np.lexsort((tails, heads))
+            self._indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(heads, minlength=n), out=self._indptr[1:])
+            self._indices = tails[order]
+            self._adjacency = (
+                np.split(self._indices, self._indptr[1:-1]) if n else []
+            )
         else:
             if len(adjacency) != n:
                 raise ValueError("adjacency length must match number of nodes")
             self._adjacency = [
                 np.sort(np.asarray(list(nbrs), dtype=int)) for nbrs in adjacency
             ]
-        self._neighbor_sets: List[Set[int]] = [set(map(int, a)) for a in self._adjacency]
-        # CSR twin of the adjacency lists: row u's neighbor columns live in
-        # indices[indptr[u]:indptr[u+1]], sorted ascending like the lists.
-        self._indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum([a.size for a in self._adjacency], out=self._indptr[1:])
-        self._indices = (
-            np.concatenate(self._adjacency).astype(np.int64)
-            if n and self._indptr[-1]
-            else np.empty(0, dtype=np.int64)
-        )
+            # CSR twin of the adjacency lists: row u's neighbor columns live
+            # in indices[indptr[u]:indptr[u+1]], sorted ascending like the
+            # lists.
+            self._indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum([a.size for a in self._adjacency], out=self._indptr[1:])
+            self._indices = (
+                np.concatenate(self._adjacency).astype(np.int64)
+                if n and self._indptr[-1]
+                else np.empty(0, dtype=np.int64)
+            )
+        self._neighbor_sets_cache: Optional[List[Set[int]]] = None
         self._edge_array: Optional[np.ndarray] = None
 
     @classmethod
@@ -115,7 +129,7 @@ class NetworkGraph:
         self._adjacency = (
             np.split(self._indices, self._indptr[1:-1]) if n else []
         )
-        self._neighbor_sets = [set(map(int, a)) for a in self._adjacency]
+        self._neighbor_sets_cache = None
         self._edge_array = None
         return self
 
@@ -158,6 +172,20 @@ class NetworkGraph:
     def degrees(self) -> np.ndarray:
         """Array of all node degrees (from the CSR row extents)."""
         return np.diff(self._indptr).astype(int)
+
+    @property
+    def _neighbor_sets(self) -> List[Set[int]]:
+        """Per-node neighbor sets, materialized on first membership query.
+
+        Building 100k+ Python sets costs seconds and most bulk callers
+        (generation, UBF, localization sweeps) never ask ``has_edge``, so
+        the hash-set twin of the CSR adjacency is created lazily.
+        """
+        if self._neighbor_sets_cache is None:
+            self._neighbor_sets_cache = [
+                set(map(int, a)) for a in self._adjacency
+            ]
+        return self._neighbor_sets_cache
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``u`` and ``v`` are one-hop neighbors."""

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.geometry.spatial_index import UniformGridIndex
+from repro.geometry.spatial_index import UniformGridIndex, auto_cell_size
 
 
 class LinkModel(ABC):
@@ -88,16 +88,13 @@ def build_adjacency(
     adjacency: List[List[int]] = [[] for _ in range(n)]
     if n == 0:
         return adjacency
-    index = UniformGridIndex(positions, cell_size=model.max_range)
-    pairs: List[Tuple[int, int]] = index.neighbor_pairs(model.max_range)
-    if not pairs:
+    index = UniformGridIndex(positions, cell_size=auto_cell_size(model.max_range))
+    pairs = index.neighbor_pairs_array(model.max_range)
+    if not pairs.size:
         return adjacency
-    dists = np.array(
-        [float(np.linalg.norm(positions[u] - positions[v])) for u, v in pairs]
-    )
+    dists = np.linalg.norm(positions[pairs[:, 0]] - positions[pairs[:, 1]], axis=1)
     mask = model.link_mask(dists, rng)
-    for (u, v), linked in zip(pairs, mask):
-        if linked:
-            adjacency[u].append(v)
-            adjacency[v].append(u)
+    for u, v in pairs[mask].tolist():
+        adjacency[u].append(v)
+        adjacency[v].append(u)
     return adjacency

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry.spatial_index import UniformGridIndex
+from repro.geometry.spatial_index import UniformGridIndex, auto_cell_size
 
 
 def brute_force_radius(points, query, radius):
@@ -69,3 +69,66 @@ class TestNeighborStructures:
         index = UniformGridIndex(points, 1.0)
         with pytest.raises(ValueError):
             index.points[0, 0] = 99.0
+
+
+def brute_force_pairs_array(points, radius):
+    """The (i, j)-lexicographic pair array a double loop emits."""
+    diff = points[:, None, :] - points[None, :, :]
+    close = np.einsum("ijk,ijk->ij", diff, diff) <= radius * radius
+    i_idx, j_idx = np.nonzero(np.triu(close, k=1))
+    return np.column_stack([i_idx, j_idx]).astype(np.int64)
+
+
+class TestCellBoundarySweep:
+    """Randomized sweeps that stress the 27-cell stencil's edge cases.
+
+    Points are snapped onto and jittered around cell boundaries (including
+    negative coordinates, where floor-division cell assignment differs from
+    truncation), so pairs that straddle adjacent cells, land exactly on a
+    face, or coincide are all exercised.  The vectorized sweep must emit
+    byte-for-byte what the O(n^2) scan does.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_pairs_match_brute_force_on_cell_faces(self, seed):
+        rng = np.random.default_rng(seed)
+        cell = 1.0
+        n = 160
+        # Snap ~half the points to exact cell-face coordinates spanning
+        # negative and positive cells; jitter the rest tightly around faces.
+        grid = rng.integers(-3, 4, size=(n, 3)).astype(float) * cell
+        jitter = rng.uniform(-1e-9, 1e-9, size=(n, 3))
+        jitter[: n // 2] = 0.0
+        points = grid + jitter + rng.uniform(-0.05, 0.05, size=(n, 3)) * (
+            rng.random(size=(n, 1)) < 0.5
+        )
+        index = UniformGridIndex(points, cell_size=cell)
+        got = index.neighbor_pairs_array(1.0)
+        expected = brute_force_pairs_array(points, 1.0)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("radius", [0.3, 1.0, 1.7])
+    def test_pairs_match_brute_force_random_cloud(self, rng, radius):
+        points = rng.uniform(-4, 4, size=(200, 3))
+        index = UniformGridIndex(points, cell_size=auto_cell_size(radius))
+        got = index.neighbor_pairs_array(radius)
+        expected = brute_force_pairs_array(points, radius)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_coincident_points_are_paired_once(self):
+        points = np.array(
+            [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [-1.0, 0.0, 0.0]]
+        )
+        index = UniformGridIndex(points, cell_size=1.0)
+        got = index.neighbor_pairs_array(1.0)
+        expected = brute_force_pairs_array(points, 1.0)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestAutoCellSize:
+    def test_matches_radius(self):
+        assert auto_cell_size(0.25) == 0.25
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            auto_cell_size(0.0)
